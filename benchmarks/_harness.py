@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench runs its experiment exactly once under pytest-benchmark (the
+experiments are macro-benchmarks, not micro-benchmarks), renders the same
+rows/series the paper reports and saves them under ``benchmarks/results/``
+so they can be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered table/series and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")

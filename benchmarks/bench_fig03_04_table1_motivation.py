@@ -1,0 +1,87 @@
+"""Figs. 3-4 and Table 1 (§2.1-§2.2): existing LBs vs changing capacities."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import (
+    run_azure_hash_imbalance,
+    run_heterogeneous_pair,
+    run_policy_capacity_sweep,
+)
+
+
+def _render_sweep(points) -> str:
+    rows = []
+    for point in points:
+        lc_util = point.cpu_utilization["DIP-LC"] * 100
+        hc_util = (
+            (point.cpu_utilization["DIP-HC-1"] + point.cpu_utilization["DIP-HC-2"]) / 2 * 100
+        )
+        lc_lat = point.mean_latency_ms["DIP-LC"]
+        hc_lat = (point.mean_latency_ms["DIP-HC-1"] + point.mean_latency_ms["DIP-HC-2"]) / 2
+        rows.append(
+            [
+                f"{point.capacity_ratio:.0%}",
+                f"{lc_util:.0f}",
+                f"{hc_util:.0f}",
+                f"{lc_lat:.2f}",
+                f"{hc_lat:.2f}",
+            ]
+        )
+    return format_table(
+        ["capacity ratio", "DIP-LC CPU %", "DIP-HC CPU %", "DIP-LC lat (ms)", "DIP-HC lat (ms)"],
+        rows,
+    )
+
+
+def test_fig3_round_robin_capacity_sweep(benchmark):
+    points = run_once(benchmark, run_policy_capacity_sweep, "rr", requests=4000)
+    save_report("fig03_rr_capacity_sweep", _render_sweep(points))
+    # The imbalance grows as the capacity ratio shrinks (Fig. 3).
+    assert points[-1].cpu_utilization["DIP-LC"] > points[0].cpu_utilization["DIP-LC"]
+    assert points[-1].mean_latency_ms["DIP-LC"] > points[-1].mean_latency_ms["DIP-HC-1"]
+
+
+def test_fig4_least_connection_capacity_sweep(benchmark):
+    points = run_once(benchmark, run_policy_capacity_sweep, "lc", requests=4000)
+    save_report("fig04_lca_capacity_sweep", _render_sweep(points))
+    # LCA also leaves the requests served by DIP-LC slower than those served
+    # by DIP-HC at low capacity ratios (Fig. 4b) — it adapts less than the
+    # capacity loss requires.
+    last = points[-1]
+    hc_latency = (last.mean_latency_ms["DIP-HC-1"] + last.mean_latency_ms["DIP-HC-2"]) / 2
+    assert last.mean_latency_ms["DIP-LC"] > hc_latency
+    assert last.cpu_utilization["DIP-LC"] > 0.85
+
+
+def test_table1_azure_hash_imbalance(benchmark):
+    result = run_once(benchmark, run_azure_hash_imbalance, requests=5000)
+    rows = [
+        ["DIP-LC", f"{result.cpu_utilization['DIP-LC'] * 100:.0f}%", f"{result.mean_latency_ms['DIP-LC']:.2f}"],
+        [
+            "DIP-HC",
+            f"{(result.cpu_utilization['DIP-HC-1'] + result.cpu_utilization['DIP-HC-2']) / 2 * 100:.0f}%",
+            f"{(result.mean_latency_ms['DIP-HC-1'] + result.mean_latency_ms['DIP-HC-2']) / 2:.2f}",
+        ],
+    ]
+    save_report(
+        "table1_azure_imbalance",
+        format_table(["DIP", "CPU utilization", "Latency (ms)"], rows)
+        + f"\nDIP-LC latency is {result.latency_gap_percent:.0f}% higher than DIP-HC (paper: 43%)",
+    )
+    assert result.latency_gap_percent > 10.0
+
+
+def test_sec22_heterogeneous_pair(benchmark):
+    result = run_once(benchmark, run_heterogeneous_pair, requests=5000)
+    report = (
+        f"equal split latency  : {result.equal_split_latency_ms:.2f} ms\n"
+        f"F-biased latency     : {result.f_biased_latency_ms:.2f} ms\n"
+        f"improvement          : {result.improvement_percent:.1f} %\n"
+        f"equal-split shares   : {result.request_share_equal}"
+    )
+    save_report("sec22_heterogeneous_pair", report)
+    # Sending more traffic to the F-series DIP lowers overall latency (§2.2).
+    assert result.f_biased_latency_ms <= result.equal_split_latency_ms

@@ -1,0 +1,30 @@
+"""Fig. 5: latency/CPU vs traffic; pings stay flat."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import run_weight_sweep
+
+
+def test_fig5_weight_latency_sweep(benchmark):
+    points = run_once(benchmark, run_weight_sweep)
+    rows = [
+        [
+            f"{p.multiplier}X",
+            f"{p.cpu_utilization:.0f}",
+            f"{p.app_latency_ms:.2f}",
+            f"{p.ping_latency_ms:.2f}",
+            f"{p.tcp_latency_ms:.2f}",
+        ]
+        for p in points
+    ]
+    save_report(
+        "fig05_weight_latency",
+        format_table(["traffic", "CPU %", "app latency (ms)", "ICMP ping (ms)", "TCP ping (ms)"], rows),
+    )
+    # Application latency rises with load; pings do not (Fig. 5).
+    assert points[-1].app_latency_ms > points[0].app_latency_ms * 2
+    assert points[-1].ping_latency_ms < points[0].ping_latency_ms * 1.5
+    assert points[-1].cpu_utilization > 90

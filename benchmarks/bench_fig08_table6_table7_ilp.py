@@ -1,0 +1,59 @@
+"""Fig. 8, Table 6 and Table 7: ILP scalability and the multi-step speedup."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import run_ilp_grid, run_ilp_scaling, run_multistep_accuracy
+
+
+def test_fig8_naive_ilp_grid(benchmark):
+    cells = run_once(
+        benchmark,
+        run_ilp_grid,
+        dip_counts=(10, 50, 100),
+        weight_counts=(10, 50, 100),
+        time_limit_s=20.0,
+    )
+    by_dips: dict[int, dict[int, str]] = {}
+    for cell in cells:
+        by_dips.setdefault(cell.weights_per_dip, {})[cell.num_dips] = cell.outcome
+    dip_counts = sorted({cell.num_dips for cell in cells})
+    rows = [
+        [weights] + [by_dips[weights].get(d, "-") for d in dip_counts]
+        for weights in sorted(by_dips)
+    ]
+    save_report(
+        "fig08_naive_ilp_grid",
+        format_table(["#weights \\ #DIPs"] + [str(d) for d in dip_counts], rows)
+        + "\nDO = DIP overload, TO = timeout (as in Fig. 8)",
+    )
+    # Coarse [0,1] grids overload DIPs once the pool is large (Fig. 8's DO cells).
+    assert any(cell.outcome == "DO" for cell in cells)
+
+
+def test_table6_ilp_running_time(benchmark):
+    points = run_once(benchmark, run_ilp_scaling, dip_counts=(10, 50, 100, 500))
+    rows = [[p.num_dips, f"{p.solve_time_s * 1000:.0f} ms"] for p in points]
+    save_report("table6_ilp_running_time", format_table(["#DIPs", "ILP time"], rows))
+    times = {p.num_dips: p.solve_time_s for p in points}
+    # Running time grows with pool size but stays in the interactive range
+    # for moderate pools (paper: 645 ms at 100 DIPs on their hardware).
+    assert times[500] > times[10]
+    assert times[100] < 60.0
+
+
+def test_table7_multistep_ilp(benchmark):
+    result = run_once(benchmark, run_multistep_accuracy, num_dips=100)
+    report = (
+        f"one-shot, {result.fine_points} weights/DIP : "
+        f"{result.fine_time_s:.2f} s, objective {result.fine_objective:.3f}\n"
+        f"multi-step, {result.multistep_points} weights ×2 : "
+        f"{result.multistep_time_s:.2f} s, objective {result.multistep_objective:.3f}\n"
+        f"speedup   : {result.speedup:.1f}x\n"
+        f"accuracy  : {result.accuracy_percent:.1f} % (paper: 99.9 %)"
+    )
+    save_report("table7_multistep_ilp", report)
+    assert result.speedup > 1.0
+    assert result.accuracy_percent >= 95.0

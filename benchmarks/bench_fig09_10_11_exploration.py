@@ -1,0 +1,47 @@
+"""Figs. 9-11: weight exploration, curve fitting and the ILP weight assignment."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_series, format_table, format_weights
+from repro.experiments import run_exploration_study
+
+
+def test_fig9_10_11_exploration_and_ilp_weights(benchmark):
+    study = run_once(benchmark, run_exploration_study)
+
+    fig9 = "\n".join(
+        format_series(dip, list(enumerate(history, start=1)))
+        for dip, history in study.weight_history.items()
+    )
+    save_report(
+        "fig09_exploration_weights",
+        fig9 + "\n" + format_series("w_max", study.w_max),
+    )
+
+    fig10 = []
+    for dip, points in study.fit_points.items():
+        fig10.append(format_series(f"{dip} measured", points))
+        fig10.append(format_series(f"{dip} fitted", study.curve_samples[dip][::4]))
+    save_report("fig10_curve_fit", "\n".join(fig10))
+
+    rows = [[dip, f"{weight:.4f}"] for dip, weight in sorted(study.ilp_weights.items())]
+    save_report(
+        "fig11_ilp_weights",
+        format_table(["DIP", "weight"], rows)
+        + "\nmean weight ratio by core count: "
+        + format_weights(study.weight_ratio_by_cores)
+        + "\n(paper: 1 : 2 : 3.9 : 9.7)",
+    )
+
+    # Fig. 9: exploration converges in few iterations with < ~10 measurements.
+    assert study.iterations <= 25
+    # Fig. 11: weights scale with capacity, roughly 1:2:4:10.
+    ratios = study.weight_ratio_by_cores
+    assert ratios["1-core"] == 1.0
+    assert 1.5 <= ratios["2-core"] <= 3.0
+    assert 3.0 <= ratios["4-core"] <= 7.0
+    assert 7.0 <= ratios["8-core"] <= 13.0
+    # w_max is lower for smaller DIPs.
+    assert study.w_max["DIP-1"] < study.w_max["DIP-29"]

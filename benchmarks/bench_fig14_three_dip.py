@@ -1,0 +1,40 @@
+"""Fig. 14: the 1×/0.8×/0.6× 3-DIP pool under (weighted) RR, LC and KnapsackLB."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_table, format_weights
+from repro.experiments import run_three_dip_comparison
+
+
+def test_fig14_three_dip_pool(benchmark):
+    comparison = run_once(benchmark, run_three_dip_comparison, requests=6000)
+    dips = sorted(next(iter(comparison.runs.values())).cpu_utilization)
+    util_rows = []
+    latency_rows = []
+    for name, run in comparison.runs.items():
+        util_rows.append([name] + [f"{run.cpu_utilization[d] * 100:.0f}" for d in dips])
+        latency_rows.append(
+            [name] + [f"{run.mean_latency_ms[d]:.2f}" for d in dips] + [f"{run.overall_latency_ms:.2f}"]
+        )
+    save_report(
+        "fig14_three_dip",
+        format_table(["policy"] + [f"{d} CPU %" for d in dips], util_rows)
+        + "\n\n"
+        + format_table(["policy"] + [f"{d} lat (ms)" for d in dips] + ["overall"], latency_rows)
+        + "\n\nKLB weights: "
+        + format_weights(comparison.klb_weights)
+        + f"\nmax gain vs RR: {comparison.max_gain_percent('rr'):.0f}% "
+        f"(paper: 37%), vs LC: {comparison.max_gain_percent('lc'):.0f}% (paper: 29%)",
+    )
+
+    runs = comparison.runs
+    # RR over-utilises the 0.6× DIP; KLB does not (Fig. 14a).
+    assert runs["rr"].cpu_utilization["DIP-0.6"] > runs["klb"].cpu_utilization["DIP-0.6"]
+    # KLB's utilization is roughly uniform across the three DIPs.
+    klb_utils = list(runs["klb"].cpu_utilization.values())
+    assert max(klb_utils) - min(klb_utils) <= 0.25
+    # KLB lowers the latency of the requests RR sent to DIP-0.6 (Fig. 14b).
+    assert runs["klb"].mean_latency_ms["DIP-0.6"] < runs["rr"].mean_latency_ms["DIP-0.6"]
+    assert runs["klb"].overall_latency_ms < runs["rr"].overall_latency_ms

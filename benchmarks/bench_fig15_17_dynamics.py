@@ -1,0 +1,57 @@
+"""Figs. 15-17: reaction to DIP failures, capacity changes and traffic changes."""
+
+from __future__ import annotations
+
+from _harness import run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import run_dynamics_study
+from repro.experiments.dynamics import PLOTTED_DIPS
+
+
+def _render(scenario) -> str:
+    rows = [
+        [
+            dip,
+            f"{scenario.weights_before.get(dip, 0.0):.4f}",
+            f"{scenario.weights_after.get(dip, 0.0):.4f}",
+        ]
+        for dip in PLOTTED_DIPS
+    ]
+    return (
+        format_table(["DIP", "weight before", "weight after"], rows)
+        + f"\nevents: {scenario.events}, detected after {scenario.detection_time_s:.0f}s, "
+        f"max utilization after: {scenario.max_utilization_after:.2f}"
+    )
+
+
+def test_fig15_16_17_dynamics(benchmark):
+    study = run_once(benchmark, run_dynamics_study)
+    save_report(
+        "fig15_failure",
+        _render(study.failure) + "\n(paper: failed DIPs' weight mostly absorbed by larger DIPs)",
+    )
+    save_report("fig16_capacity_change", _render(study.capacity))
+    save_report("fig17_traffic_change", _render(study.traffic))
+
+    # Fig. 15: the failed DIPs end with zero weight and the rest is
+    # redistributed unevenly (latency-informed, not an equal split).
+    failure = study.failure
+    assert failure.weights_after.get("DIP-25", 0.0) == 0.0
+    assert failure.weights_after.get("DIP-26", 0.0) == 0.0
+    assert sum(failure.weights_after.values()) > 0.99
+    assert failure.max_utilization_after <= 1.0
+
+    # Fig. 16: the capacity-reduced DIPs lose weight.
+    capacity = study.capacity
+    lost = sum(
+        capacity.weights_before[d] - capacity.weights_after.get(d, 0.0)
+        for d in ("DIP-25", "DIP-26", "DIP-27", "DIP-28")
+    )
+    assert lost > 0.0
+    assert capacity.max_utilization_after <= 1.0
+
+    # Fig. 17: after +10 % traffic no DIP is overloaded and weights changed.
+    traffic = study.traffic
+    assert traffic.max_utilization_after <= 1.0
+    assert traffic.events  # the change was detected

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Programming weights through different LB front-ends (§6.5).
+
+KnapsackLB is a meta LB: the same weights can be pushed to HAProxy or Nginx
+(native weight interface) or, when the LB has no such interface (Azure L4
+LB), to a DNS traffic manager.  This example programs the 0.2 / 0.3 / 0.5
+split of Table 5 through each front-end and measures the request share each
+DIP actually receives.
+
+Run with:  python examples/other_load_balancers.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.backends import DipServer, custom_vm_type
+from repro.exceptions import ConfigurationError
+from repro.lb import AzureLBSim, AzureTrafficManagerSim, HAProxySim, NginxSim
+from repro.sim import RequestCluster
+
+WEIGHTS = {"DIP-1": 0.2, "DIP-2": 0.3, "DIP-3": 0.5}
+
+
+def fresh_pool(seed: int = 3):
+    vm = custom_vm_type("web", vcpus=2, capacity_rps=800.0)
+    return {
+        dip: DipServer(dip, vm, seed=seed + index, jitter_fraction=0.0)
+        for index, dip in enumerate(WEIGHTS)
+    }
+
+
+def measure(facade, *, seed: int = 5) -> dict[str, float]:
+    dips = fresh_pool()
+    cluster = RequestCluster(dips, facade.policy, rate_rps=500.0, seed=seed)
+    cluster.run(num_requests=8000)
+    return cluster.request_share()
+
+
+def main() -> None:
+    rows = [["programmed"] + [f"{w * 100:.0f}%" for w in WEIGHTS.values()]]
+
+    haproxy = HAProxySim(list(WEIGHTS), algorithm="weighted-roundrobin")
+    haproxy.set_weights(WEIGHTS)
+    rows.append(["HAProxy (WRR)"] + [f"{measure(haproxy).get(d, 0) * 100:.0f}%" for d in WEIGHTS])
+
+    nginx = NginxSim(list(WEIGHTS), algorithm="weighted-roundrobin")
+    nginx.set_weights(WEIGHTS)
+    rows.append(["Nginx (WRR)"] + [f"{measure(nginx).get(d, 0) * 100:.0f}%" for d in WEIGHTS])
+
+    traffic_manager = AzureTrafficManagerSim(list(WEIGHTS), cache_ttl_s=10.0, seed=1)
+    traffic_manager.set_weights(WEIGHTS)
+    rows.append(
+        ["Azure TM (DNS)"] + [f"{measure(traffic_manager).get(d, 0) * 100:.0f}%" for d in WEIGHTS]
+    )
+
+    print(format_table(["front-end"] + list(WEIGHTS), rows, title="Table 5: request share per DIP"))
+
+    azure = AzureLBSim(list(WEIGHTS))
+    try:
+        azure.set_weights(WEIGHTS)
+    except ConfigurationError as error:
+        print(f"\nAzure L4 LB: {error}")
+
+
+if __name__ == "__main__":
+    main()

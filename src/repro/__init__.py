@@ -1,0 +1,70 @@
+"""KnapsackLB — performance-aware layer-4 load balancing (CoNEXT 2025).
+
+A full reproduction of *KnapsackLB: Enabling Performance-Aware Layer-4 Load
+Balancing* (Gandhi & Narayana).  The package contains the KnapsackLB
+controller itself (:mod:`repro.core`), plus every substrate the paper's
+evaluation depends on: a MILP solver layer (:mod:`repro.solver`), DIP/VM
+models (:mod:`repro.backends`), layer-4 load-balancer policies and facades
+(:mod:`repro.lb`), cluster simulators (:mod:`repro.sim`), KLM probing and
+the latency store (:mod:`repro.probing`), an agent-based baseline
+(:mod:`repro.agents`), analysis helpers (:mod:`repro.analysis`), workload
+builders (:mod:`repro.workloads`) and per-figure/table experiment drivers
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import KnapsackLBController, KnapsackLBConfig
+    from repro.workloads import build_testbed_cluster
+
+    cluster = build_testbed_cluster(load_fraction=0.7, seed=7)
+    controller = KnapsackLBController("vip-1", cluster)
+    assignment = controller.converge()
+    print(assignment.weights)
+"""
+
+from repro.core import (
+    KnapsackLBConfig,
+    KnapsackLBController,
+    WeightAssignment,
+    WeightLatencyCurve,
+    compute_weights,
+    compute_weights_multistep,
+    fit_curve,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    CurveFitError,
+    DipFailureError,
+    DipOverloadError,
+    InfeasibleError,
+    MeasurementError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+    SolverTimeoutError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KnapsackLBConfig",
+    "KnapsackLBController",
+    "WeightAssignment",
+    "WeightLatencyCurve",
+    "compute_weights",
+    "compute_weights_multistep",
+    "fit_curve",
+    "ConfigurationError",
+    "CurveFitError",
+    "DipFailureError",
+    "DipOverloadError",
+    "InfeasibleError",
+    "MeasurementError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "SolverError",
+    "SolverTimeoutError",
+    "__version__",
+]

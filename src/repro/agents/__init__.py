@@ -1,0 +1,5 @@
+"""Agent-based baselines the paper compares against (§6.4)."""
+
+from repro.agents.cpu_agent import AgentIteration, CpuAgentBalancer
+
+__all__ = ["AgentIteration", "CpuAgentBalancer"]

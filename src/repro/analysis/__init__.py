@@ -1,0 +1,23 @@
+"""Analysis and reporting helpers."""
+
+from repro.analysis.metrics import (
+    LatencyStats,
+    group_mean,
+    relative_gain,
+    utilization_spread,
+    weighted_mean,
+    weights_ratio,
+)
+from repro.analysis.reporting import format_series, format_table, format_weights
+
+__all__ = [
+    "LatencyStats",
+    "group_mean",
+    "relative_gain",
+    "utilization_spread",
+    "weighted_mean",
+    "weights_ratio",
+    "format_series",
+    "format_table",
+    "format_weights",
+]

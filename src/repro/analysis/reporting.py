@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place so benches and examples agree.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a simple fixed-width table."""
+    columns = len(headers)
+    normalized_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in normalized_rows:
+        for index in range(columns):
+            if index < len(row):
+                widths[index] = max(widths[index], len(row[index]))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [str(cells[i]).ljust(widths[i]) if i < len(cells) else " " * widths[i] for i in range(columns)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in normalized_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Mapping[object, object] | Sequence[tuple[object, object]]
+) -> str:
+    """Render an (x, y) series as ``name: x=y, x=y, ...``."""
+    if isinstance(points, Mapping):
+        items = list(points.items())
+    else:
+        items = list(points)
+    rendered = ", ".join(f"{_format_cell(x)}={_format_cell(y)}" for x, y in items)
+    return f"{name}: {rendered}"
+
+
+def format_weights(weights: Mapping[str, float], *, precision: int = 3) -> str:
+    """Render a weight map sorted by DIP id."""
+    parts = [f"{dip}={weight:.{precision}f}" for dip, weight in sorted(weights.items())]
+    return ", ".join(parts)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

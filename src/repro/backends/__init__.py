@@ -1,0 +1,44 @@
+"""DIP (backend server) substrate.
+
+Provides the simulated equivalents of the Azure VMs in the paper's testbed:
+VM SKUs (Table 3), an M/M/c-based latency model reproducing the Fig. 5
+latency-vs-load shape, a noisy-neighbour antagonist, and the
+:class:`DipServer` that combines them.
+"""
+
+from repro.backends.antagonist import Antagonist
+from repro.backends.dip import DipServer, ProbeResult
+from repro.backends.latency_model import LatencyModel, erlang_c, scaled_model
+from repro.backends.vm_types import (
+    D8A_V4,
+    DS1_V2,
+    DS2_V2,
+    DS3_V2,
+    DS4_V2,
+    F2S_V2,
+    F8S_V2,
+    VMType,
+    all_vm_types,
+    custom_vm_type,
+    get_vm_type,
+)
+
+__all__ = [
+    "Antagonist",
+    "DipServer",
+    "ProbeResult",
+    "LatencyModel",
+    "erlang_c",
+    "scaled_model",
+    "VMType",
+    "DS1_V2",
+    "DS2_V2",
+    "DS3_V2",
+    "DS4_V2",
+    "F2S_V2",
+    "F8S_V2",
+    "D8A_V4",
+    "all_vm_types",
+    "custom_vm_type",
+    "get_vm_type",
+]

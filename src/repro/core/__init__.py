@@ -1,0 +1,111 @@
+"""KnapsackLB core: the paper's primary contribution.
+
+Curve fitting (§4.2), adaptive weight exploration (§4.3), the Fig. 7 ILP
+(§3.3) with multi-step refinement (§4.4), measurement scheduling (§4.6),
+dynamics handling (§4.5), drain-time estimation (§4.7) and the controller
+that ties them together (§3.2, §5).
+"""
+
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    CurveConfig,
+    DynamicsConfig,
+    ExplorationConfig,
+    IlpConfig,
+    KnapsackLBConfig,
+    ProbeConfig,
+    SchedulerConfig,
+)
+from repro.core.controller import (
+    ControlStepReport,
+    Deployment,
+    ExplorationReport,
+    KnapsackLBController,
+)
+from repro.core.curve import WeightLatencyCurve, fit_curve, fit_error
+from repro.core.drain import DrainEstimate, DrainTimeEstimator, analytic_drain_time_s
+from repro.core.dynamics import (
+    DynamicsDetector,
+    DynamicsEvent,
+    DynamicsEventKind,
+    Observation,
+    RefreshBudget,
+    rescale_all_curves,
+    rescale_curve_for_observation,
+)
+from repro.core.exploration import ExplorationState, ExplorationStep
+from repro.core.ilp import (
+    IlpOutcome,
+    build_assignment_problem,
+    candidate_grid,
+    compute_weights,
+    solve_assignment,
+)
+from repro.core.multistep import MultiStepOutcome, compute_weights_multistep
+from repro.core.scheduler import (
+    MeasurementPriority,
+    MeasurementRequest,
+    MeasurementScheduler,
+    RoundPlan,
+)
+from repro.core.types import (
+    DipId,
+    DipRecord,
+    LatencySample,
+    MeasurementPoint,
+    VipId,
+    WeightAssignment,
+    equal_weights,
+    normalize_weights,
+    validate_weight,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "CurveConfig",
+    "DynamicsConfig",
+    "ExplorationConfig",
+    "IlpConfig",
+    "KnapsackLBConfig",
+    "ProbeConfig",
+    "SchedulerConfig",
+    "ControlStepReport",
+    "Deployment",
+    "ExplorationReport",
+    "KnapsackLBController",
+    "WeightLatencyCurve",
+    "fit_curve",
+    "fit_error",
+    "DrainEstimate",
+    "DrainTimeEstimator",
+    "analytic_drain_time_s",
+    "DynamicsDetector",
+    "DynamicsEvent",
+    "DynamicsEventKind",
+    "Observation",
+    "RefreshBudget",
+    "rescale_all_curves",
+    "rescale_curve_for_observation",
+    "ExplorationState",
+    "ExplorationStep",
+    "IlpOutcome",
+    "build_assignment_problem",
+    "candidate_grid",
+    "compute_weights",
+    "solve_assignment",
+    "MultiStepOutcome",
+    "compute_weights_multistep",
+    "MeasurementPriority",
+    "MeasurementRequest",
+    "MeasurementScheduler",
+    "RoundPlan",
+    "DipId",
+    "DipRecord",
+    "LatencySample",
+    "MeasurementPoint",
+    "VipId",
+    "WeightAssignment",
+    "equal_weights",
+    "normalize_weights",
+    "validate_weight",
+]

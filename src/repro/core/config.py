@@ -1,0 +1,196 @@
+"""Configuration objects for KnapsackLB.
+
+Default values follow the paper's prototype (§4, §5):
+
+* probe every DIP every 5 seconds, 100 requests per probe batch;
+* exploration stops when the weight step falls below 5 % of the current
+  weight (``D`` on line 1 of Algorithm 1);
+* latency 5× the idle latency is treated as a packet-drop signal;
+* α = 1 controls the pace of the multiplicative increase;
+* polynomial regression of degree 2;
+* the ILP is fed 10 candidate weights per DIP per step and the multi-step
+  refinement uses a ±10 %·w_max window;
+* capacity-change detection threshold is ±20 % of the estimated latency;
+* at most 5 % of total capacity may be under curve refresh at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Parameters of the adaptive weight-exploration phase (§4.3)."""
+
+    #: stop exploring when ``w_now - w_prev`` <= ``convergence_fraction * w_now``.
+    convergence_fraction: float = 0.05
+    #: pace of the multiplicative increase (α in Algorithm 1).
+    alpha: float = 1.0
+    #: latency this many times the idle latency counts as a packet drop.
+    drop_latency_multiplier: float = 5.0
+    #: upper bound on exploration iterations per DIP (safety net; the paper
+    #: observes 8-10 iterations in practice).
+    max_iterations: int = 25
+    #: smallest weight ever proposed for a measurement.
+    min_weight: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not 0 < self.convergence_fraction < 1:
+            raise ConfigurationError("convergence_fraction must be in (0, 1)")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if self.drop_latency_multiplier <= 1:
+            raise ConfigurationError("drop_latency_multiplier must exceed 1")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class CurveConfig:
+    """Parameters of weight-latency curve fitting (§4.2)."""
+
+    #: polynomial regression degree (the paper uses 2).
+    degree: int = 2
+    #: minimum number of non-dropped points required to fit.
+    min_points: int = 3
+    #: enforce a monotonically non-decreasing latency-vs-weight curve.
+    enforce_monotone: bool = True
+    #: constrain the polynomial coefficients to be non-negative, which keeps
+    #: the fitted curve monotone and convex even where exploration sampled
+    #: few points (an unconstrained fit can dip far below reality there).
+    nonnegative_coefficients: bool = True
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ConfigurationError("degree must be >= 1")
+        if self.min_points < 2:
+            raise ConfigurationError("min_points must be >= 2")
+
+
+@dataclass(frozen=True)
+class IlpConfig:
+    """Parameters of the ILP weight computation (§3.3, §4.4)."""
+
+    #: number of candidate weights per DIP per ILP step.
+    weights_per_dip: int = 10
+    #: maximum weight imbalance θ (Fig. 7 constraint (c)); ``None`` means ∞.
+    theta: float | None = None
+    #: refinement window half-width as a fraction of w_max (δ in §4.4).
+    refine_window_fraction: float = 0.10
+    #: run the multi-step refinement only when the pool has at least this
+    #: many DIPs (the paper uses 100).
+    multistep_min_dips: int = 100
+    #: solver wall-clock limit in seconds (the paper's Fig. 8 uses 20 min).
+    time_limit_s: float = 1200.0
+    #: solver backend name: "auto", "scipy", "branch_and_bound", "greedy", "dp".
+    backend: str = "auto"
+    #: ILP objective: "request_weighted" minimises Σ w·l (the mean latency a
+    #: request experiences, which is what the evaluation reports) while
+    #: "sum_latency" is the paper's Fig. 7 objective Σ l (per-DIP latency
+    #: sum).  The paper notes (footnote 2) that the objective is pluggable.
+    objective: str = "request_weighted"
+
+    def __post_init__(self) -> None:
+        if self.weights_per_dip < 2:
+            raise ConfigurationError("weights_per_dip must be >= 2")
+        if self.objective not in ("request_weighted", "sum_latency"):
+            raise ConfigurationError(
+                "objective must be 'request_weighted' or 'sum_latency'"
+            )
+        if self.theta is not None and self.theta < 0:
+            raise ConfigurationError("theta must be non-negative or None")
+        if not 0 < self.refine_window_fraction <= 1:
+            raise ConfigurationError("refine_window_fraction must be in (0, 1]")
+        if self.time_limit_s <= 0:
+            raise ConfigurationError("time_limit_s must be positive")
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Parameters for reacting to traffic/capacity changes and failures (§4.5)."""
+
+    #: capacity change detected when observed latency deviates from the
+    #: estimate by more than this fraction (±20 % in the paper).
+    capacity_change_threshold: float = 0.20
+    #: traffic change detected when at least this fraction of DIPs see a
+    #: latency deviation in the same direction for unchanged weights.
+    traffic_change_quorum: float = 0.80
+    #: consecutive failed probe batches before a DIP is declared failed.
+    failure_probe_threshold: int = 3
+    #: fraction of total capacity allowed to be under refresh simultaneously.
+    max_refresh_fraction: float = 0.05
+    #: how often (seconds) the drain time is re-estimated (§4.7).
+    drain_recalibration_interval_s: float = 120.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.capacity_change_threshold < 1:
+            raise ConfigurationError("capacity_change_threshold must be in (0, 1)")
+        if not 0 < self.traffic_change_quorum <= 1:
+            raise ConfigurationError("traffic_change_quorum must be in (0, 1]")
+        if self.failure_probe_threshold < 1:
+            raise ConfigurationError("failure_probe_threshold must be >= 1")
+        if not 0 < self.max_refresh_fraction <= 1:
+            raise ConfigurationError("max_refresh_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Parameters of KLM latency probing (§5)."""
+
+    #: interval between probe batches per DIP, seconds.
+    interval_s: float = 5.0
+    #: number of requests averaged per probe batch.
+    requests_per_probe: int = 100
+    #: probe timeout, seconds; a timed-out probe counts as a failure.
+    timeout_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if self.requests_per_probe < 1:
+            raise ConfigurationError("requests_per_probe must be >= 1")
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Parameters of measurement scheduling (§4.6)."""
+
+    #: duration of one scheduling round, seconds (10 s in the paper §6.1).
+    round_duration_s: float = 10.0
+    #: latency above this multiple of the idle latency marks a DIP as
+    #: over-utilized (priority class (a) in §4.6).
+    overutilized_latency_multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.round_duration_s <= 0:
+            raise ConfigurationError("round_duration_s must be positive")
+        if self.overutilized_latency_multiplier <= 1:
+            raise ConfigurationError(
+                "overutilized_latency_multiplier must exceed 1"
+            )
+
+
+@dataclass(frozen=True)
+class KnapsackLBConfig:
+    """Top-level configuration bundling all component configs."""
+
+    exploration: ExplorationConfig = field(default_factory=ExplorationConfig)
+    curve: CurveConfig = field(default_factory=CurveConfig)
+    ilp: IlpConfig = field(default_factory=IlpConfig)
+    dynamics: DynamicsConfig = field(default_factory=DynamicsConfig)
+    probe: ProbeConfig = field(default_factory=ProbeConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: how often the controller recomputes weights per VIP, seconds.
+    control_interval_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0:
+            raise ConfigurationError("control_interval_s must be positive")
+
+
+DEFAULT_CONFIG = KnapsackLBConfig()

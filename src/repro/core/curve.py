@@ -1,0 +1,219 @@
+"""Weight-latency curves (§4.2).
+
+KnapsackLB learns, per DIP, a mapping from LB weight to the mean response
+latency the DIP would exhibit at that weight.  The mapping is fitted with
+polynomial regression (degree 2 in the paper) over a handful of measured
+points — only points without packet drops are used — and corrected to be
+monotonically non-decreasing, since assigning more traffic can never make a
+DIP faster.
+
+The curve also supports the §4.5 adaptations: *rescaling* the weight axis
+when aggregate traffic changes (the same latency is now reached at a
+different weight) and *inverting* the curve (weight for a target latency),
+which is what the rescaling computation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.core.config import CurveConfig
+from repro.core.types import MeasurementPoint
+from repro.exceptions import ConfigurationError, CurveFitError
+
+
+@dataclass(frozen=True)
+class WeightLatencyCurve:
+    """A fitted weight → latency curve for one DIP.
+
+    ``coefficients`` are in :func:`numpy.polyval` order (highest degree
+    first) and describe the fit in the *unscaled* weight domain;
+    ``weight_scale`` multiplies query weights before evaluation, which is
+    how traffic-change rescaling (§4.5) is applied without re-fitting.
+    """
+
+    coefficients: tuple[float, ...]
+    l0_ms: float
+    w_max: float
+    weight_scale: float = 1.0
+    fit_points: tuple[MeasurementPoint, ...] = field(default=())
+    enforce_monotone: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ConfigurationError("coefficients must not be empty")
+        if self.l0_ms < 0:
+            raise ConfigurationError("l0_ms must be >= 0")
+        if self.w_max < 0:
+            raise ConfigurationError("w_max must be >= 0")
+        if self.weight_scale <= 0:
+            raise ConfigurationError("weight_scale must be positive")
+
+    # -- evaluation -------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def _raw(self, weight: float) -> float:
+        """The polynomial value at the (scaled) weight, before corrections."""
+        scaled = weight / self.weight_scale
+        return float(np.polyval(self.coefficients, scaled))
+
+    def _monotone_envelope(self, weight: float) -> float:
+        """max of the polynomial over [0, weight] (monotone correction)."""
+        value = self._raw(weight)
+        if not self.enforce_monotone:
+            return value
+        candidates = [self._raw(0.0), value]
+        if self.degree == 2:
+            a, b, _ = self.coefficients
+            if a < 0 and abs(a) > 1e-15:
+                vertex = -b / (2 * a) * self.weight_scale
+                if 0.0 < vertex < weight:
+                    candidates.append(self._raw(vertex))
+        elif self.degree > 2:
+            grid = np.linspace(0.0, weight, 64)
+            candidates.extend(float(v) for v in np.polyval(
+                self.coefficients, grid / self.weight_scale
+            ))
+        return max(candidates)
+
+    def predict(self, weight: float) -> float:
+        """Estimated mean latency (ms) at ``weight``.
+
+        The prediction is never below the idle latency ``l0``.
+        """
+        if weight < 0:
+            raise ConfigurationError("weight must be >= 0")
+        return max(self.l0_ms, self._monotone_envelope(weight))
+
+    def predict_many(self, weights: Iterable[float]) -> list[float]:
+        return [self.predict(w) for w in weights]
+
+    # -- inversion and rescaling (§4.5) -------------------------------------------
+
+    def weight_for_latency(
+        self, latency_ms: float, *, upper: float | None = None, tol: float = 1e-6
+    ) -> float:
+        """The smallest weight whose predicted latency reaches ``latency_ms``.
+
+        Solved by bisection over the monotone prediction; returns ``upper``
+        when even the largest weight stays below the target latency.
+        """
+        upper = upper if upper is not None else max(self.w_max, 1e-3) * 2.0
+        if latency_ms <= self.predict(0.0):
+            return 0.0
+        if self.predict(upper) < latency_ms:
+            return upper
+        lo, hi = 0.0, upper
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.predict(mid) >= latency_ms:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo < tol:
+                break
+        return hi
+
+    def rescaled(self, delta: float) -> "WeightLatencyCurve":
+        """Shift the curve along the weight axis by multiplying weights by δ.
+
+        §4.5: if the latency previously seen at weight ``w1`` is now seen at
+        weight ``w2``, all weights are multiplied by ``δ = w1 / w2``; the
+        curve must be evaluated accordingly (a query at weight ``w`` now
+        corresponds to the old ``w / δ``).
+        """
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        return WeightLatencyCurve(
+            coefficients=self.coefficients,
+            l0_ms=self.l0_ms,
+            w_max=self.w_max * delta,
+            weight_scale=self.weight_scale * delta,
+            fit_points=self.fit_points,
+            enforce_monotone=self.enforce_monotone,
+        )
+
+    def rescale_for_latency_shift(
+        self, weight: float, observed_latency_ms: float
+    ) -> "WeightLatencyCurve":
+        """Rescale so the curve predicts ``observed_latency_ms`` at ``weight``.
+
+        This is the full §4.5 mechanism: find ``w2`` (the weight at which the
+        current curve predicts the observed latency), compute
+        ``δ = w1 / w2`` and apply :meth:`rescaled`.
+        """
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        w2 = self.weight_for_latency(observed_latency_ms)
+        if w2 <= 0:
+            # The observed latency is at/below idle latency even at weight 0:
+            # treat as "plenty of headroom" and stretch the curve outward.
+            w2 = min(self.w_max if self.w_max > 0 else weight, weight) / 2.0
+            if w2 <= 0:
+                return self
+        delta = weight / w2
+        return self.rescaled(delta)
+
+
+def fit_curve(
+    points: Sequence[MeasurementPoint],
+    *,
+    config: CurveConfig | None = None,
+    l0_ms: float | None = None,
+    w_max: float | None = None,
+) -> WeightLatencyCurve:
+    """Fit a weight-latency curve from measurement points.
+
+    Only points without packet drops are used (as in §6.1).  ``l0_ms``
+    defaults to the latency of the smallest-weight point; ``w_max`` defaults
+    to the largest non-dropped weight.
+    """
+    config = config or CurveConfig()
+    usable = [p for p in points if not p.dropped]
+    if len(usable) < config.min_points:
+        raise CurveFitError(
+            f"need at least {config.min_points} non-dropped points, got {len(usable)}"
+        )
+    usable.sort(key=lambda p: p.weight)
+
+    weights = np.array([p.weight for p in usable], dtype=float)
+    latencies = np.array([p.latency_ms for p in usable], dtype=float)
+
+    degree = min(config.degree, len(usable) - 1)
+    if config.nonnegative_coefficients:
+        # Constrained least squares with non-negative coefficients: latency
+        # can only grow with weight, which keeps the fit sane in weight
+        # regions the exploration did not sample densely (Algorithm 1 tends
+        # to cluster points near capacity).
+        design = np.vander(weights, degree + 1, increasing=True)
+        solution, _ = nnls(design, latencies)
+        coefficients = solution[::-1]
+    else:
+        coefficients = np.polyfit(weights, latencies, degree)
+
+    inferred_l0 = float(latencies[0]) if l0_ms is None else float(l0_ms)
+    inferred_wmax = float(weights[-1]) if w_max is None else float(w_max)
+
+    return WeightLatencyCurve(
+        coefficients=tuple(float(c) for c in coefficients),
+        l0_ms=max(0.0, inferred_l0),
+        w_max=max(0.0, inferred_wmax),
+        fit_points=tuple(usable),
+        enforce_monotone=config.enforce_monotone,
+    )
+
+
+def fit_error(curve: WeightLatencyCurve, points: Sequence[MeasurementPoint]) -> float:
+    """Root-mean-square error of the curve against (non-dropped) points."""
+    usable = [p for p in points if not p.dropped]
+    if not usable:
+        return 0.0
+    errors = [curve.predict(p.weight) - p.latency_ms for p in usable]
+    return float(np.sqrt(np.mean(np.square(errors))))

@@ -1,0 +1,128 @@
+"""Old-flow drain-time estimation (§4.7).
+
+After reprogramming weights, only *new* connections follow the new split —
+existing connections keep flowing to their old DIPs (connection affinity).
+A latency measurement taken too early therefore reflects a blend of the old
+and new weights.  KnapsackLB waits for a *drain time* between programming a
+weight for measurement and reading the latency.
+
+Because KnapsackLB cannot see the MUXes or DIPs, it estimates the drain time
+behaviourally: push a DIP's weight high enough that its latency rises (time
+``T1``), set the weight to 0 so no new connections arrive, and measure how
+long the latency takes to return to the idle level ``l0`` (time ``T2``);
+drain time = ``T2 − T1``.  The estimate is refreshed every two hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+
+
+class DrainProbeTarget(Protocol):
+    """What the estimator needs from the deployment: program and probe."""
+
+    def set_dip_weight(self, dip: DipId, weight: float) -> None: ...
+
+    def advance(self, duration_s: float) -> None: ...
+
+    def probe_latency_ms(self, dip: DipId) -> float: ...
+
+
+@dataclass
+class DrainEstimate:
+    """A drain-time estimate for a DIP, with its measurement timestamp."""
+
+    dip: DipId
+    drain_time_s: float
+    measured_at: float
+
+
+@dataclass
+class DrainTimeEstimator:
+    """Runs the §4.7 procedure and caches per-DIP drain-time estimates."""
+
+    #: latency within this factor of l0 counts as "drained".
+    settle_factor: float = 1.10
+    #: polling interval while waiting for the latency to settle, seconds.
+    poll_interval_s: float = 1.0
+    #: give up after this long, seconds.
+    max_wait_s: float = 120.0
+    #: re-measurement period (the paper re-measures every 120 minutes).
+    recalibration_interval_s: float = 7200.0
+    estimates: dict[DipId, DrainEstimate] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.settle_factor <= 1.0:
+            raise ConfigurationError("settle_factor must exceed 1")
+        if self.poll_interval_s <= 0:
+            raise ConfigurationError("poll_interval_s must be positive")
+        if self.max_wait_s <= 0:
+            raise ConfigurationError("max_wait_s must be positive")
+
+    def measure(
+        self,
+        target: DrainProbeTarget,
+        dip: DipId,
+        *,
+        l0_ms: float,
+        high_weight: float,
+        now: float = 0.0,
+        load_duration_s: float = 10.0,
+    ) -> DrainEstimate:
+        """Run the high-weight / zero-weight procedure against ``target``."""
+        if l0_ms <= 0:
+            raise ConfigurationError("l0_ms must be positive")
+        if not 0 < high_weight <= 1:
+            raise ConfigurationError("high_weight must be in (0, 1]")
+
+        # Phase 1: drive latency up with a high weight.
+        target.set_dip_weight(dip, high_weight)
+        target.advance(load_duration_s)
+        t1_elapsed = load_duration_s
+
+        # Phase 2: weight 0 — no new connections — and wait for l0.
+        target.set_dip_weight(dip, 0.0)
+        waited = 0.0
+        while waited < self.max_wait_s:
+            target.advance(self.poll_interval_s)
+            waited += self.poll_interval_s
+            latency = target.probe_latency_ms(dip)
+            if latency <= l0_ms * self.settle_factor:
+                break
+
+        estimate = DrainEstimate(
+            dip=dip, drain_time_s=waited, measured_at=now + t1_elapsed + waited
+        )
+        self.estimates[dip] = estimate
+        return estimate
+
+    def drain_time_s(self, dip: DipId, *, default: float = 10.0) -> float:
+        """The cached drain time for ``dip`` (or ``default`` if unmeasured)."""
+        estimate = self.estimates.get(dip)
+        return estimate.drain_time_s if estimate else default
+
+    def needs_recalibration(self, dip: DipId, *, now: float) -> bool:
+        estimate = self.estimates.get(dip)
+        if estimate is None:
+            return True
+        return (now - estimate.measured_at) >= self.recalibration_interval_s
+
+
+def analytic_drain_time_s(
+    capacity_rps: float, *, in_flight: float, safety_factor: float = 2.0
+) -> float:
+    """A closed-form drain-time estimate used by the fluid simulator.
+
+    Draining ``in_flight`` outstanding requests at ``capacity_rps`` takes
+    ``in_flight / capacity_rps`` seconds; the safety factor accounts for the
+    tail of long connections.
+    """
+    if capacity_rps <= 0:
+        raise ConfigurationError("capacity_rps must be positive")
+    if in_flight < 0:
+        raise ConfigurationError("in_flight must be >= 0")
+    return safety_factor * in_flight / capacity_rps

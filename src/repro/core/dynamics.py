@@ -1,0 +1,202 @@
+"""Detecting and reacting to service dynamics (§4.5).
+
+Three kinds of drift can make a learned weight-latency curve stale:
+
+* **Traffic change** — the aggregate load at the LB changed, so the same
+  weight now maps to a different per-DIP request rate; detected when most
+  DIPs see a latency shift in the same direction while weights are
+  unchanged.  Reaction: rescale every DIP's curve along the weight axis.
+* **Capacity change** — one DIP's capacity changed (noisy neighbours,
+  vCPU reassignment); detected when that DIP's observed latency deviates
+  from the curve's estimate by more than ±20 %.  Reaction: rescale that
+  DIP's curve.
+* **Failure** — KLM probes to a DIP repeatedly fail.  Reaction: drop the
+  DIP and re-run the ILP without it.
+
+This module also implements the refresh-budget rule: at most 5 % of total
+capacity may be under curve refresh at any time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.config import DynamicsConfig
+from repro.core.curve import WeightLatencyCurve
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+
+
+class DynamicsEventKind(enum.Enum):
+    TRAFFIC_INCREASE = "traffic_increase"
+    TRAFFIC_DECREASE = "traffic_decrease"
+    CAPACITY_CHANGE = "capacity_change"
+    DIP_FAILURE = "dip_failure"
+
+
+@dataclass(frozen=True)
+class DynamicsEvent:
+    """One detected change, with enough context to react."""
+
+    kind: DynamicsEventKind
+    dips: tuple[DipId, ...]
+    #: mean relative latency deviation of the affected DIPs (signed).
+    magnitude: float
+    time: float = 0.0
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One steady-state latency observation for a DIP at its current weight."""
+
+    dip: DipId
+    weight: float
+    observed_latency_ms: float
+
+
+def relative_deviation(observed: float, estimated: float) -> float:
+    """Signed relative deviation of an observation from the curve estimate."""
+    if estimated <= 0:
+        raise ConfigurationError("estimated latency must be positive")
+    return (observed - estimated) / estimated
+
+
+class DynamicsDetector:
+    """Classifies latency deviations into traffic/capacity change events."""
+
+    def __init__(self, config: DynamicsConfig | None = None) -> None:
+        self.config = config or DynamicsConfig()
+
+    def detect(
+        self,
+        observations: Sequence[Observation],
+        curves: Mapping[DipId, WeightLatencyCurve],
+        *,
+        now: float = 0.0,
+    ) -> list[DynamicsEvent]:
+        """Compare observations against curve estimates and classify drift.
+
+        A traffic change is reported when at least ``traffic_change_quorum``
+        of the observed DIPs deviate beyond the threshold *in the same
+        direction*; otherwise each deviating DIP is reported as a capacity
+        change.
+        """
+        deviations: dict[DipId, float] = {}
+        for obs in observations:
+            curve = curves.get(obs.dip)
+            if curve is None:
+                continue
+            estimate = curve.predict(obs.weight)
+            deviations[obs.dip] = relative_deviation(obs.observed_latency_ms, estimate)
+
+        if not deviations:
+            return []
+
+        threshold = self.config.capacity_change_threshold
+        increased = [d for d, dev in deviations.items() if dev > threshold]
+        decreased = [d for d, dev in deviations.items() if dev < -threshold]
+        total = len(deviations)
+
+        events: list[DynamicsEvent] = []
+        quorum = self.config.traffic_change_quorum
+
+        if total > 0 and len(increased) / total >= quorum:
+            magnitude = sum(deviations[d] for d in increased) / len(increased)
+            events.append(
+                DynamicsEvent(
+                    kind=DynamicsEventKind.TRAFFIC_INCREASE,
+                    dips=tuple(sorted(increased)),
+                    magnitude=magnitude,
+                    time=now,
+                )
+            )
+            return events
+        if total > 0 and len(decreased) / total >= quorum:
+            magnitude = sum(deviations[d] for d in decreased) / len(decreased)
+            events.append(
+                DynamicsEvent(
+                    kind=DynamicsEventKind.TRAFFIC_DECREASE,
+                    dips=tuple(sorted(decreased)),
+                    magnitude=magnitude,
+                    time=now,
+                )
+            )
+            return events
+
+        for dip in sorted(increased + decreased):
+            events.append(
+                DynamicsEvent(
+                    kind=DynamicsEventKind.CAPACITY_CHANGE,
+                    dips=(dip,),
+                    magnitude=deviations[dip],
+                    time=now,
+                )
+            )
+        return events
+
+
+def rescale_curve_for_observation(
+    curve: WeightLatencyCurve, observation: Observation
+) -> WeightLatencyCurve:
+    """Apply the §4.5 curve shift so it matches the observed latency."""
+    return curve.rescale_for_latency_shift(
+        observation.weight, observation.observed_latency_ms
+    )
+
+
+def rescale_all_curves(
+    curves: Mapping[DipId, WeightLatencyCurve],
+    observations: Sequence[Observation],
+) -> dict[DipId, WeightLatencyCurve]:
+    """Shift every observed DIP's curve (used on traffic-change events)."""
+    by_dip = {obs.dip: obs for obs in observations}
+    updated: dict[DipId, WeightLatencyCurve] = dict(curves)
+    for dip, obs in by_dip.items():
+        if dip in updated:
+            updated[dip] = rescale_curve_for_observation(updated[dip], obs)
+    return updated
+
+
+@dataclass
+class RefreshBudget:
+    """Tracks how much capacity is currently under curve refresh (§4.5).
+
+    At most ``max_refresh_fraction`` of the VIP's total capacity may be in
+    refresh at any time; the budget is expressed in capacity units
+    (requests/second) so large DIPs consume more of it.
+    """
+
+    total_capacity: float
+    max_refresh_fraction: float = 0.05
+    in_refresh: dict[DipId, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_capacity <= 0:
+            raise ConfigurationError("total_capacity must be positive")
+        if not 0 < self.max_refresh_fraction <= 1:
+            raise ConfigurationError("max_refresh_fraction must be in (0, 1]")
+
+    @property
+    def budget(self) -> float:
+        return self.total_capacity * self.max_refresh_fraction
+
+    @property
+    def used(self) -> float:
+        return sum(self.in_refresh.values())
+
+    def can_start(self, dip: DipId, capacity: float) -> bool:
+        if dip in self.in_refresh:
+            return True
+        return self.used + capacity <= self.budget + 1e-9
+
+    def start(self, dip: DipId, capacity: float) -> None:
+        if not self.can_start(dip, capacity):
+            raise ConfigurationError(
+                f"refresh budget exceeded: {self.used + capacity:.1f} > {self.budget:.1f}"
+            )
+        self.in_refresh[dip] = capacity
+
+    def finish(self, dip: DipId) -> None:
+        self.in_refresh.pop(dip, None)

@@ -1,0 +1,167 @@
+"""Adaptive weight exploration — Algorithm 1 (§4.3).
+
+The measurement phase must find, with as few latency measurements as
+possible, (a) enough (weight, latency) points to fit a good curve and (b) a
+rough estimate of the DIP's capacity expressed as a weight (``w_max``).
+
+The algorithm is inspired by TCP congestion control and alternates between
+two modes:
+
+* **run** — no packet drop was observed (and the latency is below the
+  drop-equivalent threshold of ``5 × l0``): increase the weight
+  multiplicatively, pacing the increase by ``l0 / l_w`` so the steps shrink
+  as the DIP approaches capacity;
+* **backtrack** — a drop (or drop-equivalent latency) was observed: move
+  back to the midpoint of the current and previous weights.
+
+Exploration finishes when the step between consecutive weights falls below
+``D = 5 %`` of the current weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ExplorationConfig
+from repro.core.types import DipId, MeasurementPoint
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExplorationStep:
+    """The outcome of one iteration of Algorithm 1 for one DIP."""
+
+    dip: DipId
+    iteration: int
+    next_weight: float
+    w_max: float
+    is_exploration_done: bool
+    mode: str  # "run", "backtrack" or "done"
+
+
+@dataclass
+class ExplorationState:
+    """Per-DIP state of the measurement phase.
+
+    The caller drives the loop:
+
+    1. ``propose()`` returns the next weight to measure;
+    2. the weight is scheduled/programmed and the latency measured;
+    3. ``observe(weight, latency_ms, dropped)`` records the measurement and
+       computes the following weight per Algorithm 1.
+    """
+
+    dip: DipId
+    l0_ms: float
+    initial_weight: float
+    config: ExplorationConfig = field(default_factory=ExplorationConfig)
+
+    w_prev: float = 0.0
+    w_now: float = 0.0
+    w_max: float = 0.0
+    next_weight: float = 0.0
+    iteration: int = 0
+    done: bool = False
+    points: list[MeasurementPoint] = field(default_factory=list)
+    history: list[ExplorationStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.l0_ms <= 0:
+            raise ConfigurationError("l0_ms must be positive")
+        if self.initial_weight <= 0:
+            raise ConfigurationError("initial_weight must be positive")
+        self.next_weight = self.initial_weight
+        # The idle measurement (weight 0) is part of the curve's points.
+        self.points.append(MeasurementPoint(weight=0.0, latency_ms=self.l0_ms))
+
+    # -- the driver-facing API ---------------------------------------------------
+
+    def propose(self) -> float:
+        """The weight whose latency should be measured next."""
+        return self.next_weight
+
+    def observe(self, weight: float, latency_ms: float, *, dropped: bool = False) -> ExplorationStep:
+        """Record a measurement at ``weight`` and advance Algorithm 1."""
+        if self.done:
+            raise ConfigurationError(f"exploration for {self.dip} already finished")
+        if weight <= 0:
+            raise ConfigurationError("measured weight must be positive")
+        if latency_ms <= 0:
+            raise ConfigurationError("latency_ms must be positive")
+
+        self.iteration += 1
+        self.w_prev = self.w_now
+        self.w_now = float(weight)
+
+        # A latency of 5× l0 (or worse) is treated as a packet drop *for the
+        # control decision* (run vs backtrack), per the paper's observation
+        # that latencies reach that level when CPU ≈ 100 %.  Only real packet
+        # drops exclude a point from the regression (§6.1).
+        drop_signal = dropped or (
+            latency_ms >= self.config.drop_latency_multiplier * self.l0_ms
+        )
+        self.points.append(
+            MeasurementPoint(weight=weight, latency_ms=latency_ms, dropped=dropped)
+        )
+
+        # Line 1-2: convergence check on the step size.
+        step = abs(self.w_now - self.w_prev)
+        if self.w_prev > 0 and step <= self.config.convergence_fraction * self.w_now:
+            self.done = True
+            result = ExplorationStep(
+                dip=self.dip,
+                iteration=self.iteration,
+                next_weight=self.w_now,
+                w_max=self.w_max,
+                is_exploration_done=True,
+                mode="done",
+            )
+            self.history.append(result)
+            return result
+
+        if not drop_signal:
+            # Run phase (lines 4-6).
+            self.w_max = max(self.w_max, self.w_now)
+            increase = self.w_now * self.config.alpha * (self.l0_ms / latency_ms)
+            proposed = self.w_now + increase
+            mode = "run"
+        else:
+            # Backtrack phase (lines 7-8).
+            proposed = (self.w_now + self.w_prev) / 2.0
+            mode = "backtrack"
+
+        proposed = min(max(proposed, self.config.min_weight), 1.0)
+        self.next_weight = proposed
+
+        if self.iteration >= self.config.max_iterations:
+            self.done = True
+            mode = "done"
+
+        result = ExplorationStep(
+            dip=self.dip,
+            iteration=self.iteration,
+            next_weight=self.next_weight,
+            w_max=self.w_max,
+            is_exploration_done=self.done,
+            mode=mode,
+        )
+        self.history.append(result)
+        return result
+
+    # -- results -------------------------------------------------------------------
+
+    def usable_points(self) -> list[MeasurementPoint]:
+        """Points without drops, i.e. the regression inputs (§6.1)."""
+        return [p for p in self.points if not p.dropped]
+
+    @property
+    def measurements(self) -> int:
+        """Latency measurements taken so far (excluding the idle point)."""
+        return len(self.points) - 1
+
+    def effective_w_max(self) -> float:
+        """w_max, falling back to the largest non-dropped weight measured."""
+        if self.w_max > 0:
+            return self.w_max
+        usable = self.usable_points()
+        return max((p.weight for p in usable), default=0.0)

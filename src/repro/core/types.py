@@ -1,0 +1,161 @@
+"""Core value types shared across the KnapsackLB reproduction.
+
+The paper's terminology is kept throughout the code base:
+
+* **DIP** — a backend server instance ("direct IP"); identified by a string id.
+* **VIP** — a virtual IP exposed by the load balancer; one VIP fronts a pool
+  of DIPs and is load balanced independently of other VIPs.
+* **weight** — the fraction of a VIP's traffic directed at a DIP, in [0, 1];
+  weights across the DIPs of a VIP sum to 1.
+* **weight-latency curve** — for a DIP, the mapping from weight to the mean
+  request-response latency observed when that weight is applied.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+DipId = str
+VipId = str
+
+#: Tolerance used when checking that weights sum to one.
+WEIGHT_SUM_TOLERANCE = 1e-6
+
+
+def validate_weight(weight: float, *, name: str = "weight") -> float:
+    """Validate that ``weight`` lies in [0, 1] and return it as a float."""
+    value = float(weight)
+    if math.isnan(value) or value < 0.0 or value > 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {weight!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """A single averaged latency measurement reported by a KLM.
+
+    Mirrors the ``<DIP, latency, time>`` tuples stored in the latency store
+    (§5).  ``latency_ms`` is the average over the KLM's probe batch;
+    ``dropped`` records whether probe requests were dropped/failed, which the
+    exploration algorithm uses as a capacity signal (Algorithm 1).
+    """
+
+    dip: DipId
+    latency_ms: float
+    timestamp: float
+    weight: float = 0.0
+    dropped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ConfigurationError(
+                f"latency_ms must be non-negative, got {self.latency_ms}"
+            )
+        validate_weight(self.weight)
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """A (weight, latency) observation used to fit a weight-latency curve."""
+
+    weight: float
+    latency_ms: float
+    dropped: bool = False
+
+    def __post_init__(self) -> None:
+        validate_weight(self.weight)
+        if self.latency_ms < 0:
+            raise ConfigurationError(
+                f"latency_ms must be non-negative, got {self.latency_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class WeightAssignment:
+    """The weights chosen for every DIP of one VIP.
+
+    Produced by the ILP (§3.3) and programmed into the LB dataplane.
+    """
+
+    vip: VipId
+    weights: Mapping[DipId, float]
+    objective_ms: float | None = None
+    solve_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for dip, weight in self.weights.items():
+            validate_weight(weight, name=f"weight for {dip}")
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights.values()))
+
+    def is_normalized(self, *, tolerance: float = 1e-3) -> bool:
+        """Whether the weights sum to 1 within ``tolerance``."""
+        return abs(self.total_weight - 1.0) <= tolerance
+
+    def weight_for(self, dip: DipId) -> float:
+        return float(self.weights.get(dip, 0.0))
+
+    def normalized(self) -> "WeightAssignment":
+        """Return a copy whose weights are rescaled to sum to exactly 1."""
+        total = self.total_weight
+        if total <= 0:
+            raise ConfigurationError("cannot normalize an all-zero assignment")
+        scaled = {dip: weight / total for dip, weight in self.weights.items()}
+        return WeightAssignment(
+            vip=self.vip,
+            weights=scaled,
+            objective_ms=self.objective_ms,
+            solve_time_s=self.solve_time_s,
+        )
+
+    def imbalance(self) -> float:
+        """``ymax - ymin`` across DIPs, the quantity bounded by θ (Fig. 7c)."""
+        if not self.weights:
+            return 0.0
+        values = list(self.weights.values())
+        return max(values) - min(values)
+
+
+@dataclass
+class DipRecord:
+    """Mutable bookkeeping the controller keeps per DIP."""
+
+    dip: DipId
+    vip: VipId
+    #: latest weight programmed on the dataplane for this DIP.
+    current_weight: float = 0.0
+    #: maximum weight observed without packet drop (w_max in Algorithm 1).
+    w_max: float = 0.0
+    #: whether exploration finished and the DIP is ready for the ILP.
+    exploration_done: bool = False
+    #: whether the DIP is currently considered failed (§4.5).
+    failed: bool = False
+    #: measurement points collected so far.
+    points: list[MeasurementPoint] = field(default_factory=list)
+
+    def usable_points(self) -> list[MeasurementPoint]:
+        """Points without packet drop — the only ones used for regression."""
+        return [p for p in self.points if not p.dropped]
+
+
+def normalize_weights(weights: Mapping[DipId, float]) -> dict[DipId, float]:
+    """Rescale ``weights`` so they sum to 1 (raises if the sum is zero)."""
+    total = float(sum(weights.values()))
+    if total <= 0:
+        raise ConfigurationError("cannot normalize weights that sum to zero")
+    return {dip: float(w) / total for dip, w in weights.items()}
+
+
+def equal_weights(dips: Iterable[DipId]) -> dict[DipId, float]:
+    """An equal split across ``dips`` (the starting point of exploration)."""
+    dip_list = list(dips)
+    if not dip_list:
+        return {}
+    share = 1.0 / len(dip_list)
+    return {dip: share for dip in dip_list}

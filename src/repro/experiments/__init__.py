@@ -1,0 +1,47 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver builds its workload from :mod:`repro.workloads`, runs the
+relevant substrate (fluid or request-level simulator, solver benchmarks,
+controller runs) and returns a structured result object that the benchmark
+harness under ``benchmarks/`` renders as the same rows/series the paper
+reports.  See DESIGN.md §4 for the experiment ↔ module ↔ bench index.
+"""
+
+from repro.experiments.motivation import (
+    run_azure_hash_imbalance,
+    run_heterogeneous_pair,
+    run_policy_capacity_sweep,
+)
+from repro.experiments.weight_latency import run_weight_sweep
+from repro.experiments.ilp_scale import (
+    run_ilp_grid,
+    run_ilp_scaling,
+    run_multistep_accuracy,
+)
+from repro.experiments.klb_testbed import (
+    run_exploration_study,
+    run_policy_comparison,
+    run_weighted_policy_comparison,
+)
+from repro.experiments.three_dip import run_three_dip_comparison
+from repro.experiments.dynamics import run_dynamics_study
+from repro.experiments.other_lbs import run_agent_baseline, run_other_lb_weights
+from repro.experiments.overheads import run_overhead_model
+
+__all__ = [
+    "run_azure_hash_imbalance",
+    "run_heterogeneous_pair",
+    "run_policy_capacity_sweep",
+    "run_weight_sweep",
+    "run_ilp_grid",
+    "run_ilp_scaling",
+    "run_multistep_accuracy",
+    "run_exploration_study",
+    "run_policy_comparison",
+    "run_weighted_policy_comparison",
+    "run_three_dip_comparison",
+    "run_dynamics_study",
+    "run_agent_baseline",
+    "run_other_lb_weights",
+    "run_overhead_model",
+]

@@ -1,0 +1,158 @@
+"""Motivation experiments (§2.1, §2.2): Figs. 3-4, Table 1 and the DS/F pair.
+
+These reproduce the paper's observation that RR, least-connection and 5-tuple
+hashing do not adapt when DIP capacities differ or change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import DipId
+from repro.lb import FiveTupleHash, LeastConnection, MuxPool, RoundRobin
+from repro.sim import RequestCluster
+from repro.workloads import build_heterogeneous_pair, build_three_dip_pool
+
+#: Capacity ratios swept in Figs. 3 and 4.
+CAPACITY_RATIOS = (1.0, 0.9, 0.75, 0.6)
+
+
+@dataclass(frozen=True)
+class PolicyCapacityPoint:
+    """One (policy, capacity-ratio) cell of Fig. 3 / Fig. 4."""
+
+    policy: str
+    capacity_ratio: float
+    cpu_utilization: dict[DipId, float]
+    mean_latency_ms: dict[DipId, float]
+    overall_latency_ms: float
+
+
+def _policy_factory(policy: str, dips, num_muxes: int, seed: int):
+    if policy == "rr":
+        return RoundRobin(list(dips))
+    if policy == "lc":
+        if num_muxes > 1:
+            return MuxPool(lambda: LeastConnection(list(dips)), num_muxes=num_muxes)
+        return LeastConnection(list(dips))
+    if policy == "hash":
+        return FiveTupleHash(list(dips))
+    raise ValueError(f"unsupported motivation policy {policy!r}")
+
+
+def run_policy_capacity_sweep(
+    policy: str,
+    *,
+    ratios: tuple[float, ...] = CAPACITY_RATIOS,
+    load_fraction: float = 0.80,
+    requests: int = 5000,
+    num_muxes: int = 4,
+    seed: int = 17,
+) -> list[PolicyCapacityPoint]:
+    """Figs. 3 and 4: RR / LCA on the 3-DIP pool as DIP-LC's capacity shrinks.
+
+    The load is held constant at ``load_fraction`` of the pool's *original*
+    capacity while DIP-LC's capacity drops, as in the paper (the LB keeps
+    splitting traffic the same way).
+    """
+    results: list[PolicyCapacityPoint] = []
+    base_pool = build_three_dip_pool(capacity_ratio=1.0, cores=2, seed=seed)
+    base_capacity = sum(d.capacity_rps for d in base_pool.values())
+    rate = base_capacity * load_fraction
+
+    for ratio in ratios:
+        dips = build_three_dip_pool(capacity_ratio=ratio, cores=2, seed=seed)
+        lb = _policy_factory(policy, dips, num_muxes, seed)
+        cluster = RequestCluster(dips, lb, rate_rps=rate, seed=seed)
+        run = cluster.run(num_requests=requests, warmup_s=2.0)
+        metrics = run.metrics
+        results.append(
+            PolicyCapacityPoint(
+                policy=policy,
+                capacity_ratio=ratio,
+                cpu_utilization=metrics.utilization(),
+                mean_latency_ms={
+                    dip: metrics.mean_latency_ms(dips=[dip]) for dip in dips
+                },
+                overall_latency_ms=metrics.mean_latency_ms(),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class AzureImbalanceResult:
+    """Table 1: CPU utilization and latency under 5-tuple hashing."""
+
+    cpu_utilization: dict[DipId, float]
+    mean_latency_ms: dict[DipId, float]
+    latency_gap_percent: float
+
+
+def run_azure_hash_imbalance(
+    *,
+    capacity_ratio: float = 0.6,
+    load_fraction: float = 0.80,
+    requests: int = 6000,
+    seed: int = 23,
+) -> AzureImbalanceResult:
+    """Table 1: Azure L4 LB (hash) on the 3-DIP pool with DIP-LC at 60 %."""
+    dips = build_three_dip_pool(capacity_ratio=1.0, cores=2, seed=seed)
+    rate = sum(d.capacity_rps for d in dips.values()) * load_fraction
+    dips["DIP-LC"].set_capacity_ratio(capacity_ratio)
+
+    cluster = RequestCluster(dips, FiveTupleHash(list(dips)), rate_rps=rate, seed=seed)
+    metrics = cluster.run(num_requests=requests, warmup_s=2.0).metrics
+
+    lc_latency = metrics.mean_latency_ms(dips=["DIP-LC"])
+    hc_latency = metrics.mean_latency_ms(dips=["DIP-HC-1", "DIP-HC-2"])
+    gap = (lc_latency - hc_latency) / hc_latency * 100.0
+    return AzureImbalanceResult(
+        cpu_utilization=metrics.utilization(),
+        mean_latency_ms={dip: metrics.mean_latency_ms(dips=[dip]) for dip in dips},
+        latency_gap_percent=gap,
+    )
+
+
+@dataclass(frozen=True)
+class HeterogeneousPairResult:
+    """§2.2: equal split over one DS and one F DIP is not latency-optimal."""
+
+    equal_split_latency_ms: float
+    f_biased_latency_ms: float
+    improvement_percent: float
+    request_share_equal: dict[DipId, float]
+
+
+def run_heterogeneous_pair(
+    *,
+    load_fraction: float = 0.75,
+    requests: int = 6000,
+    seed: int = 29,
+) -> HeterogeneousPairResult:
+    """§2.2: splitting equally between a DS and an F DIP wastes the F DIP."""
+    from repro.lb import WeightedRoundRobin
+
+    dips = build_heterogeneous_pair(seed=seed)
+    rate = sum(d.capacity_rps for d in dips.values()) * load_fraction
+
+    equal = RequestCluster(
+        dips, RoundRobin(list(dips)), rate_rps=rate, seed=seed
+    ).run(num_requests=requests, warmup_s=2.0)
+
+    # Bias towards the F-series DIP in proportion to capacity.
+    fresh = build_heterogeneous_pair(seed=seed)
+    total = sum(d.capacity_rps for d in fresh.values())
+    weights = {dip: server.capacity_rps / total for dip, server in fresh.items()}
+    biased = RequestCluster(
+        fresh, WeightedRoundRobin(list(fresh), weights=weights), rate_rps=rate, seed=seed
+    ).run(num_requests=requests, warmup_s=2.0)
+
+    equal_latency = equal.metrics.mean_latency_ms()
+    biased_latency = biased.metrics.mean_latency_ms()
+    return HeterogeneousPairResult(
+        equal_split_latency_ms=equal_latency,
+        f_biased_latency_ms=biased_latency,
+        improvement_percent=(equal_latency - biased_latency) / equal_latency * 100.0,
+        request_share_equal=equal.metrics.request_share(),
+    )

@@ -1,0 +1,59 @@
+"""Layer-4 load balancer substrate.
+
+Per-connection DIP-selection policies (round robin, least connection,
+random, power-of-two, 5-tuple hash, weighted DNS), facades that mimic the
+management interfaces of HAProxy / Nginx / Azure LB / Azure Traffic Manager,
+and a MUX pool for scaled-out dataplanes.
+"""
+
+from repro.lb.base import (
+    DipView,
+    FlowKey,
+    Policy,
+    PolicyDescription,
+    make_policy,
+    policy_registry,
+    register_policy,
+)
+from repro.lb.dns_lb import DnsWeightedPolicy, WeightedDnsResolver
+from repro.lb.facades import (
+    AzureLBSim,
+    AzureTrafficManagerSim,
+    HAProxySim,
+    NginxSim,
+    WeightedLBFacade,
+)
+from repro.lb.hash_lb import FiveTupleHash, stable_hash
+from repro.lb.least_connection import LeastConnection, WeightedLeastConnection
+from repro.lb.mux import MuxPool, WeightUpdate
+from repro.lb.power_of_two import PowerOfTwo
+from repro.lb.random_lb import RandomSelect, WeightedRandom
+from repro.lb.round_robin import RoundRobin, WeightedRoundRobin
+
+__all__ = [
+    "DipView",
+    "FlowKey",
+    "Policy",
+    "PolicyDescription",
+    "make_policy",
+    "policy_registry",
+    "register_policy",
+    "DnsWeightedPolicy",
+    "WeightedDnsResolver",
+    "AzureLBSim",
+    "AzureTrafficManagerSim",
+    "HAProxySim",
+    "NginxSim",
+    "WeightedLBFacade",
+    "FiveTupleHash",
+    "stable_hash",
+    "LeastConnection",
+    "WeightedLeastConnection",
+    "MuxPool",
+    "WeightUpdate",
+    "PowerOfTwo",
+    "RandomSelect",
+    "WeightedRandom",
+    "RoundRobin",
+    "WeightedRoundRobin",
+]

@@ -1,0 +1,178 @@
+"""Base classes for layer-4 load-balancing policies.
+
+A :class:`Policy` decides which DIP receives a new connection.  Policies are
+deliberately minimal — exactly the per-connection decision a MUX makes in
+the paper's Fig. 1 — and are driven either by the request-level simulator
+(`repro.sim`) or directly by tests.
+
+Weighted policies additionally expose ``set_weights``; this is the interface
+KnapsackLB programs (§3.2 "Using weights to control traffic").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The TCP/IP 5-tuple identifying a connection (used by hash policies)."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    protocol: str = "tcp"
+
+    def as_tuple(self) -> tuple[str, int, str, int, str]:
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol)
+
+
+@dataclass
+class DipView:
+    """What a MUX can observe about a DIP when making a decision.
+
+    ``active_connections`` is maintained by the MUX itself (least-connection
+    policies); ``cpu_utilization`` is only available to policies that the
+    paper describes as using it (power-of-two in §6.2 compares CPU of two
+    sampled DIPs).
+    """
+
+    dip: DipId
+    weight: float = 1.0
+    active_connections: int = 0
+    cpu_utilization: float = 0.0
+    healthy: bool = True
+
+
+class Policy(abc.ABC):
+    """A DIP-selection policy running on a MUX."""
+
+    #: human-readable policy name used in experiment tables.
+    name: str = "policy"
+    #: whether :meth:`set_weights` has any effect.
+    supports_weights: bool = False
+
+    def __init__(self, dips: Iterable[DipId]) -> None:
+        dip_list = list(dips)
+        if not dip_list:
+            raise ConfigurationError("a policy needs at least one DIP")
+        if len(set(dip_list)) != len(dip_list):
+            raise ConfigurationError("duplicate DIP ids")
+        self._views: dict[DipId, DipView] = {
+            dip: DipView(dip=dip) for dip in dip_list
+        }
+
+    # -- DIP pool management -------------------------------------------------
+
+    @property
+    def dips(self) -> tuple[DipId, ...]:
+        return tuple(self._views)
+
+    @property
+    def healthy_dips(self) -> tuple[DipId, ...]:
+        return tuple(d for d, v in self._views.items() if v.healthy)
+
+    def view(self, dip: DipId) -> DipView:
+        return self._views[dip]
+
+    def add_dip(self, dip: DipId, *, weight: float = 1.0) -> None:
+        if dip in self._views:
+            raise ConfigurationError(f"DIP {dip!r} already present")
+        if weight < 0:
+            raise ConfigurationError(f"negative weight for {dip!r}")
+        self._views[dip] = DipView(dip=dip, weight=float(weight))
+
+    def remove_dip(self, dip: DipId) -> None:
+        self._views.pop(dip, None)
+
+    def set_healthy(self, dip: DipId, healthy: bool) -> None:
+        self._views[dip].healthy = healthy
+
+    # -- weights --------------------------------------------------------------
+
+    def set_weights(self, weights: Mapping[DipId, float]) -> None:
+        """Program per-DIP weights; ignored by unweighted policies."""
+        for dip, weight in weights.items():
+            if dip not in self._views:
+                raise ConfigurationError(f"unknown DIP {dip!r}")
+            if weight < 0:
+                raise ConfigurationError(f"negative weight for {dip!r}")
+            self._views[dip].weight = float(weight)
+        self._on_weights_changed()
+
+    def weights(self) -> dict[DipId, float]:
+        return {dip: view.weight for dip, view in self._views.items()}
+
+    def _on_weights_changed(self) -> None:
+        """Hook for policies that precompute schedules from weights."""
+
+    # -- connection lifecycle --------------------------------------------------
+
+    @abc.abstractmethod
+    def select(self, flow: FlowKey) -> DipId:
+        """Choose the DIP for a new connection."""
+
+    def on_connection_open(self, dip: DipId) -> None:
+        self._views[dip].active_connections += 1
+
+    def on_connection_close(self, dip: DipId) -> None:
+        view = self._views[dip]
+        view.active_connections = max(0, view.active_connections - 1)
+
+    def observe_utilization(self, utilization: Mapping[DipId, float]) -> None:
+        """Update CPU-utilization views (used only by CPU-aware policies)."""
+        for dip, util in utilization.items():
+            if dip in self._views:
+                self._views[dip].cpu_utilization = float(util)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _candidates(self) -> list[DipView]:
+        views = [v for v in self._views.values() if v.healthy]
+        if not views:
+            raise ConfigurationError("no healthy DIPs available")
+        return views
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(dips={len(self._views)})"
+
+
+@dataclass
+class PolicyDescription:
+    """Registry entry describing a policy implementation."""
+
+    name: str
+    factory: type
+    weighted: bool
+    summary: str = ""
+
+
+_REGISTRY: dict[str, PolicyDescription] = {}
+
+
+def register_policy(name: str, factory: type, *, weighted: bool, summary: str = "") -> None:
+    """Register a policy class under ``name`` for lookup by experiments."""
+    _REGISTRY[name] = PolicyDescription(
+        name=name, factory=factory, weighted=weighted, summary=summary
+    )
+
+
+def policy_registry() -> dict[str, PolicyDescription]:
+    return dict(_REGISTRY)
+
+
+def make_policy(name: str, dips: Sequence[DipId], **kwargs) -> Policy:
+    """Instantiate a registered policy by name."""
+    try:
+        description = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return description.factory(dips, **kwargs)

@@ -1,0 +1,51 @@
+"""Power-of-two-choices policy.
+
+The paper's "P2" baseline (§6.2) samples two DIPs uniformly at random and
+sends the connection to the one with the *lower CPU utilization*.  The
+simulator feeds utilization observations through ``observe_utilization``;
+when no utilization information is available the policy falls back to
+comparing active connection counts (the classic power-of-two variant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.types import DipId
+from repro.lb.base import FlowKey, Policy, register_policy
+
+
+class PowerOfTwo(Policy):
+    """Sample two DIPs, pick the less-loaded one."""
+
+    name = "p2"
+    supports_weights = False
+
+    def __init__(
+        self,
+        dips: Iterable[DipId],
+        *,
+        use_cpu: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(dips)
+        self._use_cpu = use_cpu
+        self._rng = np.random.default_rng(seed)
+
+    def _load(self, view) -> float:
+        if self._use_cpu and view.cpu_utilization > 0:
+            return view.cpu_utilization
+        return float(view.active_connections)
+
+    def select(self, flow: FlowKey) -> DipId:
+        candidates = self._candidates()
+        if len(candidates) == 1:
+            return candidates[0].dip
+        first, second = self._rng.choice(len(candidates), size=2, replace=False)
+        a, b = candidates[int(first)], candidates[int(second)]
+        return a.dip if self._load(a) <= self._load(b) else b.dip
+
+
+register_policy("p2", PowerOfTwo, weighted=False, summary="power of two choices")

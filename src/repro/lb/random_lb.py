@@ -1,0 +1,59 @@
+"""Random and weighted-random DIP selection."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.types import DipId
+from repro.lb.base import FlowKey, Policy, register_policy
+
+
+class RandomSelect(Policy):
+    """Select a healthy DIP uniformly at random (the paper's "RD" policy)."""
+
+    name = "random"
+    supports_weights = False
+
+    def __init__(self, dips: Iterable[DipId], *, seed: int | None = None) -> None:
+        super().__init__(dips)
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, flow: FlowKey) -> DipId:
+        candidates = self.healthy_dips
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class WeightedRandom(Policy):
+    """Select a DIP with probability proportional to its weight."""
+
+    name = "wrandom"
+    supports_weights = True
+
+    def __init__(
+        self,
+        dips: Iterable[DipId],
+        *,
+        weights: Mapping[DipId, float] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(dips)
+        self._rng = np.random.default_rng(seed)
+        if weights:
+            self.set_weights(weights)
+
+    def select(self, flow: FlowKey) -> DipId:
+        candidates = self._candidates()
+        weights = np.array([max(0.0, v.weight) for v in candidates], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(len(candidates))
+            total = float(len(candidates))
+        probabilities = weights / total
+        index = int(self._rng.choice(len(candidates), p=probabilities))
+        return candidates[index].dip
+
+
+register_policy("random", RandomSelect, weighted=False, summary="uniform random")
+register_policy("wrandom", WeightedRandom, weighted=True, summary="weighted random")

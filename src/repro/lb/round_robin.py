@@ -1,0 +1,83 @@
+"""Round-robin and weighted round-robin policies.
+
+``WeightedRoundRobin`` implements the *smooth* WRR algorithm popularised by
+Nginx: each selection advances every DIP's current score by its effective
+weight and picks the highest score, subtracting the weight total.  This
+spreads selections evenly over time rather than emitting bursts, and it
+honours fractional weights (KnapsackLB programs weights in [0, 1]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.lb.base import FlowKey, Policy, register_policy
+
+
+class RoundRobin(Policy):
+    """Plain round robin: rotate new connections across healthy DIPs."""
+
+    name = "rr"
+    supports_weights = False
+
+    def __init__(self, dips: Iterable[DipId]) -> None:
+        super().__init__(dips)
+        self._cursor = 0
+
+    def select(self, flow: FlowKey) -> DipId:
+        candidates = self.healthy_dips
+        if not candidates:
+            raise ConfigurationError("no healthy DIPs available")
+        dip = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return dip
+
+
+class WeightedRoundRobin(Policy):
+    """Smooth weighted round robin (the WRR the paper's MUXes implement)."""
+
+    name = "wrr"
+    supports_weights = True
+
+    def __init__(
+        self,
+        dips: Iterable[DipId],
+        *,
+        weights: Mapping[DipId, float] | None = None,
+    ) -> None:
+        super().__init__(dips)
+        self._current: dict[DipId, float] = {dip: 0.0 for dip in self.dips}
+        if weights:
+            self.set_weights(weights)
+
+    def _on_weights_changed(self) -> None:
+        # Reset the smooth-WRR accumulators so new weights take effect
+        # immediately for new connections (existing connections are not
+        # moved, preserving connection affinity as in the paper).
+        self._current = {dip: 0.0 for dip in self.dips}
+
+    def select(self, flow: FlowKey) -> DipId:
+        candidates = self._candidates()
+        weighted = [(v, max(0.0, v.weight)) for v in candidates]
+        total = sum(w for _, w in weighted)
+        if total <= 0:
+            # All-zero weights degrade to plain round robin over the pool.
+            weighted = [(v, 1.0) for v in candidates]
+            total = float(len(candidates))
+        best: DipId | None = None
+        best_score = float("-inf")
+        for view, weight in weighted:
+            score = self._current.setdefault(view.dip, 0.0) + weight
+            self._current[view.dip] = score
+            if score > best_score:
+                best_score = score
+                best = view.dip
+        assert best is not None
+        self._current[best] -= total
+        return best
+
+
+register_policy("rr", RoundRobin, weighted=False, summary="round robin")
+register_policy("wrr", WeightedRoundRobin, weighted=True, summary="smooth weighted round robin")

@@ -1,0 +1,12 @@
+"""KLM probing and the latency store (§3.2, §5)."""
+
+from repro.probing.klm import KLM, KLM_REQUESTS_PER_SECOND_PER_CORE, ProbeOutcome
+from repro.probing.latency_store import LatencyStore, StoreStats
+
+__all__ = [
+    "KLM",
+    "KLM_REQUESTS_PER_SECOND_PER_CORE",
+    "ProbeOutcome",
+    "LatencyStore",
+    "StoreStats",
+]

@@ -1,0 +1,123 @@
+"""KLM — KnapsackLB Latency Measurement (§3.2, §5).
+
+One KLM instance runs inside each customer VNET.  Every probe interval it
+sends a batch of application requests *directly to each DIP's IP*
+(bypassing the MUXes so MUX queueing cannot pollute the measurement),
+averages the response latency over the batch, and writes a
+``<DIP, latency, time>`` sample to the latency store.  Failed probes are
+recorded as failures so the controller can detect DIP failures (§4.5).
+
+KLM is agent-less from the DIP's perspective: it only issues ordinary
+requests against the admin-provided URL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.backends.dip import DipServer
+from repro.core.config import ProbeConfig
+from repro.core.types import DipId, LatencySample, VipId
+from repro.exceptions import DipFailureError
+from repro.probing.latency_store import LatencyStore
+
+#: Measured KLM probing throughput on a 1-core DS1v2 VM (§6.7).
+KLM_REQUESTS_PER_SECOND_PER_CORE = 4500.0
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of probing one DIP once."""
+
+    dip: DipId
+    latency_ms: float | None
+    dropped: bool
+    failed: bool
+    timestamp: float
+
+
+@dataclass
+class KLM:
+    """A per-VNET latency prober.
+
+    Parameters
+    ----------
+    vip:
+        The VIP whose DIPs this KLM measures (one VIP per VNET, §3.2).
+    dips:
+        The DIP servers, addressed directly by id (standing in for their IPs).
+    store:
+        The latency store samples are written to.
+    config:
+        Probe interval / batch size / timeout.
+    """
+
+    vip: VipId
+    dips: Mapping[DipId, DipServer]
+    store: LatencyStore
+    config: ProbeConfig = field(default_factory=ProbeConfig)
+    probe_url: str = "/"
+    #: consecutive failed probes per DIP (controller reads this for §4.5).
+    consecutive_failures: dict[DipId, int] = field(default_factory=dict)
+
+    def probe_dip(self, dip_id: DipId, *, now: float) -> ProbeOutcome:
+        """Send one probe batch to a single DIP and record the sample."""
+        server = self.dips[dip_id]
+        try:
+            result = server.serve_probe_batch(self.config.requests_per_probe)
+        except DipFailureError:
+            self.consecutive_failures[dip_id] = (
+                self.consecutive_failures.get(dip_id, 0) + 1
+            )
+            return ProbeOutcome(
+                dip=dip_id, latency_ms=None, dropped=False, failed=True, timestamp=now
+            )
+
+        self.consecutive_failures[dip_id] = 0
+        latency = result.mean_latency_ms
+        dropped = result.dropped
+        if latency == float("inf"):
+            # Every request in the batch was dropped: treat as a drop signal
+            # with no usable latency.
+            outcome = ProbeOutcome(
+                dip=dip_id, latency_ms=None, dropped=True, failed=False, timestamp=now
+            )
+            return outcome
+        sample = LatencySample(
+            dip=dip_id,
+            latency_ms=latency,
+            timestamp=now,
+            dropped=dropped,
+        )
+        self.store.write(self.vip, sample)
+        return ProbeOutcome(
+            dip=dip_id, latency_ms=latency, dropped=dropped, failed=False, timestamp=now
+        )
+
+    def probe_all(self, *, now: float) -> dict[DipId, ProbeOutcome]:
+        """Probe every DIP once (one probe round)."""
+        return {dip_id: self.probe_dip(dip_id, now=now) for dip_id in self.dips}
+
+    def failures(self, threshold: int) -> tuple[DipId, ...]:
+        """DIPs whose probes failed at least ``threshold`` consecutive times."""
+        return tuple(
+            dip
+            for dip, count in self.consecutive_failures.items()
+            if count >= threshold
+        )
+
+    # -- capacity planning (§6.7) ---------------------------------------------------
+
+    def probe_rate_rps(self) -> float:
+        """Probe requests per second this KLM issues."""
+        return len(self.dips) * self.config.requests_per_probe / self.config.interval_s
+
+    def cores_required(self) -> float:
+        """KLM cores needed to sustain the probe rate (4 500 req/s per core)."""
+        return self.probe_rate_rps() / KLM_REQUESTS_PER_SECOND_PER_CORE
+
+    def max_dips_per_core(self) -> int:
+        """How many DIPs one KLM core can probe at the configured cadence."""
+        per_dip_rate = self.config.requests_per_probe / self.config.interval_s
+        return int(KLM_REQUESTS_PER_SECOND_PER_CORE // per_dip_rate)

@@ -1,0 +1,62 @@
+"""Cluster simulation substrate.
+
+Two complementary simulators share the same DIP models:
+
+* :class:`FluidCluster` — rate-based; maps weights/policies to per-DIP
+  arrival rates and analytic latencies.  Fast enough for the KnapsackLB
+  control loop and thousand-DIP studies.
+* :class:`RequestCluster` — request-level discrete-event simulation with
+  per-connection LB decisions and M/M/c/K queueing, producing latency
+  distributions and CPU-utilization traces for the policy-comparison
+  experiments.
+"""
+
+from repro.sim.client import ClientPool, WorkloadGenerator
+from repro.sim.cluster import RequestCluster, RunResult
+from repro.sim.engine import EventHandle, EventScheduler
+from repro.sim.fluid import (
+    FluidCluster,
+    FluidClusterState,
+    equal_split,
+    least_connection_split,
+    power_of_two_split,
+    split_for_policy,
+    weighted_split,
+)
+from repro.sim.queueing import DipStation, DipQueueStats
+from repro.sim.request import Request, RequestOutcome
+from repro.sim.trace import (
+    DipSummary,
+    MetricsCollector,
+    RequestRecord,
+    fraction_of_requests_improved,
+    max_latency_gain,
+)
+from repro.sim.vip import Vip, Vnet
+
+__all__ = [
+    "ClientPool",
+    "WorkloadGenerator",
+    "RequestCluster",
+    "RunResult",
+    "EventHandle",
+    "EventScheduler",
+    "FluidCluster",
+    "FluidClusterState",
+    "equal_split",
+    "least_connection_split",
+    "power_of_two_split",
+    "split_for_policy",
+    "weighted_split",
+    "DipStation",
+    "DipQueueStats",
+    "Request",
+    "RequestOutcome",
+    "DipSummary",
+    "MetricsCollector",
+    "RequestRecord",
+    "fraction_of_requests_improved",
+    "max_latency_gain",
+    "Vip",
+    "Vnet",
+]

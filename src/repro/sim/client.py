@@ -1,0 +1,75 @@
+"""Client workload generation for the request-level simulator.
+
+Clients issue requests open-loop (Poisson arrivals) against the VIP; each
+request uses a fresh connection with a distinct ephemeral source port, as in
+the paper's testbed where clients send HTTP requests through HAProxy and
+measure end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lb.base import FlowKey
+
+
+@dataclass(frozen=True)
+class ClientPool:
+    """A set of client machines issuing requests against one VIP."""
+
+    num_clients: int = 8
+    vip_address: str = "10.0.0.1"
+    vip_port: int = 80
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ConfigurationError("num_clients must be >= 1")
+
+
+class WorkloadGenerator:
+    """Open-loop Poisson request generator."""
+
+    def __init__(
+        self,
+        rate_rps: float,
+        *,
+        clients: ClientPool | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        self.rate_rps = float(rate_rps)
+        self.clients = clients or ClientPool()
+        self._rng = np.random.default_rng(seed)
+        self._next_port = 1024
+        self._request_counter = 0
+
+    def set_rate(self, rate_rps: float) -> None:
+        if rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        self.rate_rps = float(rate_rps)
+
+    def next_interarrival_s(self) -> float:
+        """Time until the next request arrival."""
+        return float(self._rng.exponential(1.0 / self.rate_rps))
+
+    def next_flow(self) -> FlowKey:
+        """A fresh connection 5-tuple for the next request."""
+        self._request_counter += 1
+        client_index = int(self._rng.integers(self.clients.num_clients))
+        self._next_port += 1
+        if self._next_port > 65000:
+            self._next_port = 1024
+        return FlowKey(
+            src_ip=f"10.1.0.{client_index + 1}",
+            src_port=self._next_port,
+            dst_ip=self.clients.vip_address,
+            dst_port=self.clients.vip_port,
+        )
+
+    @property
+    def requests_generated(self) -> int:
+        return self._request_counter

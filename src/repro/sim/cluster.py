@@ -1,0 +1,228 @@
+"""Request-level cluster simulator.
+
+Couples a workload generator, an LB policy (or MUX pool) and per-DIP
+queueing stations into the end-to-end system of Fig. 1/Fig. 2: clients send
+requests to the VIP, a MUX picks the DIP for each new connection, the DIP
+serves the request through an M/M/c/K queue, and the client-observed latency
+is recorded.  This is the substrate behind the policy-comparison experiments
+(Figs. 3, 4, 12, 13, 14 and Tables 1, 4, 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.backends.dip import DipServer
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.lb.base import Policy
+from repro.lb.dns_lb import DnsWeightedPolicy
+from repro.lb.mux import MuxPool
+from repro.sim.client import ClientPool, WorkloadGenerator
+from repro.sim.engine import EventScheduler
+from repro.sim.queueing import DipStation
+from repro.sim.request import Request, RequestOutcome
+from repro.sim.trace import MetricsCollector
+
+
+@dataclass
+class RunResult:
+    """Outcome of one request-level simulation run."""
+
+    metrics: MetricsCollector
+    duration_s: float
+    requests_submitted: int
+    requests_completed: int
+    requests_dropped: int
+
+    @property
+    def drop_fraction(self) -> float:
+        if self.requests_submitted == 0:
+            return 0.0
+        return self.requests_dropped / self.requests_submitted
+
+
+class RequestCluster:
+    """A VIP, its DIP pool, one LB policy and an open-loop client workload."""
+
+    def __init__(
+        self,
+        dips: Mapping[DipId, DipServer],
+        policy: Policy | MuxPool,
+        *,
+        rate_rps: float,
+        seed: int | None = None,
+        queue_capacity: int = 256,
+        utilization_observation_interval_s: float = 0.25,
+        clients: ClientPool | None = None,
+    ) -> None:
+        if not dips:
+            raise ConfigurationError("cluster needs at least one DIP")
+        self.dips = dict(dips)
+        self.policy = policy
+        self.scheduler = EventScheduler()
+        self.workload = WorkloadGenerator(rate_rps, clients=clients, seed=seed)
+        self.metrics = MetricsCollector()
+        self._stations: dict[DipId, DipStation] = {
+            dip_id: DipStation(
+                server,
+                self.scheduler,
+                queue_capacity=queue_capacity,
+                seed=None if seed is None else seed + index + 1,
+            )
+            for index, (dip_id, server) in enumerate(self.dips.items())
+        }
+        self._observation_interval = utilization_observation_interval_s
+        self._submitted = 0
+        self._completed = 0
+        self._dropped = 0
+
+    # -- weight programming (the KnapsackLB-facing interface) --------------------
+
+    def set_weights(self, weights: Mapping[DipId, float]) -> None:
+        if isinstance(self.policy, MuxPool):
+            self.policy.program_weights(weights, at_time=self.scheduler.now)
+        else:
+            self.policy.set_weights(weights)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _observe_utilization(self) -> None:
+        """Feed instantaneous per-DIP utilization to CPU-aware policies."""
+        snapshot = {
+            dip_id: min(1.0, station.active_requests / station.workers)
+            for dip_id, station in self._stations.items()
+        }
+        if isinstance(self.policy, MuxPool):
+            self.policy.observe_utilization(snapshot)
+        else:
+            self.policy.observe_utilization(snapshot)
+
+    def _submit_one(self) -> None:
+        flow = self.workload.next_flow()
+        if isinstance(self.policy, DnsWeightedPolicy):
+            self.policy.advance_time(self.scheduler.now)
+        dip_id = self.policy.select(flow)
+        request = Request(
+            request_id=self.workload.requests_generated,
+            flow=flow,
+            arrival_time=self.scheduler.now,
+            dip=dip_id,
+        )
+        self._submitted += 1
+        if isinstance(self.policy, MuxPool):
+            self.policy.on_connection_open(flow, dip_id)
+        else:
+            self.policy.on_connection_open(dip_id)
+
+        def on_complete(req: Request) -> None:
+            if isinstance(self.policy, MuxPool):
+                self.policy.on_connection_close(flow, dip_id)
+            else:
+                self.policy.on_connection_close(dip_id)
+            completed = req.outcome is RequestOutcome.COMPLETED
+            if completed:
+                self._completed += 1
+            else:
+                self._dropped += 1
+            self.metrics.record_request(
+                dip_id,
+                req.latency_ms,
+                completed=completed,
+                timestamp=self.scheduler.now,
+            )
+
+        self._stations[dip_id].submit(request, on_complete)
+
+    # -- driving the simulation -------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        num_requests: int | None = None,
+        duration_s: float | None = None,
+        warmup_s: float = 0.0,
+    ) -> RunResult:
+        """Run the simulation for a request budget or a duration.
+
+        ``warmup_s`` of simulated time is executed before measurement starts
+        so queues reach steady state; warmup requests are not recorded.
+        """
+        if (num_requests is None) == (duration_s is None):
+            raise ConfigurationError("specify exactly one of num_requests / duration_s")
+
+        if duration_s is None:
+            assert num_requests is not None
+            duration_s = num_requests / self.workload.rate_rps
+        total_duration = warmup_s + duration_s
+
+        # Pre-schedule Poisson arrivals across the whole run.
+        arrival_time = 0.0
+        start_measuring_at = warmup_s
+        scheduled = 0
+        while arrival_time < total_duration:
+            arrival_time += self.workload.next_interarrival_s()
+            if arrival_time >= total_duration:
+                break
+            if arrival_time < start_measuring_at:
+                self.scheduler.schedule_at(arrival_time, self._warmup_request)
+            else:
+                self.scheduler.schedule_at(arrival_time, self._submit_one)
+            scheduled += 1
+
+        # Periodic utilization observations for CPU-aware policies.
+        observation_time = self._observation_interval
+        while observation_time < total_duration:
+            self.scheduler.schedule_at(observation_time, self._observe_utilization)
+            observation_time += self._observation_interval
+
+        # Run past the end so in-flight requests complete.
+        self.scheduler.run_until(total_duration + 30.0)
+
+        measured_duration = duration_s
+        for dip_id, station in self._stations.items():
+            self.metrics.record_utilization(
+                {dip_id: station.mean_utilization(total_duration)}
+            )
+
+        return RunResult(
+            metrics=self.metrics,
+            duration_s=measured_duration,
+            requests_submitted=self._submitted,
+            requests_completed=self._completed,
+            requests_dropped=self._dropped,
+        )
+
+    def _warmup_request(self) -> None:
+        """A request issued during warm-up: routed and served but not recorded."""
+        flow = self.workload.next_flow()
+        if isinstance(self.policy, DnsWeightedPolicy):
+            self.policy.advance_time(self.scheduler.now)
+        dip_id = self.policy.select(flow)
+        request = Request(
+            request_id=self.workload.requests_generated,
+            flow=flow,
+            arrival_time=self.scheduler.now,
+            dip=dip_id,
+        )
+        if isinstance(self.policy, MuxPool):
+            self.policy.on_connection_open(flow, dip_id)
+        else:
+            self.policy.on_connection_open(dip_id)
+
+        def on_complete(req: Request) -> None:
+            if isinstance(self.policy, MuxPool):
+                self.policy.on_connection_close(flow, dip_id)
+            else:
+                self.policy.on_connection_close(dip_id)
+
+        self._stations[dip_id].submit(request, on_complete)
+
+    # -- observation -------------------------------------------------------------------
+
+    def station(self, dip_id: DipId) -> DipStation:
+        return self._stations[dip_id]
+
+    def request_share(self) -> dict[DipId, float]:
+        return self.metrics.request_share()

@@ -1,0 +1,116 @@
+"""A small discrete-event simulation engine.
+
+The request-level cluster simulator is built on this engine: events are
+callbacks scheduled at simulated timestamps, executed in time order (ties
+broken by insertion order so runs are deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancelling."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventScheduler:
+    """A deterministic event loop over simulated time."""
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def run_until(self, end_time: float, *, max_events: int | None = None) -> int:
+        """Run events with timestamps <= ``end_time``; returns events executed."""
+        executed = 0
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now - 1e-12:
+                raise SimulationError("event time went backwards")
+            self._now = max(self._now, event.time)
+            event.callback()
+            executed += 1
+            self._processed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run_all(self, *, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+            executed += 1
+            self._processed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"run_all exceeded {max_events} events; runaway simulation?"
+                )
+        return executed

@@ -1,0 +1,276 @@
+"""Fluid (rate-based) cluster model.
+
+The fluid model maps an aggregate VIP request rate and an LB policy to
+per-DIP arrival rates, then uses each DIP's analytic latency model to derive
+utilization and mean latency.  It is the fast substrate the KnapsackLB
+controller runs against for exploration, dynamics and large-scale (Table 6,
+Table 8) studies; the request-level simulator in :mod:`repro.sim.cluster`
+cross-checks the resulting latency distributions.
+
+Fluid interpretations of the policies:
+
+* round robin, 5-tuple hash, uniform random — equal split of the arrival rate;
+* weighted round robin / weighted random / DNS — split proportional to weight;
+* least connection — the split that equalises the number of in-flight
+  connections across DIPs (``λ_d · T_d(λ_d)`` equal for all d), obtained by
+  fixed-point iteration; this is exactly why LCA still overloads slow DIPs
+  (§2.1): equal *concurrency* is not equal *utilization*;
+* weighted least connection — equalises in-flight connections divided by
+  weight;
+* power of two — fixed-point of the pairwise-comparison selection
+  probabilities using CPU utilization as the load signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.backends.dip import DipServer
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+
+EQUAL_SPLIT_POLICIES = {"rr", "hash", "random"}
+WEIGHTED_SPLIT_POLICIES = {"wrr", "wrandom", "dns"}
+CONCURRENCY_POLICIES = {"lc", "wlc"}
+
+
+def equal_split(dips: Sequence[DipId], total_rate_rps: float) -> dict[DipId, float]:
+    """Equal division of the arrival rate across DIPs."""
+    if not dips:
+        return {}
+    share = total_rate_rps / len(dips)
+    return {dip: share for dip in dips}
+
+
+def weighted_split(
+    weights: Mapping[DipId, float], total_rate_rps: float
+) -> dict[DipId, float]:
+    """Division proportional to (non-negative) weights."""
+    positive = {dip: max(0.0, w) for dip, w in weights.items()}
+    total = sum(positive.values())
+    if total <= 0:
+        return equal_split(list(weights), total_rate_rps)
+    return {dip: total_rate_rps * w / total for dip, w in positive.items()}
+
+
+def least_connection_split(
+    dips: Mapping[DipId, DipServer],
+    total_rate_rps: float,
+    *,
+    weights: Mapping[DipId, float] | None = None,
+    iterations: int = 200,
+    damping: float = 0.5,
+) -> dict[DipId, float]:
+    """The fluid equilibrium of (weighted) least-connection selection.
+
+    At equilibrium the number of concurrent connections per unit weight is
+    equal across DIPs: ``λ_d · T_d(λ_d) / weight_d = const``.  We iterate
+    ``λ_d ∝ weight_d / T_d(λ_d)`` with damping until the split stabilises.
+    """
+    ids = list(dips)
+    if not ids:
+        return {}
+    if weights is None:
+        weight_vec = np.ones(len(ids))
+    else:
+        weight_vec = np.array([max(1e-9, weights.get(d, 1.0)) for d in ids])
+
+    rates = np.full(len(ids), total_rate_rps / len(ids))
+    for _ in range(iterations):
+        latencies = np.array(
+            [dips[d].latency_model.mean_latency_ms(r) for d, r in zip(ids, rates)]
+        )
+        target = weight_vec / np.maximum(latencies, 1e-9)
+        target = target / target.sum() * total_rate_rps
+        new_rates = damping * target + (1 - damping) * rates
+        if np.max(np.abs(new_rates - rates)) < 1e-6 * max(1.0, total_rate_rps):
+            rates = new_rates
+            break
+        rates = new_rates
+    return {d: float(r) for d, r in zip(ids, rates)}
+
+
+def power_of_two_split(
+    dips: Mapping[DipId, DipServer],
+    total_rate_rps: float,
+    *,
+    iterations: int = 100,
+    damping: float = 0.5,
+) -> dict[DipId, float]:
+    """Fluid approximation of power-of-two-choices on CPU utilization.
+
+    The probability DIP ``d`` receives a connection is the probability it is
+    sampled and its utilization is no higher than the other sampled DIP:
+    ``p_d = (1/N²) · (1 + 2·|{e ≠ d : u_d < u_e}| + |{e ≠ d : u_e = u_d}|)``.
+    We iterate to a fixed point since the utilizations depend on the split.
+    """
+    ids = list(dips)
+    n = len(ids)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {ids[0]: total_rate_rps}
+
+    rates = np.full(n, total_rate_rps / n)
+    for _ in range(iterations):
+        utils = np.array(
+            [dips[d].latency_model.utilization(r) for d, r in zip(ids, rates)]
+        )
+        probs = np.zeros(n)
+        for i in range(n):
+            wins = np.sum(utils[i] < utils) + 0.5 * (np.sum(utils[i] == utils) - 1)
+            probs[i] = (1.0 + 2.0 * wins) / (n * n)
+        probs = probs / probs.sum()
+        new_rates = damping * probs * total_rate_rps + (1 - damping) * rates
+        if np.max(np.abs(new_rates - rates)) < 1e-6 * max(1.0, total_rate_rps):
+            rates = new_rates
+            break
+        rates = new_rates
+    return {d: float(r) for d, r in zip(ids, rates)}
+
+
+def split_for_policy(
+    policy_name: str,
+    dips: Mapping[DipId, DipServer],
+    total_rate_rps: float,
+    *,
+    weights: Mapping[DipId, float] | None = None,
+) -> dict[DipId, float]:
+    """Dispatch to the fluid split of the named policy."""
+    healthy = {d: s for d, s in dips.items() if not s.failed}
+    if not healthy:
+        raise ConfigurationError("no healthy DIPs")
+    if policy_name in EQUAL_SPLIT_POLICIES:
+        return equal_split(list(healthy), total_rate_rps)
+    if policy_name in WEIGHTED_SPLIT_POLICIES:
+        if weights is None:
+            return equal_split(list(healthy), total_rate_rps)
+        filtered = {d: weights.get(d, 0.0) for d in healthy}
+        return weighted_split(filtered, total_rate_rps)
+    if policy_name == "lc":
+        return least_connection_split(healthy, total_rate_rps)
+    if policy_name == "wlc":
+        return least_connection_split(healthy, total_rate_rps, weights=weights)
+    if policy_name == "p2":
+        return power_of_two_split(healthy, total_rate_rps)
+    raise ConfigurationError(f"no fluid model for policy {policy_name!r}")
+
+
+@dataclass
+class FluidClusterState:
+    """A snapshot of the fluid cluster after applying a split."""
+
+    time: float
+    rates_rps: dict[DipId, float]
+    utilization: dict[DipId, float]
+    mean_latency_ms: dict[DipId, float]
+
+    def overall_mean_latency_ms(self) -> float:
+        """Request-weighted mean latency across DIPs."""
+        total_rate = sum(self.rates_rps.values())
+        if total_rate <= 0:
+            return float("nan")
+        return sum(
+            self.rates_rps[d] * self.mean_latency_ms[d] for d in self.rates_rps
+        ) / total_rate
+
+
+@dataclass
+class FluidCluster:
+    """A VIP's DIP pool driven by aggregate request rates.
+
+    The KnapsackLB controller interacts with this cluster exactly as it
+    would with a real deployment: it programs weights on the (simulated) LB
+    and reads latencies through KLM probes; it never touches the DIPs.
+    """
+
+    dips: dict[DipId, DipServer]
+    total_rate_rps: float
+    policy_name: str = "wrr"
+    weights: dict[DipId, float] = field(default_factory=dict)
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_rate_rps < 0:
+            raise ConfigurationError("total_rate_rps must be >= 0")
+        if not self.dips:
+            raise ConfigurationError("cluster needs at least one DIP")
+        if not self.weights:
+            share = 1.0 / len(self.dips)
+            self.weights = {d: share for d in self.dips}
+        self.apply()
+
+    # -- control interface (what KnapsackLB programs) ---------------------------
+
+    def set_weights(self, weights: Mapping[DipId, float]) -> None:
+        for dip in weights:
+            if dip not in self.dips:
+                raise ConfigurationError(f"unknown DIP {dip!r}")
+        self.weights.update({d: float(w) for d, w in weights.items()})
+        self.apply()
+
+    def set_total_rate(self, total_rate_rps: float) -> None:
+        if total_rate_rps < 0:
+            raise ConfigurationError("total_rate_rps must be >= 0")
+        self.total_rate_rps = float(total_rate_rps)
+        self.apply()
+
+    def scale_traffic(self, factor: float) -> None:
+        if factor < 0:
+            raise ConfigurationError("factor must be >= 0")
+        self.set_total_rate(self.total_rate_rps * factor)
+
+    def fail_dip(self, dip: DipId) -> None:
+        self.dips[dip].fail()
+        self.apply()
+
+    def recover_dip(self, dip: DipId) -> None:
+        self.dips[dip].recover()
+        self.apply()
+
+    def set_capacity_ratio(self, dip: DipId, ratio: float) -> None:
+        self.dips[dip].set_capacity_ratio(ratio, at_time=self.time)
+        self.apply()
+
+    # -- dynamics ----------------------------------------------------------------
+
+    def apply(self) -> FluidClusterState:
+        """Recompute the per-DIP rates from the current weights and traffic."""
+        healthy = {d: s for d, s in self.dips.items() if not s.failed}
+        rates = split_for_policy(
+            self.policy_name, healthy, self.total_rate_rps, weights=self.weights
+        )
+        for dip_id, server in self.dips.items():
+            server.set_offered_rate(rates.get(dip_id, 0.0))
+        return self.state()
+
+    def advance(self, duration_s: float) -> FluidClusterState:
+        """Advance simulated time (loads are steady in the fluid model)."""
+        if duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        self.time += duration_s
+        return self.apply()
+
+    # -- observation ---------------------------------------------------------------
+
+    def state(self) -> FluidClusterState:
+        rates = {d: s.offered_rate_rps for d, s in self.dips.items()}
+        return FluidClusterState(
+            time=self.time,
+            rates_rps=rates,
+            utilization={d: s.cpu_utilization for d, s in self.dips.items()},
+            mean_latency_ms={
+                d: (float("inf") if s.failed else s.mean_latency_ms)
+                for d, s in self.dips.items()
+            },
+        )
+
+    @property
+    def total_capacity_rps(self) -> float:
+        return sum(s.capacity_rps for s in self.dips.values() if not s.failed)
+
+    def healthy_dip_ids(self) -> tuple[DipId, ...]:
+        return tuple(d for d, s in self.dips.items() if not s.failed)

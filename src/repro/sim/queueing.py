@@ -1,0 +1,141 @@
+"""Per-DIP queueing dynamics for the request-level simulator.
+
+Each DIP is modelled as an M/M/c/K station: ``c`` workers (vCPUs), an
+exponential service time whose mean tracks the DIP's *current* capacity
+(antagonists slow every request down), and a finite queue of length ``K``
+beyond which requests are dropped.  This is the generative counterpart of
+the analytic :class:`repro.backends.latency_model.LatencyModel`, so the
+request-level and fluid simulations agree on means by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque
+
+import collections
+
+import numpy as np
+
+from repro.backends.dip import DipServer
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import EventScheduler
+from repro.sim.request import Request, RequestOutcome
+
+CompletionCallback = Callable[[Request], None]
+
+
+@dataclass
+class DipQueueStats:
+    """Counters a station accumulates over a simulation run."""
+
+    arrivals: int = 0
+    completions: int = 0
+    drops: int = 0
+    busy_time_s: float = 0.0
+    #: integral of (busy workers) over time, for mean-utilization reporting.
+    busy_worker_seconds: float = 0.0
+
+
+class DipStation:
+    """The M/M/c/K queue representing one DIP in the request simulator."""
+
+    def __init__(
+        self,
+        dip: DipServer,
+        scheduler: EventScheduler,
+        *,
+        queue_capacity: int = 256,
+        seed: int | None = None,
+    ) -> None:
+        if queue_capacity < 0:
+            raise ConfigurationError("queue_capacity must be >= 0")
+        self.dip = dip
+        self._scheduler = scheduler
+        self._queue_capacity = queue_capacity
+        self._rng = np.random.default_rng(seed)
+        self._waiting: Deque[Request] = collections.deque()
+        self._busy_workers = 0
+        self._last_change = scheduler.now
+        self.stats = DipQueueStats()
+
+    # -- service-time model --------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self.dip.vm_type.vcpus
+
+    def _mean_service_time_s(self) -> float:
+        """Current mean per-request service time (antagonist-aware)."""
+        model = self.dip.latency_model
+        return model.servers / model.capacity_rps
+
+    def _sample_service_time_s(self) -> float:
+        return float(self._rng.exponential(self._mean_service_time_s()))
+
+    # -- utilization accounting ------------------------------------------------
+
+    def _account(self) -> None:
+        now = self._scheduler.now
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self.stats.busy_worker_seconds += self._busy_workers * elapsed
+            if self._busy_workers > 0:
+                self.stats.busy_time_s += elapsed
+            self._last_change = now
+
+    def mean_utilization(self, duration_s: float) -> float:
+        """Time-averaged CPU utilization over ``duration_s`` of simulation."""
+        if duration_s <= 0:
+            return 0.0
+        self._account()
+        return min(1.0, self.stats.busy_worker_seconds / (self.workers * duration_s))
+
+    @property
+    def active_requests(self) -> int:
+        return self._busy_workers + len(self._waiting)
+
+    # -- request lifecycle -----------------------------------------------------
+
+    def submit(self, request: Request, on_complete: CompletionCallback) -> None:
+        """Accept a request routed to this DIP."""
+        self.stats.arrivals += 1
+        if self.dip.failed:
+            request.outcome = RequestOutcome.FAILED_DIP
+            request.completion_time = self._scheduler.now
+            on_complete(request)
+            return
+        self._account()
+        if self._busy_workers < self.workers:
+            self._start_service(request, on_complete)
+        elif len(self._waiting) < self._queue_capacity:
+            request._on_complete = on_complete  # type: ignore[attr-defined]
+            self._waiting.append(request)
+        else:
+            self.stats.drops += 1
+            request.outcome = RequestOutcome.DROPPED
+            request.completion_time = self._scheduler.now
+            on_complete(request)
+
+    def _start_service(self, request: Request, on_complete: CompletionCallback) -> None:
+        self._busy_workers += 1
+        request.start_service_time = self._scheduler.now
+        service_time = self._sample_service_time_s()
+
+        def finish() -> None:
+            self._account()
+            self._busy_workers -= 1
+            request.completion_time = self._scheduler.now
+            request.outcome = RequestOutcome.COMPLETED
+            self.stats.completions += 1
+            on_complete(request)
+            self._dequeue_next()
+
+        self._scheduler.schedule(service_time, finish)
+
+    def _dequeue_next(self) -> None:
+        if not self._waiting or self._busy_workers >= self.workers:
+            return
+        queued = self._waiting.popleft()
+        callback: CompletionCallback = queued._on_complete  # type: ignore[attr-defined]
+        self._start_service(queued, callback)

@@ -1,0 +1,49 @@
+"""Request and connection records used by the request-level simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.types import DipId
+from repro.lb.base import FlowKey
+
+
+class RequestOutcome(enum.Enum):
+    COMPLETED = "completed"
+    DROPPED = "dropped"
+    FAILED_DIP = "failed_dip"
+
+
+@dataclass
+class Request:
+    """One client request-response exchange over a fresh connection.
+
+    The paper's workload is HTTP request/response over HAProxy: one request
+    per connection, latency measured end-to-end by the client.
+    """
+
+    request_id: int
+    flow: FlowKey
+    arrival_time: float
+    dip: DipId | None = None
+    start_service_time: float | None = None
+    completion_time: float | None = None
+    outcome: RequestOutcome | None = None
+
+    @property
+    def latency_ms(self) -> float | None:
+        """End-to-end latency (queueing + service), in milliseconds."""
+        if self.completion_time is None:
+            return None
+        return (self.completion_time - self.arrival_time) * 1000.0
+
+    @property
+    def queueing_ms(self) -> float | None:
+        if self.start_service_time is None:
+            return None
+        return (self.start_service_time - self.arrival_time) * 1000.0
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome is RequestOutcome.COMPLETED

@@ -1,0 +1,186 @@
+"""Metrics collection for simulation runs.
+
+The paper's evaluation reports per-DIP (and per-DIP-type) mean latency, CPU
+utilization, request counts and end-to-end latency distributions; this
+module gathers those from either simulator and renders simple summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.types import DipId
+
+
+@dataclass
+class RequestRecord:
+    """One completed (or dropped) request as seen by the metrics collector."""
+
+    dip: DipId
+    latency_ms: float
+    completed: bool
+    timestamp: float = 0.0
+
+
+@dataclass
+class DipSummary:
+    """Aggregate statistics for one DIP over a run."""
+
+    dip: DipId
+    requests: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p90_latency_ms: float
+    p99_latency_ms: float
+    cpu_utilization: float
+    drop_fraction: float
+
+
+class MetricsCollector:
+    """Accumulates request records and utilization observations."""
+
+    def __init__(self) -> None:
+        self._records: list[RequestRecord] = []
+        self._utilization: dict[DipId, float] = {}
+
+    # -- ingestion -------------------------------------------------------------
+
+    def record_request(
+        self,
+        dip: DipId,
+        latency_ms: float | None,
+        *,
+        completed: bool = True,
+        timestamp: float = 0.0,
+    ) -> None:
+        self._records.append(
+            RequestRecord(
+                dip=dip,
+                latency_ms=float(latency_ms) if latency_ms is not None else float("nan"),
+                completed=completed,
+                timestamp=timestamp,
+            )
+        )
+
+    def record_utilization(self, utilization: Mapping[DipId, float]) -> None:
+        self._utilization.update({d: float(u) for d, u in utilization.items()})
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[RequestRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def total_requests(self) -> int:
+        return len(self._records)
+
+    def latencies_ms(self, *, dips: Iterable[DipId] | None = None) -> np.ndarray:
+        """Latencies of completed requests, optionally restricted to ``dips``."""
+        selected = set(dips) if dips is not None else None
+        values = [
+            r.latency_ms
+            for r in self._records
+            if r.completed and (selected is None or r.dip in selected)
+        ]
+        return np.asarray(values, dtype=float)
+
+    def request_share(self) -> dict[DipId, float]:
+        """Fraction of all requests routed to each DIP."""
+        counts: dict[DipId, int] = {}
+        for record in self._records:
+            counts[record.dip] = counts.get(record.dip, 0) + 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {dip: count / total for dip, count in counts.items()}
+
+    def mean_latency_ms(self, *, dips: Iterable[DipId] | None = None) -> float:
+        values = self.latencies_ms(dips=dips)
+        return float(values.mean()) if values.size else float("nan")
+
+    def percentile_latency_ms(
+        self, percentile: float, *, dips: Iterable[DipId] | None = None
+    ) -> float:
+        values = self.latencies_ms(dips=dips)
+        return float(np.percentile(values, percentile)) if values.size else float("nan")
+
+    def drop_fraction(self, *, dips: Iterable[DipId] | None = None) -> float:
+        selected = set(dips) if dips is not None else None
+        relevant = [
+            r for r in self._records if selected is None or r.dip in selected
+        ]
+        if not relevant:
+            return 0.0
+        dropped = sum(1 for r in relevant if not r.completed)
+        return dropped / len(relevant)
+
+    def utilization(self) -> dict[DipId, float]:
+        return dict(self._utilization)
+
+    def dip_summary(self, dip: DipId) -> DipSummary:
+        latencies = self.latencies_ms(dips=[dip])
+        requests = sum(1 for r in self._records if r.dip == dip)
+        return DipSummary(
+            dip=dip,
+            requests=requests,
+            mean_latency_ms=float(latencies.mean()) if latencies.size else float("nan"),
+            p50_latency_ms=float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
+            p90_latency_ms=float(np.percentile(latencies, 90)) if latencies.size else float("nan"),
+            p99_latency_ms=float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
+            cpu_utilization=self._utilization.get(dip, float("nan")),
+            drop_fraction=self.drop_fraction(dips=[dip]),
+        )
+
+    def summaries(self) -> dict[DipId, DipSummary]:
+        dips = {r.dip for r in self._records} | set(self._utilization)
+        return {dip: self.dip_summary(dip) for dip in sorted(dips)}
+
+    # -- comparisons ------------------------------------------------------------
+
+    def latency_cdf(self, *, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(latency, cumulative fraction) pairs for CDF plotting/reporting."""
+        values = np.sort(self.latencies_ms())
+        if values.size == 0:
+            return np.array([]), np.array([])
+        fractions = np.linspace(0, 1, points)
+        latencies = np.quantile(values, fractions)
+        return latencies, fractions
+
+
+def fraction_of_requests_improved(
+    baseline: MetricsCollector, improved: MetricsCollector
+) -> float:
+    """Fraction of the latency distribution where ``improved`` beats ``baseline``.
+
+    The paper states results like "cuts latency by up to 45 % for 79 % of
+    requests": we compare the two latency distributions quantile-by-quantile
+    and report the fraction of quantiles where the improved system is
+    strictly faster.
+    """
+    base = np.sort(baseline.latencies_ms())
+    new = np.sort(improved.latencies_ms())
+    if base.size == 0 or new.size == 0:
+        return 0.0
+    quantiles = np.linspace(0.01, 0.99, 99)
+    base_q = np.quantile(base, quantiles)
+    new_q = np.quantile(new, quantiles)
+    return float(np.mean(new_q < base_q))
+
+
+def max_latency_gain(
+    baseline: MetricsCollector, improved: MetricsCollector
+) -> float:
+    """Maximum relative latency reduction across quantiles (paper's "up to X %")."""
+    base = np.sort(baseline.latencies_ms())
+    new = np.sort(improved.latencies_ms())
+    if base.size == 0 or new.size == 0:
+        return 0.0
+    quantiles = np.linspace(0.05, 0.99, 95)
+    base_q = np.quantile(base, quantiles)
+    new_q = np.quantile(new, quantiles)
+    gains = (base_q - new_q) / np.maximum(base_q, 1e-9)
+    return float(np.max(gains))

@@ -1,0 +1,69 @@
+"""VIPs and VNETs — the service-facing side of the load balancer.
+
+A :class:`Vip` is one externally-visible virtual IP fronting a pool of
+DIPs; a :class:`Vnet` is the customer virtual network that contains the
+DIPs (KLM instances are deployed per VNET, §3.2).  In this reproduction the
+two are thin containers used to address DIPs, scope measurements and build
+the datacenter-scale workloads of Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.backends.dip import DipServer
+from repro.core.types import DipId, VipId
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Vip:
+    """A virtual IP and its DIP pool."""
+
+    vip_id: VipId
+    dips: dict[DipId, DipServer] = field(default_factory=dict)
+    #: application URL the admin configures for KLM probing (§3.2).
+    probe_url: str = "/"
+
+    def add_dip(self, dip: DipServer) -> None:
+        if dip.dip_id in self.dips:
+            raise ConfigurationError(f"DIP {dip.dip_id!r} already in VIP {self.vip_id!r}")
+        self.dips[dip.dip_id] = dip
+
+    def remove_dip(self, dip_id: DipId) -> DipServer:
+        try:
+            return self.dips.pop(dip_id)
+        except KeyError:
+            raise ConfigurationError(f"DIP {dip_id!r} not in VIP {self.vip_id!r}") from None
+
+    def dip(self, dip_id: DipId) -> DipServer:
+        return self.dips[dip_id]
+
+    def dip_ids(self) -> tuple[DipId, ...]:
+        return tuple(self.dips)
+
+    def healthy_dip_ids(self) -> tuple[DipId, ...]:
+        return tuple(d for d, s in self.dips.items() if not s.failed)
+
+    @property
+    def total_capacity_rps(self) -> float:
+        return sum(d.capacity_rps for d in self.dips.values() if not d.failed)
+
+    def __len__(self) -> int:
+        return len(self.dips)
+
+    def __iter__(self) -> Iterator[DipServer]:
+        return iter(self.dips.values())
+
+
+@dataclass
+class Vnet:
+    """A customer virtual network holding one VIP (the paper's assumption)."""
+
+    vnet_id: str
+    vip: Vip
+
+    @property
+    def dips(self) -> Mapping[DipId, DipServer]:
+        return self.vip.dips

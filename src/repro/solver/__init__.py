@@ -1,0 +1,100 @@
+"""MILP solver substrate for KnapsackLB.
+
+The paper's prototype uses COIN-OR CBC through PuLP; this package provides
+the same capability through interchangeable backends:
+
+* ``scipy`` — :func:`scipy.optimize.milp` (HiGHS), the default exact solver;
+* ``branch_and_bound`` — a pure-Python exact solver (no SciPy needed for the
+  core result, and its node counter is useful for scaling studies);
+* ``greedy`` — a fast marginal-cost heuristic with local search;
+* ``dp`` — a pseudo-polynomial dynamic program over a weight grid.
+
+Use :func:`solve` to dispatch by backend name (``"auto"`` picks scipy and
+falls back to branch-and-bound if SciPy's MILP is unavailable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.solver.assignment import (
+    AssignmentProblem,
+    DipCandidates,
+    build_problem,
+    uniform_candidates,
+)
+from repro.solver.branch_and_bound import solve_branch_and_bound
+from repro.solver.dp import solve_dp
+from repro.solver.greedy import solve_greedy
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = [
+    "AssignmentProblem",
+    "DipCandidates",
+    "SolveResult",
+    "SolveStatus",
+    "available_backends",
+    "build_problem",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_dp",
+    "solve_greedy",
+    "solve_scipy",
+    "uniform_candidates",
+]
+
+
+def _load_scipy_backend() -> Callable[..., SolveResult] | None:
+    try:
+        from repro.solver.scipy_backend import solve_scipy as _solve
+    except ImportError:  # pragma: no cover - SciPy is an install dependency
+        return None
+    return _solve
+
+
+_scipy_solver = _load_scipy_backend()
+
+
+def solve_scipy(problem: AssignmentProblem, **kwargs) -> SolveResult:
+    """Solve with the SciPy/HiGHS backend (raises if SciPy is unavailable)."""
+    if _scipy_solver is None:  # pragma: no cover
+        raise ConfigurationError("SciPy MILP backend is not available")
+    return _scipy_solver(problem, **kwargs)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`solve`, in preference order for ``auto``."""
+    names = ["branch_and_bound", "greedy", "dp"]
+    if _scipy_solver is not None:
+        names.insert(0, "scipy")
+    return tuple(names)
+
+
+def solve(
+    problem: AssignmentProblem,
+    *,
+    backend: str = "auto",
+    time_limit_s: float | None = None,
+    **kwargs,
+) -> SolveResult:
+    """Solve ``problem`` with the requested backend.
+
+    ``backend="auto"`` uses SciPy/HiGHS when present and otherwise falls
+    back to the pure-Python branch-and-bound.
+    """
+    if backend == "auto":
+        backend = "scipy" if _scipy_solver is not None else "branch_and_bound"
+
+    if backend == "scipy":
+        return solve_scipy(problem, time_limit_s=time_limit_s, **kwargs)
+    if backend == "branch_and_bound":
+        return solve_branch_and_bound(problem, time_limit_s=time_limit_s, **kwargs)
+    if backend == "greedy":
+        return solve_greedy(problem, time_limit_s=time_limit_s, **kwargs)
+    if backend == "dp":
+        return solve_dp(problem, time_limit_s=time_limit_s, **kwargs)
+    raise ConfigurationError(
+        f"unknown solver backend {backend!r}; expected one of "
+        f"{('auto',) + available_backends()}"
+    )

@@ -1,0 +1,129 @@
+"""Dynamic-programming solver for the weight-assignment problem.
+
+The multiple-choice knapsack structure admits a pseudo-polynomial DP once
+weights are discretized onto a fixed grid: state = (DIP index, total weight
+in grid units), value = minimum latency.  This backend is exact *up to the
+grid resolution* and is useful for moderate pool sizes where the exact
+branch-and-bound would be slow and HiGHS is unavailable.
+
+The imbalance constraint θ is not representable in this DP (it would require
+tracking the running min/max weight); when θ is finite the caller should use
+another backend.  ``solve_dp`` raises ``ConfigurationError`` in that case.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.solver.assignment import AssignmentProblem
+from repro.solver.result import SolveResult, SolveStatus
+
+_BACKEND_NAME = "dp"
+
+
+def solve_dp(
+    problem: AssignmentProblem,
+    *,
+    resolution: float = 1e-3,
+    time_limit_s: float | None = None,
+) -> SolveResult:
+    """Solve via DP over a weight grid of step ``resolution``.
+
+    The chosen-weight sum is required to land within the problem's tolerance
+    band of the target, with quantization error bounded by
+    ``num_dips * resolution / 2``; keep ``resolution`` well below
+    ``total_weight_tolerance / num_dips`` for faithful results.
+    """
+    if problem.theta is not None:
+        raise ConfigurationError("the DP backend does not support a finite theta")
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be positive")
+
+    start = time.perf_counter()
+    deadline = start + time_limit_s if time_limit_s is not None else None
+
+    dips = [cand.sorted_by_weight() for cand in problem.dips]
+    n = len(dips)
+
+    def to_units(w: float) -> int:
+        return int(round(w / resolution))
+
+    target_units = to_units(problem.total_weight)
+    tol_units = max(1, to_units(problem.total_weight_tolerance))
+    max_units = target_units + tol_units
+
+    inf = float("inf")
+    # cost[u] = min latency to reach exactly u units with the DIPs seen so far.
+    cost = np.full(max_units + 1, inf)
+    cost[0] = 0.0
+    # choice[i][u] = candidate index picked for dips[i] to reach u optimally.
+    choice: list[np.ndarray] = []
+
+    for i, cand in enumerate(dips):
+        if deadline is not None and time.perf_counter() > deadline:
+            return SolveResult(
+                status=SolveStatus.TIMEOUT,
+                solve_time_s=time.perf_counter() - start,
+                backend=_BACKEND_NAME,
+            )
+        new_cost = np.full(max_units + 1, inf)
+        new_choice = np.full(max_units + 1, -1, dtype=np.int32)
+        for j in range(cand.count):
+            units = to_units(cand.weights[j])
+            lat = cand.latencies_ms[j]
+            if units > max_units:
+                continue
+            # Shift the reachable prefix by `units` and add this latency.
+            if units == 0:
+                shifted = cost + lat
+            else:
+                shifted = np.full(max_units + 1, inf)
+                shifted[units:] = cost[: max_units + 1 - units] + lat
+            better = shifted < new_cost
+            new_cost = np.where(better, shifted, new_cost)
+            new_choice = np.where(better, j, new_choice)
+        cost = new_cost
+        choice.append(new_choice)
+
+    lo = max(0, target_units - tol_units)
+    hi = max_units
+    window = cost[lo : hi + 1]
+    if not np.isfinite(window).any():
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE,
+            solve_time_s=time.perf_counter() - start,
+            backend=_BACKEND_NAME,
+        )
+    best_offset = int(np.argmin(window))
+    best_units = lo + best_offset
+
+    # Backtrack the choices.
+    selection: dict[DipId, int] = {}
+    units = best_units
+    for i in range(n - 1, -1, -1):
+        j = int(choice[i][units])
+        if j < 0:
+            return SolveResult(
+                status=SolveStatus.ERROR,
+                solve_time_s=time.perf_counter() - start,
+                backend=_BACKEND_NAME,
+            )
+        cand = dips[i]
+        selection[cand.dip] = j
+        units -= to_units(cand.weights[j])
+
+    weights = problem.weights_of(selection)
+    elapsed = time.perf_counter() - start
+    return SolveResult(
+        status=SolveStatus.FEASIBLE,
+        objective_ms=problem.objective_of(selection),
+        weights=weights,
+        selection=selection,
+        solve_time_s=elapsed,
+        backend=_BACKEND_NAME,
+        overloaded_dips=problem.overloaded_dips(weights),
+    )

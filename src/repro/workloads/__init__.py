@@ -1,0 +1,29 @@
+"""Workload and scenario builders for the paper's experimental setups."""
+
+from repro.workloads.generators import (
+    TABLE8_VIP_MIX,
+    TESTBED_COMPOSITION,
+    TestbedLayout,
+    build_graded_three_dip_pool,
+    build_heterogeneous_pair,
+    build_testbed_cluster,
+    build_testbed_dips,
+    build_three_dip_pool,
+    build_uniform_pool,
+    table8_total_dips,
+    table8_vip_counts,
+)
+
+__all__ = [
+    "TABLE8_VIP_MIX",
+    "TESTBED_COMPOSITION",
+    "TestbedLayout",
+    "build_graded_three_dip_pool",
+    "build_heterogeneous_pair",
+    "build_testbed_cluster",
+    "build_testbed_dips",
+    "build_three_dip_pool",
+    "build_uniform_pool",
+    "table8_total_dips",
+    "table8_vip_counts",
+]

@@ -1,0 +1,185 @@
+"""Workload and DIP-pool builders used across experiments.
+
+The builders mirror the setups of the paper's evaluation:
+
+* the 41-VM testbed of Table 3 (30 DIPs of four VM types behind HAProxy);
+* the 3-DIP pool of §2.1 (two high-capacity DIPs plus one whose capacity is
+  squeezed by an antagonist);
+* the heterogeneous DS-vs-F pair of §2.2;
+* the datacenter-scale VIP mix of Table 8 (60 K DIPs split across VIPs of
+  5 to 1000 DIPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends import (
+    DS1_V2,
+    DS2_V2,
+    DS3_V2,
+    F2S_V2,
+    F8S_V2,
+    DipServer,
+    VMType,
+    custom_vm_type,
+)
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.sim.fluid import FluidCluster
+
+#: DIP counts per VM type in the paper's 30-DIP testbed (Table 3).
+TESTBED_COMPOSITION: tuple[tuple[VMType, int], ...] = (
+    (DS1_V2, 16),
+    (DS2_V2, 8),
+    (DS3_V2, 4),
+    (F8S_V2, 2),
+)
+
+#: Table 8: number of VIPs per pool size for the 60 K-DIP datacenter.
+TABLE8_VIP_MIX: tuple[tuple[int, int], ...] = (
+    (5, 2000),
+    (10, 1000),
+    (50, 200),
+    (100, 100),
+    (500, 20),
+    (1000, 10),
+)
+
+
+@dataclass(frozen=True)
+class TestbedLayout:
+    """The DIP servers of the 30-DIP testbed, grouped by VM type."""
+
+    dips: dict[DipId, DipServer]
+
+    def by_type(self) -> dict[str, list[DipId]]:
+        groups: dict[str, list[DipId]] = {}
+        for dip_id, server in self.dips.items():
+            groups.setdefault(server.vm_type.name, []).append(dip_id)
+        return groups
+
+    def by_core_count(self) -> dict[int, list[DipId]]:
+        groups: dict[int, list[DipId]] = {}
+        for dip_id, server in self.dips.items():
+            groups.setdefault(server.vm_type.vcpus, []).append(dip_id)
+        return groups
+
+    @property
+    def total_capacity_rps(self) -> float:
+        return sum(s.capacity_rps for s in self.dips.values())
+
+
+def build_testbed_dips(*, seed: int | None = 42) -> TestbedLayout:
+    """The 30 DIPs of Table 3: DIP-1..16 (1 core), 17..24 (2), 25..28 (4), 29..30 (8)."""
+    dips: dict[DipId, DipServer] = {}
+    index = 1
+    for vm_type, count in TESTBED_COMPOSITION:
+        for _ in range(count):
+            dip_id = f"DIP-{index}"
+            dips[dip_id] = DipServer(
+                dip_id=dip_id,
+                vm_type=vm_type,
+                seed=None if seed is None else seed + index,
+            )
+            index += 1
+    return TestbedLayout(dips=dips)
+
+
+def build_testbed_cluster(
+    *,
+    load_fraction: float = 0.70,
+    policy_name: str = "wrr",
+    seed: int | None = 42,
+) -> FluidCluster:
+    """The 30-DIP testbed as a fluid cluster at ``load_fraction`` of capacity."""
+    if not 0 < load_fraction < 1.5:
+        raise ConfigurationError("load_fraction must be in (0, 1.5)")
+    layout = build_testbed_dips(seed=seed)
+    total_rate = layout.total_capacity_rps * load_fraction
+    return FluidCluster(
+        dips=dict(layout.dips),
+        total_rate_rps=total_rate,
+        policy_name=policy_name,
+    )
+
+
+def build_three_dip_pool(
+    *,
+    capacity_ratio: float = 0.6,
+    cores: int = 2,
+    seed: int | None = 7,
+) -> dict[DipId, DipServer]:
+    """The §2.1 pool: DIP-HC ×2 at full capacity, DIP-LC at ``capacity_ratio``."""
+    if not 0 < capacity_ratio <= 1:
+        raise ConfigurationError("capacity_ratio must be in (0, 1]")
+    vm = custom_vm_type(
+        f"web-{cores}core",
+        vcpus=cores,
+        capacity_rps=400.0 * cores,
+        idle_latency_ms=1000.0 * cores / (400.0 * cores),
+    )
+    dips = {
+        "DIP-HC-1": DipServer("DIP-HC-1", vm, seed=None if seed is None else seed + 1),
+        "DIP-HC-2": DipServer("DIP-HC-2", vm, seed=None if seed is None else seed + 2),
+        "DIP-LC": DipServer("DIP-LC", vm, seed=None if seed is None else seed + 3),
+    }
+    if capacity_ratio < 1.0:
+        dips["DIP-LC"].set_capacity_ratio(capacity_ratio)
+    return dips
+
+
+def build_graded_three_dip_pool(
+    ratios: tuple[float, float, float] = (1.0, 0.8, 0.6),
+    *,
+    seed: int | None = 7,
+) -> dict[DipId, DipServer]:
+    """The Fig. 14 pool: three 1-core DIPs at capacities 1×, 0.8× and 0.6×."""
+    vm = custom_vm_type("web-1core", vcpus=1, capacity_rps=400.0)
+    dips: dict[DipId, DipServer] = {}
+    for index, ratio in enumerate(ratios, start=1):
+        if not 0 < ratio <= 1:
+            raise ConfigurationError("ratios must be in (0, 1]")
+        dip_id = f"DIP-{ratio:g}"
+        server = DipServer(
+            dip_id, vm, seed=None if seed is None else seed + index
+        )
+        if ratio < 1.0:
+            server.set_capacity_ratio(ratio)
+        dips[dip_id] = server
+    return dips
+
+
+def build_heterogeneous_pair(*, seed: int | None = 3) -> dict[DipId, DipServer]:
+    """The §2.2 pool: one DS-series and one F-series DIP with equal cores."""
+    return {
+        "DIP-DS": DipServer("DIP-DS", DS2_V2, seed=None if seed is None else seed + 1),
+        "DIP-F": DipServer("DIP-F", F2S_V2, seed=None if seed is None else seed + 2),
+    }
+
+
+def build_uniform_pool(
+    num_dips: int,
+    *,
+    vm_type: VMType = F8S_V2,
+    seed: int | None = 11,
+    prefix: str = "DIP",
+) -> dict[DipId, DipServer]:
+    """``num_dips`` identical DIPs (used for the Fig. 8 / Table 6 ILP studies)."""
+    if num_dips < 1:
+        raise ConfigurationError("num_dips must be >= 1")
+    return {
+        f"{prefix}-{i + 1}": DipServer(
+            f"{prefix}-{i + 1}", vm_type, seed=None if seed is None else seed + i
+        )
+        for i in range(num_dips)
+    }
+
+
+def table8_vip_counts() -> dict[int, int]:
+    """{DIPs-per-VIP: number of VIPs} of the Table 8 datacenter workload."""
+    return {size: count for size, count in TABLE8_VIP_MIX}
+
+
+def table8_total_dips() -> int:
+    return sum(size * count for size, count in TABLE8_VIP_MIX)

@@ -1,0 +1,177 @@
+"""Integration tests: the KnapsackLB controller end to end on fluid clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KnapsackLBConfig, KnapsackLBController
+from repro.core.config import IlpConfig
+from repro.workloads import build_testbed_cluster, build_three_dip_pool
+from repro.sim import FluidCluster
+
+
+@pytest.fixture(scope="module")
+def converged_testbed():
+    """A converged controller on the 30-DIP testbed (shared across tests)."""
+    cluster = build_testbed_cluster(load_fraction=0.70, seed=7)
+    controller = KnapsackLBController("vip-1", cluster)
+    assignment = controller.converge()
+    return cluster, controller, assignment
+
+
+class TestConvergence:
+    def test_weights_sum_to_one(self, converged_testbed):
+        _, _, assignment = converged_testbed
+        assert sum(assignment.weights.values()) == pytest.approx(1.0)
+
+    def test_weights_scale_with_capacity(self, converged_testbed):
+        """Fig. 11: larger DIPs get larger weights (roughly 1:2:4:10)."""
+        cluster, _, assignment = converged_testbed
+        mean_by_core: dict[int, float] = {}
+        for cores in (1, 2, 4, 8):
+            dips = [d for d, s in cluster.dips.items() if s.vm_type.vcpus == cores]
+            mean_by_core[cores] = sum(assignment.weights.get(d, 0.0) for d in dips) / len(dips)
+        assert mean_by_core[1] < mean_by_core[2] < mean_by_core[4] < mean_by_core[8]
+        ratio_2 = mean_by_core[2] / mean_by_core[1]
+        ratio_8 = mean_by_core[8] / mean_by_core[1]
+        assert 1.5 <= ratio_2 <= 2.6
+        assert 7.0 <= ratio_8 <= 13.0
+
+    def test_no_dip_overloaded(self, converged_testbed):
+        cluster, _, _ = converged_testbed
+        assert all(util <= 1.0 for util in cluster.state().utilization.values())
+
+    def test_utilization_roughly_uniform_across_types(self, converged_testbed):
+        """Fig. 12(a): KnapsackLB equalises CPU utilization across DIP types."""
+        cluster, _, _ = converged_testbed
+        utils = cluster.state().utilization
+        type_means = []
+        for cores in (1, 2, 4, 8):
+            dips = [d for d, s in cluster.dips.items() if s.vm_type.vcpus == cores]
+            type_means.append(sum(utils[d] for d in dips) / len(dips))
+        assert max(type_means) - min(type_means) <= 0.25
+        assert max(utils.values()) <= 1.0
+
+    def test_latency_beats_equal_split(self, converged_testbed):
+        cluster, _, assignment = converged_testbed
+        klb_latency = cluster.state().overall_mean_latency_ms()
+        cluster.set_weights({d: 1 / len(cluster.dips) for d in cluster.dips})
+        rr_latency = cluster.state().overall_mean_latency_ms()
+        cluster.set_weights(dict(assignment.weights))  # restore
+        assert klb_latency < rr_latency
+
+    def test_exploration_took_few_iterations(self, converged_testbed):
+        """§6.1: 8-10 iterations; fewer than 10 measurements per DIP."""
+        _, controller, _ = converged_testbed
+        iterations = [e.iteration for e in controller.explorations.values()]
+        assert max(iterations) <= 25
+        measurements = [e.measurements for e in controller.explorations.values()]
+        assert sum(measurements) / len(measurements) <= 15
+
+    def test_every_dip_has_curve(self, converged_testbed):
+        cluster, controller, _ = converged_testbed
+        assert set(controller.curves) == set(cluster.dips)
+
+    def test_status_reports_all_dips(self, converged_testbed):
+        cluster, controller, _ = converged_testbed
+        status = controller.status()
+        assert set(status) == set(cluster.dips)
+        assert all(entry["has_curve"] for entry in status.values())
+
+
+class TestControllerOnSmallPool:
+    def test_three_dip_pool_klb_vs_equal(self):
+        """Fig. 14: on the 1×/0.8×/0.6× pool KLB equalises utilization."""
+        dips = build_three_dip_pool(capacity_ratio=0.6, cores=1, seed=5)
+        total_capacity = sum(d.capacity_rps for d in dips.values())
+        cluster = FluidCluster(dips=dips, total_rate_rps=total_capacity * 0.75, policy_name="wrr")
+        controller = KnapsackLBController("vip-3dip", cluster)
+        controller.converge()
+        utils = cluster.state().utilization
+        assert max(utils.values()) - min(utils.values()) <= 0.25
+        # The low-capacity DIP receives the smallest weight.
+        weights = controller.last_assignment.weights
+        assert weights["DIP-LC"] < weights["DIP-HC-1"]
+
+    def test_theta_constraint_respected(self):
+        dips = build_three_dip_pool(capacity_ratio=0.6, cores=1, seed=5)
+        total_capacity = sum(d.capacity_rps for d in dips.values())
+        cluster = FluidCluster(dips=dips, total_rate_rps=total_capacity * 0.6, policy_name="wrr")
+        config = KnapsackLBConfig(ilp=IlpConfig(theta=0.15))
+        controller = KnapsackLBController("vip", cluster, config=config)
+        assignment = controller.converge(settle_steps=0)
+        values = list(assignment.weights.values())
+        # Normalisation can stretch the spread slightly beyond theta.
+        assert max(values) - min(values) <= 0.15 * 1.5 + 1e-9
+
+
+class TestControlLoop:
+    def make_converged(self, load=0.7):
+        cluster = build_testbed_cluster(load_fraction=load, seed=11)
+        controller = KnapsackLBController("vip-dyn", cluster)
+        controller.converge()
+        return cluster, controller
+
+    def test_steady_state_remains_stable(self):
+        """After convergence the control loop must not oscillate or overload."""
+        cluster, controller = self.make_converged()
+        for _ in range(4):
+            report = controller.control_step()
+            # Residual curve-calibration events are tolerable, but they must
+            # stay few and must never push a DIP into overload.
+            assert len(report.events) <= 3
+            assert not report.failed_dips
+            assert max(cluster.state().utilization.values()) <= 1.0
+
+    def test_failure_detected_and_weights_recomputed(self):
+        """Fig. 15: failed DIPs are removed and their weight redistributed."""
+        cluster, controller = self.make_converged()
+        before = dict(controller.last_assignment.weights)
+        cluster.fail_dip("DIP-25")
+        cluster.fail_dip("DIP-26")
+        report = controller.control_step()
+        assert set(report.failed_dips) == {"DIP-25", "DIP-26"}
+        assert report.reprogrammed
+        after = controller.last_assignment.weights
+        assert after.get("DIP-25", 0.0) == 0.0
+        assert after.get("DIP-26", 0.0) == 0.0
+        assert sum(after.values()) == pytest.approx(1.0)
+        # The freed weight is redistributed across the surviving DIPs without
+        # overloading any of them (the ILP makes latency-informed decisions,
+        # so the split is *not* uniform — Fig. 15).
+        gains = {d: after.get(d, 0.0) - before.get(d, 0.0) for d in after}
+        assert sum(gains.values()) > 0.05  # the failed DIPs' weight moved
+        spread = max(gains.values()) - min(g for d, g in gains.items() if d not in ("DIP-25", "DIP-26"))
+        assert spread > 1e-4  # not an equal split
+        assert max(cluster.state().utilization.values()) <= 1.0
+
+    def test_capacity_change_rescales_and_reprograms(self):
+        """Fig. 16: capacity loss on DIP-25..28 shrinks their weights."""
+        cluster, controller = self.make_converged()
+        before = dict(controller.last_assignment.weights)
+        for dip in ("DIP-25", "DIP-26", "DIP-27", "DIP-28"):
+            cluster.set_capacity_ratio(dip, 0.75)
+        report = controller.control_step()
+        assert report.reprogrammed
+        after = controller.last_assignment.weights
+        for dip in ("DIP-25", "DIP-26", "DIP-27", "DIP-28"):
+            assert after[dip] < before[dip]
+        assert max(cluster.state().utilization.values()) <= 1.0
+
+    def test_traffic_increase_detected(self):
+        """Fig. 17: +10 % traffic is detected as a cluster-wide event."""
+        cluster, controller = self.make_converged(load=0.7)
+        cluster.scale_traffic(1.25)
+        report = controller.control_step()
+        kinds = {event.kind.value for event in report.events}
+        assert "traffic_increase" in kinds or "capacity_change" in kinds
+        assert report.reprogrammed
+
+    def test_recover_dip_allows_reexploration(self):
+        cluster, controller = self.make_converged()
+        cluster.fail_dip("DIP-29")
+        controller.control_step()
+        assert "DIP-29" in controller.failed_dips
+        cluster.recover_dip("DIP-29")
+        controller.recover_dip("DIP-29")
+        assert "DIP-29" not in controller.failed_dips

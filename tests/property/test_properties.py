@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.backends.latency_model import LatencyModel, erlang_c, scaled_model
+from repro.core.curve import WeightLatencyCurve, fit_curve
+from repro.core.exploration import ExplorationState
+from repro.core.config import ExplorationConfig
+from repro.core.types import MeasurementPoint, normalize_weights
+from repro.lb.base import FlowKey
+from repro.lb.round_robin import WeightedRoundRobin
+from repro.solver import AssignmentProblem, DipCandidates, SolveStatus, solve_branch_and_bound, solve_greedy
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+weights_in_unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+latencies = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+
+
+@st.composite
+def measurement_points(draw, min_size=3, max_size=10):
+    """A sorted set of distinct-weight measurement points."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    raw_weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    values = draw(st.lists(latencies, min_size=size, max_size=size))
+    return [
+        MeasurementPoint(weight=w, latency_ms=l)
+        for w, l in zip(sorted(raw_weights), values)
+    ]
+
+
+@st.composite
+def assignment_problems(draw):
+    """Small feasible-ish multiple-choice knapsack instances."""
+    num_dips = draw(st.integers(min_value=1, max_value=4))
+    dips = []
+    for index in range(num_dips):
+        count = draw(st.integers(min_value=2, max_value=4))
+        weight_values = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        )
+        latency_values = draw(st.lists(latencies, min_size=count, max_size=count))
+        dips.append(
+            DipCandidates(
+                dip=f"d{index}",
+                weights=tuple(weight_values),
+                latencies_ms=tuple(latency_values),
+            )
+        )
+    return AssignmentProblem(
+        dips=tuple(dips), total_weight=1.0, total_weight_tolerance=0.05
+    )
+
+
+# ---------------------------------------------------------------------------
+# curve fitting
+# ---------------------------------------------------------------------------
+
+
+class TestCurveProperties:
+    @given(points=measurement_points())
+    @settings(max_examples=60, deadline=None)
+    def test_fitted_curve_is_monotone_and_above_l0(self, points):
+        curve = fit_curve(points)
+        grid = [i / 50 for i in range(26)]
+        values = [curve.predict(w) for w in grid]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert all(v >= curve.l0_ms - 1e-9 for v in values)
+
+    @given(points=measurement_points(), delta=st.floats(min_value=0.2, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rescaling_round_trips(self, points, delta):
+        curve = fit_curve(points)
+        back = curve.rescaled(delta).rescaled(1.0 / delta)
+        for weight in (0.0, 0.1, 0.3):
+            assert back.predict(weight) == pytest.approx(curve.predict(weight), rel=1e-6)
+
+    @given(points=measurement_points(), latency=st.floats(min_value=0.5, max_value=400.0))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_is_consistent(self, points, latency):
+        curve = fit_curve(points)
+        weight = curve.weight_for_latency(latency, upper=1.0)
+        assert 0.0 <= weight <= 1.0
+        if 0.0 < weight < 1.0:
+            # At the returned weight the curve has just reached the latency.
+            assert curve.predict(weight) >= latency - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# solver
+# ---------------------------------------------------------------------------
+
+
+class TestSolverProperties:
+    @given(problem=assignment_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_solutions_are_feasible(self, problem):
+        result = solve_branch_and_bound(problem)
+        if result.status.has_solution:
+            assert abs(result.total_weight - 1.0) <= problem.total_weight_tolerance + 1e-9
+            assert set(result.weights) == set(problem.dip_ids())
+            assert result.objective_ms == pytest.approx(
+                problem.objective_of(result.selection)
+            )
+        else:
+            assert result.status in (SolveStatus.INFEASIBLE, SolveStatus.TIMEOUT)
+
+    @given(problem=assignment_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_beats_exact(self, problem):
+        exact = solve_branch_and_bound(problem)
+        heuristic = solve_greedy(problem)
+        if exact.status.has_solution and heuristic.status.has_solution:
+            assert heuristic.objective_ms >= exact.objective_ms - 1e-6
+
+    @given(problem=assignment_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_solution_is_optimal_over_enumeration(self, problem):
+        assume(problem.num_variables <= 4 ** 3)
+        result = solve_branch_and_bound(problem)
+        # Brute-force enumeration for small instances.
+        import itertools
+
+        best = None
+        ranges = [range(c.count) for c in problem.dips]
+        for combo in itertools.product(*ranges):
+            selection = {c.dip: j for c, j in zip(problem.dips, combo)}
+            total = sum(problem.weights_of(selection).values())
+            if abs(total - problem.total_weight) <= problem.total_weight_tolerance:
+                cost = problem.objective_of(selection)
+                if best is None or cost < best:
+                    best = cost
+        if best is None:
+            assert not result.status.has_solution
+        else:
+            assert result.status.has_solution
+            assert result.objective_ms == pytest.approx(best, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# latency model
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyModelProperties:
+    @given(
+        servers=st.integers(min_value=1, max_value=16),
+        capacity=st.floats(min_value=50.0, max_value=5000.0),
+        load_a=st.floats(min_value=0.0, max_value=1.5),
+        load_b=st.floats(min_value=0.0, max_value=1.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_latency_monotone_in_load(self, servers, capacity, load_a, load_b):
+        model = LatencyModel(servers=servers, capacity_rps=capacity, idle_latency_ms=1000 * servers / capacity)
+        low, high = sorted((load_a, load_b))
+        assert model.mean_latency_ms(high * capacity) >= model.mean_latency_ms(low * capacity) - 1e-9
+
+    @given(
+        servers=st.integers(min_value=1, max_value=8),
+        load=st.floats(min_value=0.0, max_value=7.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_erlang_c_is_probability(self, servers, load):
+        assume(load <= servers)
+        value = erlang_c(servers, load)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        capacity=st.floats(min_value=100.0, max_value=2000.0),
+        factor=st.floats(min_value=0.1, max_value=1.0),
+        load=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_loss_never_reduces_latency(self, capacity, factor, load):
+        model = LatencyModel(servers=2, capacity_rps=capacity, idle_latency_ms=2000 / capacity)
+        squeezed = scaled_model(model, factor)
+        rate = load * capacity * factor
+        assert squeezed.mean_latency_ms(rate) >= model.mean_latency_ms(rate) - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# weights and WRR
+# ---------------------------------------------------------------------------
+
+
+class TestWeightProperties:
+    @given(
+        raw=st.dictionaries(
+            st.sampled_from([f"d{i}" for i in range(6)]),
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_weights_sums_to_one(self, raw):
+        assume(sum(raw.values()) > 0)
+        normalized = normalize_weights(raw)
+        assert math.isclose(sum(normalized.values()), 1.0, rel_tol=1e-9)
+        for dip, value in normalized.items():
+            assert value >= 0
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=5
+        ),
+        requests=st.integers(min_value=200, max_value=600),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_smooth_wrr_tracks_weights(self, weights, requests):
+        assume(sum(weights) > 0.1)
+        dips = [f"d{i}" for i in range(len(weights))]
+        weight_map = dict(zip(dips, weights))
+        policy = WeightedRoundRobin(dips, weights=weight_map)
+        counts = {dip: 0 for dip in dips}
+        for index in range(requests):
+            flow = FlowKey(src_ip="10.0.0.1", src_port=index + 1, dst_ip="vip", dst_port=80)
+            counts[policy.select(flow)] += 1
+        total_weight = sum(weights)
+        for dip, weight in weight_map.items():
+            expected = weight / total_weight
+            assert counts[dip] / requests == pytest.approx(expected, abs=0.05)
+
+
+# ---------------------------------------------------------------------------
+# exploration
+# ---------------------------------------------------------------------------
+
+
+class TestExplorationProperties:
+    @given(
+        l0=st.floats(min_value=0.5, max_value=10.0),
+        capacity_weight=st.floats(min_value=0.05, max_value=0.6),
+        initial=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exploration_terminates_and_respects_capacity(
+        self, l0, capacity_weight, initial
+    ):
+        state = ExplorationState(
+            dip="d",
+            l0_ms=l0,
+            initial_weight=initial,
+            config=ExplorationConfig(max_iterations=30),
+        )
+        iterations = 0
+        while not state.done and iterations < 60:
+            weight = state.propose()
+            latency = l0 * (1.0 + 3.0 * (weight / capacity_weight) ** 2)
+            dropped = weight > capacity_weight * 1.05
+            state.observe(weight, latency, dropped=dropped)
+            iterations += 1
+        assert state.done
+        assert iterations <= 30
+        # w_max never exceeds the true capacity-equivalent weight by much.
+        assert state.effective_w_max() <= min(1.0, capacity_weight * 1.05) + 1e-9
+        # Every proposal stays within [min_weight, 1].
+        for step in state.history:
+            assert 0 < step.next_weight <= 1.0

@@ -1,0 +1,196 @@
+"""Unit tests for the agent baseline, analysis helpers and workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import CpuAgentBalancer
+from repro.analysis import (
+    LatencyStats,
+    format_series,
+    format_table,
+    format_weights,
+    group_mean,
+    relative_gain,
+    utilization_spread,
+    weighted_mean,
+    weights_ratio,
+)
+from repro.backends import DipServer, custom_vm_type
+from repro.exceptions import ConfigurationError
+from repro.sim import FluidCluster
+from repro.workloads import (
+    TABLE8_VIP_MIX,
+    build_graded_three_dip_pool,
+    build_heterogeneous_pair,
+    build_testbed_cluster,
+    build_testbed_dips,
+    build_three_dip_pool,
+    build_uniform_pool,
+    table8_total_dips,
+    table8_vip_counts,
+)
+
+
+def small_cluster(capacities=(400.0, 300.0), rate_fraction=0.7):
+    dips = {}
+    for index, capacity in enumerate(capacities):
+        vm = custom_vm_type(f"vm{index}", vcpus=1, capacity_rps=capacity)
+        dips[f"d{index}"] = DipServer(f"d{index}", vm, seed=index, jitter_fraction=0.0)
+    total = sum(capacities)
+    return FluidCluster(dips=dips, total_rate_rps=total * rate_fraction, policy_name="wrr")
+
+
+class TestCpuAgentBalancer:
+    def test_converges_to_uniform_utilization(self):
+        cluster = small_cluster((400.0, 300.0, 200.0))
+        balancer = CpuAgentBalancer(cluster, tolerance=0.02)
+        balancer.run()
+        assert balancer.converged
+        utils = [s.cpu_utilization for s in cluster.dips.values()]
+        assert max(utils) - min(utils) <= 0.03
+
+    def test_needs_multiple_iterations(self):
+        """§6.4: the CPU-feedback loop converges over several iterations."""
+        cluster = small_cluster((400.0, 400.0, 400.0, 300.0))
+        balancer = CpuAgentBalancer(cluster, tolerance=0.01)
+        balancer.run()
+        assert balancer.iterations_to_converge >= 2
+
+    def test_spread_monotonically_non_increasing(self):
+        cluster = small_cluster((400.0, 250.0))
+        balancer = CpuAgentBalancer(cluster)
+        history = balancer.run()
+        spreads = [h.spread for h in history]
+        assert spreads[-1] <= spreads[0]
+
+    def test_weights_stay_normalised(self):
+        cluster = small_cluster((400.0, 250.0))
+        balancer = CpuAgentBalancer(cluster)
+        for step in balancer.run():
+            assert sum(step.weights.values()) == pytest.approx(1.0)
+
+    def test_respects_initial_weights(self):
+        cluster = small_cluster((400.0, 400.0))
+        balancer = CpuAgentBalancer(cluster, max_iterations=1)
+        history = balancer.run(initial_weights={"d0": 0.9, "d1": 0.1})
+        assert history[0].weights["d0"] == pytest.approx(0.9)
+
+    def test_invalid_config(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigurationError):
+            CpuAgentBalancer(cluster, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            CpuAgentBalancer(cluster, gain=0.0)
+
+
+class TestAnalysis:
+    def test_latency_stats(self):
+        stats = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean_ms == pytest.approx(2.5)
+        assert stats.max_ms == pytest.approx(4.0)
+
+    def test_latency_stats_empty(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+
+    def test_relative_gain(self):
+        assert relative_gain(10.0, 5.5) == pytest.approx(0.45)
+        with pytest.raises(ConfigurationError):
+            relative_gain(0.0, 1.0)
+
+    def test_utilization_spread(self):
+        assert utilization_spread({"a": 0.9, "b": 0.4}) == pytest.approx(0.5)
+        assert utilization_spread({}) == 0.0
+
+    def test_weighted_mean(self):
+        value = weighted_mean({"a": 10.0, "b": 20.0}, {"a": 0.25, "b": 0.75})
+        assert value == pytest.approx(17.5)
+
+    def test_group_mean(self):
+        result = group_mean({"a": 1.0, "b": 3.0, "c": 10.0}, {"g1": ["a", "b"], "g2": ["c"]})
+        assert result["g1"] == pytest.approx(2.0)
+
+    def test_weights_ratio(self):
+        ratios = weights_ratio(
+            {"a": 0.01, "b": 0.02, "c": 0.10},
+            {"small": ["a"], "medium": ["b"], "large": ["c"]},
+        )
+        assert ratios["small"] == pytest.approx(1.0)
+        assert ratios["large"] == pytest.approx(10.0)
+
+    def test_format_table(self):
+        text = format_table(["x", "y"], [[1, 2.5], ["long-value", 3]], title="T")
+        assert "T" in text
+        assert "long-value" in text
+        assert text.count("|") > 4
+
+    def test_format_series(self):
+        text = format_series("latency", {10: 1.5, 20: 2.5})
+        assert "latency:" in text
+        assert "10=1.500" in text
+
+    def test_format_weights(self):
+        text = format_weights({"b": 0.25, "a": 0.75})
+        assert text.startswith("a=0.750")
+
+
+class TestWorkloads:
+    def test_testbed_composition_matches_table3(self):
+        layout = build_testbed_dips()
+        assert len(layout.dips) == 30
+        by_type = layout.by_type()
+        assert len(by_type["DS1v2"]) == 16
+        assert len(by_type["DS2v2"]) == 8
+        assert len(by_type["DS3v2"]) == 4
+        assert len(by_type["F8sv2"]) == 2
+
+    def test_testbed_by_core_count(self):
+        groups = build_testbed_dips().by_core_count()
+        assert set(groups) == {1, 2, 4, 8}
+
+    def test_testbed_cluster_load_fraction(self):
+        cluster = build_testbed_cluster(load_fraction=0.7)
+        assert cluster.total_rate_rps == pytest.approx(cluster.total_capacity_rps * 0.7)
+
+    def test_testbed_cluster_invalid_load(self):
+        with pytest.raises(ConfigurationError):
+            build_testbed_cluster(load_fraction=0.0)
+
+    def test_three_dip_pool(self):
+        dips = build_three_dip_pool(capacity_ratio=0.6)
+        assert dips["DIP-LC"].capacity_rps == pytest.approx(
+            dips["DIP-HC-1"].capacity_rps * 0.6
+        )
+
+    def test_three_dip_pool_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            build_three_dip_pool(capacity_ratio=0.0)
+
+    def test_graded_three_dip_pool(self):
+        dips = build_graded_three_dip_pool((1.0, 0.8, 0.6))
+        capacities = sorted((d.capacity_rps for d in dips.values()), reverse=True)
+        assert capacities[1] == pytest.approx(capacities[0] * 0.8)
+        assert capacities[2] == pytest.approx(capacities[0] * 0.6)
+
+    def test_heterogeneous_pair(self):
+        dips = build_heterogeneous_pair()
+        ratio = dips["DIP-F"].capacity_rps / dips["DIP-DS"].capacity_rps
+        assert 1.1 <= ratio <= 1.25
+
+    def test_uniform_pool(self):
+        dips = build_uniform_pool(12)
+        assert len(dips) == 12
+        capacities = {round(d.capacity_rps, 3) for d in dips.values()}
+        assert len(capacities) == 1
+
+    def test_uniform_pool_invalid(self):
+        with pytest.raises(ConfigurationError):
+            build_uniform_pool(0)
+
+    def test_table8_totals(self):
+        assert table8_total_dips() == 60_000
+        counts = table8_vip_counts()
+        assert counts[5] == 2000
+        assert sum(counts.values()) == sum(v for _, v in TABLE8_VIP_MIX)

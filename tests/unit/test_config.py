@@ -1,0 +1,163 @@
+"""Unit tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    CurveConfig,
+    DynamicsConfig,
+    ExplorationConfig,
+    IlpConfig,
+    KnapsackLBConfig,
+    ProbeConfig,
+    SchedulerConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestExplorationConfig:
+    def test_defaults_match_paper(self):
+        config = ExplorationConfig()
+        assert config.convergence_fraction == pytest.approx(0.05)
+        assert config.alpha == pytest.approx(1.0)
+        assert config.drop_latency_multiplier == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_convergence_fraction(self, fraction):
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(convergence_fraction=fraction)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(alpha=0.0)
+
+    def test_invalid_drop_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(drop_latency_multiplier=1.0)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(max_iterations=0)
+
+
+class TestCurveConfig:
+    def test_defaults(self):
+        config = CurveConfig()
+        assert config.degree == 2
+        assert config.enforce_monotone
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            CurveConfig(degree=0)
+
+    def test_invalid_min_points(self):
+        with pytest.raises(ConfigurationError):
+            CurveConfig(min_points=1)
+
+
+class TestIlpConfig:
+    def test_defaults_match_paper(self):
+        config = IlpConfig()
+        assert config.weights_per_dip == 10
+        assert config.theta is None
+        assert config.multistep_min_dips == 100
+        assert config.refine_window_fraction == pytest.approx(0.10)
+
+    def test_invalid_weights_per_dip(self):
+        with pytest.raises(ConfigurationError):
+            IlpConfig(weights_per_dip=1)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IlpConfig(theta=-0.1)
+
+    def test_theta_zero_allowed(self):
+        assert IlpConfig(theta=0.0).theta == 0.0
+
+    def test_invalid_refine_window(self):
+        with pytest.raises(ConfigurationError):
+            IlpConfig(refine_window_fraction=0.0)
+
+    def test_invalid_time_limit(self):
+        with pytest.raises(ConfigurationError):
+            IlpConfig(time_limit_s=0.0)
+
+
+class TestDynamicsConfig:
+    def test_defaults_match_paper(self):
+        config = DynamicsConfig()
+        assert config.capacity_change_threshold == pytest.approx(0.20)
+        assert config.max_refresh_fraction == pytest.approx(0.05)
+        assert config.drain_recalibration_interval_s == pytest.approx(7200.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(capacity_change_threshold=1.0)
+
+    def test_invalid_quorum(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(traffic_change_quorum=0.0)
+
+    def test_invalid_failure_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(failure_probe_threshold=0)
+
+    def test_invalid_refresh_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(max_refresh_fraction=1.5)
+
+
+class TestProbeConfig:
+    def test_defaults_match_paper(self):
+        config = ProbeConfig()
+        assert config.interval_s == pytest.approx(5.0)
+        assert config.requests_per_probe == 100
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            ProbeConfig(interval_s=0.0)
+
+    def test_invalid_requests(self):
+        with pytest.raises(ConfigurationError):
+            ProbeConfig(requests_per_probe=0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ProbeConfig(timeout_s=-1.0)
+
+
+class TestSchedulerConfig:
+    def test_defaults_match_paper(self):
+        config = SchedulerConfig()
+        assert config.round_duration_s == pytest.approx(10.0)
+
+    def test_invalid_round_duration(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(round_duration_s=0.0)
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(overutilized_latency_multiplier=1.0)
+
+
+class TestKnapsackLBConfig:
+    def test_default_control_interval(self):
+        assert KnapsackLBConfig().control_interval_s == pytest.approx(5.0)
+
+    def test_invalid_control_interval(self):
+        with pytest.raises(ConfigurationError):
+            KnapsackLBConfig(control_interval_s=0.0)
+
+    def test_default_config_singleton_is_usable(self):
+        assert DEFAULT_CONFIG.ilp.weights_per_dip == 10
+
+    def test_sub_configs_composable(self):
+        config = KnapsackLBConfig(ilp=IlpConfig(weights_per_dip=20, theta=0.5))
+        assert config.ilp.weights_per_dip == 20
+        assert config.probe.interval_s == pytest.approx(5.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            KnapsackLBConfig().control_interval_s = 1.0  # type: ignore[misc]

@@ -1,0 +1,121 @@
+"""Unit tests for drain-time estimation (§4.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.drain import DrainTimeEstimator, analytic_drain_time_s
+from repro.exceptions import ConfigurationError
+
+
+class FakeDeployment:
+    """A target whose latency decays back to l0 over a fixed drain period."""
+
+    def __init__(self, l0_ms: float = 2.0, drain_s: float = 6.0) -> None:
+        self.l0_ms = l0_ms
+        self.drain_s = drain_s
+        self.now = 0.0
+        self.weights: dict[str, float] = {}
+        self._high_since: float | None = None
+        self._zero_since: float | None = None
+
+    def set_dip_weight(self, dip: str, weight: float) -> None:
+        self.weights[dip] = weight
+        if weight > 0:
+            self._high_since = self.now
+            self._zero_since = None
+        else:
+            self._zero_since = self.now
+
+    def advance(self, duration_s: float) -> None:
+        self.now += duration_s
+
+    def probe_latency_ms(self, dip: str) -> float:
+        if self._zero_since is None:
+            return self.l0_ms * 8.0
+        elapsed = self.now - self._zero_since
+        if elapsed >= self.drain_s:
+            return self.l0_ms
+        # Linear decay back towards l0 while old connections finish.
+        fraction = 1.0 - elapsed / self.drain_s
+        return self.l0_ms * (1.0 + 7.0 * fraction)
+
+
+class TestMeasure:
+    def test_estimate_close_to_true_drain_time(self):
+        deployment = FakeDeployment(drain_s=6.0)
+        estimator = DrainTimeEstimator(poll_interval_s=1.0)
+        estimate = estimator.measure(
+            deployment, "d1", l0_ms=2.0, high_weight=0.8, load_duration_s=5.0
+        )
+        assert estimate.drain_time_s == pytest.approx(6.0, abs=1.5)
+
+    def test_estimate_cached(self):
+        deployment = FakeDeployment()
+        estimator = DrainTimeEstimator()
+        estimator.measure(deployment, "d1", l0_ms=2.0, high_weight=0.8)
+        assert estimator.drain_time_s("d1") > 0
+
+    def test_default_for_unmeasured_dip(self):
+        estimator = DrainTimeEstimator()
+        assert estimator.drain_time_s("unknown", default=12.0) == pytest.approx(12.0)
+
+    def test_max_wait_bounds_measurement(self):
+        deployment = FakeDeployment(drain_s=1000.0)
+        estimator = DrainTimeEstimator(poll_interval_s=1.0, max_wait_s=5.0)
+        estimate = estimator.measure(deployment, "d1", l0_ms=2.0, high_weight=0.8)
+        assert estimate.drain_time_s <= 5.0 + 1e-9
+
+    def test_invalid_high_weight(self):
+        estimator = DrainTimeEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.measure(FakeDeployment(), "d1", l0_ms=2.0, high_weight=0.0)
+
+    def test_invalid_l0(self):
+        estimator = DrainTimeEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.measure(FakeDeployment(), "d1", l0_ms=0.0, high_weight=0.5)
+
+
+class TestRecalibration:
+    def test_unmeasured_needs_recalibration(self):
+        estimator = DrainTimeEstimator()
+        assert estimator.needs_recalibration("d1", now=0.0)
+
+    def test_fresh_measurement_does_not(self):
+        deployment = FakeDeployment()
+        estimator = DrainTimeEstimator()
+        estimate = estimator.measure(deployment, "d1", l0_ms=2.0, high_weight=0.8)
+        assert not estimator.needs_recalibration("d1", now=estimate.measured_at + 60.0)
+
+    def test_stale_measurement_does(self):
+        deployment = FakeDeployment()
+        estimator = DrainTimeEstimator(recalibration_interval_s=100.0)
+        estimate = estimator.measure(deployment, "d1", l0_ms=2.0, high_weight=0.8)
+        assert estimator.needs_recalibration("d1", now=estimate.measured_at + 101.0)
+
+
+class TestEstimatorValidation:
+    def test_settle_factor_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            DrainTimeEstimator(settle_factor=1.0)
+
+    def test_poll_interval_positive(self):
+        with pytest.raises(ConfigurationError):
+            DrainTimeEstimator(poll_interval_s=0.0)
+
+
+class TestAnalyticDrainTime:
+    def test_scales_with_in_flight(self):
+        assert analytic_drain_time_s(100.0, in_flight=50.0) == pytest.approx(1.0)
+
+    def test_zero_in_flight(self):
+        assert analytic_drain_time_s(100.0, in_flight=0.0) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            analytic_drain_time_s(0.0, in_flight=1.0)
+
+    def test_negative_in_flight(self):
+        with pytest.raises(ConfigurationError):
+            analytic_drain_time_s(10.0, in_flight=-1.0)

@@ -1,0 +1,191 @@
+"""Unit tests for Algorithm 1 (adaptive weight exploration, §4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExplorationConfig
+from repro.core.exploration import ExplorationState
+from repro.exceptions import ConfigurationError
+
+
+def make_state(l0=2.0, initial=0.05, **config_kwargs) -> ExplorationState:
+    return ExplorationState(
+        dip="d1",
+        l0_ms=l0,
+        initial_weight=initial,
+        config=ExplorationConfig(**config_kwargs),
+    )
+
+
+class TestInitialisation:
+    def test_first_proposal_is_initial_weight(self):
+        state = make_state(initial=0.05)
+        assert state.propose() == pytest.approx(0.05)
+
+    def test_idle_point_recorded(self):
+        state = make_state(l0=3.0)
+        assert state.points[0].weight == 0.0
+        assert state.points[0].latency_ms == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_l0(self):
+        with pytest.raises(ConfigurationError):
+            make_state(l0=0.0)
+
+    def test_rejects_nonpositive_initial(self):
+        with pytest.raises(ConfigurationError):
+            make_state(initial=0.0)
+
+
+class TestRunPhase:
+    def test_weight_increases_without_drop(self):
+        state = make_state(l0=2.0, initial=0.05)
+        step = state.observe(0.05, 2.2)
+        assert step.mode == "run"
+        assert step.next_weight > 0.05
+
+    def test_increase_proportional_to_l0_over_lw(self):
+        """Line 6: w_next = w_now + w_now * α * l0/lw."""
+        state = make_state(l0=2.0, initial=0.05, alpha=1.0)
+        step = state.observe(0.05, 4.0)  # l0/lw = 0.5
+        assert step.next_weight == pytest.approx(0.05 + 0.05 * 0.5)
+
+    def test_lower_latency_gives_bigger_step(self):
+        low = make_state(l0=2.0, initial=0.05)
+        high = make_state(l0=2.0, initial=0.05)
+        step_low = low.observe(0.05, 2.1)
+        step_high = high.observe(0.05, 8.0)
+        assert step_low.next_weight > step_high.next_weight
+
+    def test_w_max_tracks_largest_undropped_weight(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5)
+        state.observe(0.09, 3.0)
+        assert state.w_max == pytest.approx(0.09)
+
+    def test_alpha_scales_increase(self):
+        fast = make_state(l0=2.0, initial=0.05, alpha=1.0)
+        slow = make_state(l0=2.0, initial=0.05, alpha=0.5)
+        assert fast.observe(0.05, 2.0).next_weight > slow.observe(0.05, 2.0).next_weight
+
+    def test_next_weight_capped_at_one(self):
+        state = make_state(l0=2.0, initial=0.9)
+        step = state.observe(0.9, 2.0)
+        assert step.next_weight <= 1.0
+
+
+class TestBacktrackPhase:
+    def test_drop_triggers_backtrack(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5)
+        step = state.observe(0.10, 3.0, dropped=True)
+        assert step.mode == "backtrack"
+        assert step.next_weight == pytest.approx((0.10 + 0.05) / 2)
+
+    def test_latency_5x_l0_counts_as_drop(self):
+        """The paper treats lw >= 5·l0 as a drop signal."""
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5)
+        step = state.observe(0.10, 10.0)  # exactly 5× l0
+        assert step.mode == "backtrack"
+
+    def test_backtrack_does_not_update_w_max(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5)
+        state.observe(0.10, 3.0, dropped=True)
+        assert state.w_max == pytest.approx(0.05)
+
+    def test_real_drop_excluded_from_regression_points(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5, dropped=True)
+        usable = state.usable_points()
+        assert all(p.weight != 0.05 for p in usable)
+
+    def test_latency_only_drop_signal_still_usable_for_regression(self):
+        """High latency without packet loss stays in the regression set (§6.1)."""
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 11.0)  # > 5x l0, no packet drop
+        assert any(p.weight == pytest.approx(0.05) for p in state.usable_points())
+
+
+class TestConvergence:
+    def test_small_step_finishes_exploration(self):
+        state = make_state(l0=2.0, initial=0.05, convergence_fraction=0.05)
+        state.observe(0.100, 2.5)
+        step = state.observe(0.104, 2.6)  # step 0.004 <= 5% of 0.104
+        assert step.is_exploration_done
+        assert state.done
+
+    def test_large_step_does_not_finish(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.5)
+        step = state.observe(0.10, 2.6)
+        assert not step.is_exploration_done
+
+    def test_observe_after_done_raises(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.100, 2.5)
+        state.observe(0.104, 2.6)
+        with pytest.raises(ConfigurationError):
+            state.observe(0.105, 2.7)
+
+    def test_max_iterations_safety_net(self):
+        state = make_state(l0=2.0, initial=0.05, max_iterations=3)
+        state.observe(0.05, 2.1)
+        state.observe(0.2, 2.2)
+        step = state.observe(0.5, 2.3)
+        assert step.is_exploration_done
+
+    def test_converges_against_synthetic_dip(self):
+        """End-to-end Algorithm 1 against a synthetic convex latency function."""
+        capacity_weight = 0.2  # drops past this weight
+
+        def measure(w):
+            latency = 2.0 + 50.0 * max(0.0, w) ** 2 / capacity_weight
+            dropped = w > capacity_weight
+            return latency, dropped
+
+        state = make_state(l0=2.0, initial=0.033)
+        iterations = 0
+        while not state.done and iterations < 25:
+            w = state.propose()
+            latency, dropped = measure(w)
+            state.observe(w, latency, dropped=dropped)
+            iterations += 1
+        assert state.done
+        # Paper: 8-10 iterations; allow some slack for the synthetic shape.
+        assert iterations <= 20
+        assert 0 < state.effective_w_max() <= capacity_weight + 1e-6
+        # Enough clean points to fit a degree-2 curve.
+        assert len(state.usable_points()) >= 3
+
+
+class TestBookkeeping:
+    def test_measurement_count_excludes_idle_point(self):
+        state = make_state()
+        state.observe(0.05, 2.5)
+        state.observe(0.08, 2.7)
+        assert state.measurements == 2
+
+    def test_history_grows_per_observation(self):
+        state = make_state()
+        state.observe(0.05, 2.5)
+        state.observe(0.08, 2.7)
+        assert len(state.history) == 2
+        assert state.history[0].iteration == 1
+
+    def test_effective_w_max_falls_back_to_points(self):
+        state = make_state(l0=2.0, initial=0.05)
+        state.observe(0.05, 2.4)
+        state.w_max = 0.0  # simulate: never set by the run phase
+        assert state.effective_w_max() == pytest.approx(0.05)
+
+    def test_invalid_observation_weight(self):
+        state = make_state()
+        with pytest.raises(ConfigurationError):
+            state.observe(0.0, 2.5)
+
+    def test_invalid_observation_latency(self):
+        state = make_state()
+        with pytest.raises(ConfigurationError):
+            state.observe(0.05, 0.0)

@@ -1,0 +1,165 @@
+"""Unit tests for KLM probing and the latency store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import DipServer, custom_vm_type
+from repro.core.config import ProbeConfig
+from repro.core.types import LatencySample
+from repro.exceptions import ConfigurationError
+from repro.probing import KLM, KLM_REQUESTS_PER_SECOND_PER_CORE, LatencyStore
+
+
+def make_dip(name="d1", capacity=400.0, seed=1):
+    vm = custom_vm_type("probe-vm", vcpus=1, capacity_rps=capacity)
+    return DipServer(name, vm, seed=seed, jitter_fraction=0.0)
+
+
+class TestLatencyStore:
+    def test_write_and_latest(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=3.0, timestamp=1.0))
+        store.write("vip", LatencySample(dip="d1", latency_ms=4.0, timestamp=2.0))
+        latest = store.latest("vip", "d1")
+        assert latest is not None
+        assert latest.latency_ms == pytest.approx(4.0)
+
+    def test_latest_missing(self):
+        assert LatencyStore().latest("vip", "d1") is None
+
+    def test_samples_filtered_by_dip_and_time(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=3.0, timestamp=1.0))
+        store.write("vip", LatencySample(dip="d2", latency_ms=5.0, timestamp=2.0))
+        store.write("vip", LatencySample(dip="d1", latency_ms=4.0, timestamp=3.0))
+        assert len(store.samples("vip", "d1")) == 2
+        assert len(store.samples("vip", since=2.0)) == 2
+
+    def test_samples_sorted_by_time(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=3.0, timestamp=5.0))
+        store.write("vip", LatencySample(dip="d2", latency_ms=3.0, timestamp=1.0))
+        samples = store.samples("vip")
+        assert [s.timestamp for s in samples] == [1.0, 5.0]
+
+    def test_latest_per_dip(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=3.0, timestamp=1.0))
+        store.write("vip", LatencySample(dip="d2", latency_ms=5.0, timestamp=2.0))
+        latest = store.latest_per_dip("vip")
+        assert set(latest) == {"d1", "d2"}
+
+    def test_retention_limit(self):
+        store = LatencyStore(max_samples_per_dip=5)
+        for index in range(20):
+            store.write("vip", LatencySample(dip="d1", latency_ms=1.0, timestamp=index))
+        assert store.sample_count("vip") == 5
+        assert store.stats.evictions > 0
+
+    def test_vips_and_dips(self):
+        store = LatencyStore()
+        store.write("vip-a", LatencySample(dip="d1", latency_ms=1.0, timestamp=0.0))
+        store.write("vip-b", LatencySample(dip="d9", latency_ms=1.0, timestamp=0.0))
+        assert set(store.vips()) == {"vip-a", "vip-b"}
+        assert store.dips("vip-b") == ("d9",)
+
+    def test_clear(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=1.0, timestamp=0.0))
+        store.clear("vip")
+        assert store.sample_count() == 0
+
+    def test_stats_counters(self):
+        store = LatencyStore()
+        store.write("vip", LatencySample(dip="d1", latency_ms=1.0, timestamp=0.0))
+        store.latest("vip", "d1")
+        assert store.stats.writes == 1
+        assert store.stats.reads == 1
+
+    def test_invalid_retention(self):
+        with pytest.raises(ConfigurationError):
+            LatencyStore(max_samples_per_dip=0)
+
+
+class TestKLM:
+    def make_klm(self, dips, **probe_kwargs):
+        store = LatencyStore()
+        return (
+            KLM(
+                vip="vip-1",
+                dips=dips,
+                store=store,
+                config=ProbeConfig(**probe_kwargs) if probe_kwargs else ProbeConfig(),
+            ),
+            store,
+        )
+
+    def test_probe_writes_sample(self):
+        dip = make_dip()
+        dip.set_offered_rate(200.0)
+        klm, store = self.make_klm({"d1": dip})
+        outcome = klm.probe_dip("d1", now=10.0)
+        assert not outcome.failed
+        assert outcome.latency_ms == pytest.approx(dip.mean_latency_ms, rel=0.05)
+        assert store.latest("vip-1", "d1") is not None
+
+    def test_probe_latency_reflects_load(self):
+        dip = make_dip()
+        klm, _ = self.make_klm({"d1": dip})
+        dip.set_offered_rate(50.0)
+        light = klm.probe_dip("d1", now=0.0).latency_ms
+        dip.set_offered_rate(380.0)
+        heavy = klm.probe_dip("d1", now=5.0).latency_ms
+        assert heavy > light
+
+    def test_probe_all(self):
+        dips = {f"d{i}": make_dip(f"d{i}", seed=i) for i in range(3)}
+        klm, store = self.make_klm(dips)
+        outcomes = klm.probe_all(now=0.0)
+        assert set(outcomes) == set(dips)
+        assert store.sample_count("vip-1") == 3
+
+    def test_failed_dip_recorded(self):
+        dip = make_dip()
+        dip.fail()
+        klm, store = self.make_klm({"d1": dip})
+        outcome = klm.probe_dip("d1", now=0.0)
+        assert outcome.failed
+        assert store.sample_count("vip-1") == 0
+        assert klm.consecutive_failures["d1"] == 1
+
+    def test_failure_counter_resets_on_success(self):
+        dip = make_dip()
+        klm, _ = self.make_klm({"d1": dip})
+        dip.fail()
+        klm.probe_dip("d1", now=0.0)
+        dip.recover()
+        klm.probe_dip("d1", now=5.0)
+        assert klm.consecutive_failures["d1"] == 0
+
+    def test_failures_threshold(self):
+        dip = make_dip()
+        dip.fail()
+        klm, _ = self.make_klm({"d1": dip})
+        for tick in range(3):
+            klm.probe_dip("d1", now=float(tick))
+        assert klm.failures(3) == ("d1",)
+        assert klm.failures(4) == ()
+
+    def test_overloaded_probe_marks_drop(self):
+        dip = make_dip()
+        dip.set_offered_rate(1500.0)
+        klm, _ = self.make_klm({"d1": dip})
+        outcome = klm.probe_dip("d1", now=0.0)
+        assert outcome.dropped
+
+    def test_probe_rate_and_cores(self):
+        dips = {f"d{i}": make_dip(f"d{i}", seed=i) for i in range(225)}
+        klm, _ = self.make_klm(dips, interval_s=5.0, requests_per_probe=100)
+        assert klm.probe_rate_rps() == pytest.approx(225 * 20.0)
+        assert klm.cores_required() == pytest.approx(1.0, rel=0.01)
+        assert klm.max_dips_per_core() == 225
+
+    def test_constant_matches_paper(self):
+        assert KLM_REQUESTS_PER_SECOND_PER_CORE == pytest.approx(4500.0)

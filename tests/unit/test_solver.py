@@ -1,0 +1,297 @@
+"""Unit tests for the MILP solver substrate (repro.solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.solver import (
+    AssignmentProblem,
+    DipCandidates,
+    SolveStatus,
+    available_backends,
+    build_problem,
+    solve,
+    solve_branch_and_bound,
+    solve_dp,
+    solve_greedy,
+    solve_scipy,
+    uniform_candidates,
+)
+
+EXACT_BACKENDS = [b for b in ("scipy", "branch_and_bound") if b in available_backends()]
+ALL_BACKENDS = [b for b in available_backends() if b != "dp"]
+
+
+def two_dip_problem(theta=None, tolerance=0.01) -> AssignmentProblem:
+    """DIP a is fast (cheap to load), DIP b slow (expensive to load)."""
+    return AssignmentProblem(
+        dips=(
+            DipCandidates(
+                dip="a",
+                weights=(0.2, 0.4, 0.6, 0.8),
+                latencies_ms=(1.0, 2.0, 4.0, 8.0),
+                w_max=0.8,
+            ),
+            DipCandidates(
+                dip="b",
+                weights=(0.2, 0.4, 0.6, 0.8),
+                latencies_ms=(2.0, 6.0, 14.0, 30.0),
+                w_max=0.6,
+            ),
+        ),
+        total_weight=1.0,
+        total_weight_tolerance=tolerance,
+        theta=theta,
+    )
+
+
+class TestDipCandidates:
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            DipCandidates(dip="a", weights=(0.1, 0.2), latencies_ms=(1.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DipCandidates(dip="a", weights=(), latencies_ms=())
+
+    def test_weight_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DipCandidates(dip="a", weights=(1.5,), latencies_ms=(1.0,))
+
+    def test_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            DipCandidates(dip="a", weights=(0.5,), latencies_ms=(-1.0,))
+
+    def test_sorted_by_weight(self):
+        cand = DipCandidates(dip="a", weights=(0.4, 0.1), latencies_ms=(5.0, 1.0))
+        ordered = cand.sorted_by_weight()
+        assert ordered.weights == (0.1, 0.4)
+        assert ordered.latencies_ms == (1.0, 5.0)
+
+    def test_min_max(self):
+        cand = DipCandidates(dip="a", weights=(0.4, 0.1), latencies_ms=(5.0, 1.0))
+        assert cand.min_weight() == pytest.approx(0.1)
+        assert cand.max_weight() == pytest.approx(0.4)
+
+
+class TestAssignmentProblem:
+    def test_duplicate_dips_rejected(self):
+        cand = DipCandidates(dip="a", weights=(0.5,), latencies_ms=(1.0,))
+        with pytest.raises(ConfigurationError):
+            AssignmentProblem(dips=(cand, cand))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AssignmentProblem(dips=())
+
+    def test_weight_bounds(self):
+        problem = two_dip_problem()
+        assert problem.weight_bounds() == (pytest.approx(0.4), pytest.approx(1.6))
+
+    def test_is_sum_feasible(self):
+        assert two_dip_problem().is_sum_feasible()
+
+    def test_sum_infeasible_when_target_too_high(self):
+        problem = AssignmentProblem(
+            dips=(DipCandidates(dip="a", weights=(0.1, 0.2), latencies_ms=(1.0, 2.0)),),
+            total_weight=1.0,
+        )
+        assert not problem.is_sum_feasible()
+
+    def test_objective_and_weights_of(self):
+        problem = two_dip_problem()
+        selection = {"a": 3, "b": 0}
+        assert problem.objective_of(selection) == pytest.approx(8.0 + 2.0)
+        assert problem.weights_of(selection) == {"a": 0.8, "b": 0.2}
+
+    def test_overloaded_dips(self):
+        problem = two_dip_problem()
+        assert problem.overloaded_dips({"a": 0.9, "b": 0.5}) == ("a",)
+        assert problem.overloaded_dips({"a": 0.8, "b": 0.6}) == ()
+
+    def test_candidates_for(self):
+        problem = two_dip_problem()
+        assert problem.candidates_for("b").dip == "b"
+        with pytest.raises(KeyError):
+            problem.candidates_for("missing")
+
+    def test_build_problem_helper(self):
+        problem = build_problem(
+            {"a": {0.1: 1.0, 0.2: 2.0}, "b": {0.1: 3.0, 0.2: 4.0}},
+            w_max={"a": 0.2},
+        )
+        assert problem.num_dips == 2
+        assert problem.candidates_for("a").w_max == pytest.approx(0.2)
+
+    def test_uniform_candidates(self):
+        cand = uniform_candidates("a", lambda w: 10 * w, count=5, upper=0.4)
+        assert cand.weights == pytest.approx((0.0, 0.1, 0.2, 0.3, 0.4))
+        assert cand.latencies_ms[-1] == pytest.approx(4.0)
+
+    def test_uniform_candidates_degenerate_range(self):
+        cand = uniform_candidates("a", lambda w: 1.0, count=3, upper=0.0)
+        assert cand.weights == (0.0, 0.0, 0.0)
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+class TestExactBackends:
+    def test_finds_optimal_solution(self, backend):
+        result = solve(two_dip_problem(), backend=backend)
+        assert result.status.has_solution
+        # Optimal: a=0.8, b=0.2 → 8+2=10 vs a=0.6,b=0.4 → 4+6=10 … both 10;
+        # a=0.4,b=0.6 → 2+14=16.  The optimum objective is 10.
+        assert result.objective_ms == pytest.approx(10.0)
+        assert result.total_weight == pytest.approx(1.0, abs=0.011)
+
+    def test_respects_theta(self, backend):
+        free = solve(two_dip_problem(theta=None), backend=backend)
+        constrained = solve(two_dip_problem(theta=0.2), backend=backend)
+        assert constrained.status.has_solution
+        # With theta=0.2 the chosen weights may differ by at most 0.2.
+        weights = list(constrained.weights.values())
+        assert max(weights) - min(weights) <= 0.2 + 1e-9
+        assert constrained.objective_ms >= free.objective_ms - 1e-9
+
+    def test_theta_zero_infeasible_on_this_grid(self, backend):
+        # theta=0 forces equal weights, but 2 × {0.2,0.4,0.6,0.8} never sums
+        # to 1.0 within the 0.01 tolerance.
+        result = solve(two_dip_problem(theta=0.0), backend=backend)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_when_sum_unreachable(self, backend):
+        problem = AssignmentProblem(
+            dips=(
+                DipCandidates(dip="a", weights=(0.1,), latencies_ms=(1.0,)),
+                DipCandidates(dip="b", weights=(0.1,), latencies_ms=(1.0,)),
+            ),
+            total_weight=1.0,
+            total_weight_tolerance=0.01,
+        )
+        result = solve(problem, backend=backend)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_single_dip(self, backend):
+        problem = AssignmentProblem(
+            dips=(
+                DipCandidates(
+                    dip="only", weights=(0.5, 1.0), latencies_ms=(1.0, 3.0)
+                ),
+            ),
+            total_weight=1.0,
+            total_weight_tolerance=0.01,
+        )
+        result = solve(problem, backend=backend)
+        assert result.weights == {"only": 1.0}
+
+    def test_overload_detection(self, backend):
+        # Force total weight 1 with w_max 0.3 per DIP: any solution overloads.
+        problem = AssignmentProblem(
+            dips=(
+                DipCandidates(dip="a", weights=(0.4, 0.6), latencies_ms=(1.0, 2.0), w_max=0.3),
+                DipCandidates(dip="b", weights=(0.4, 0.6), latencies_ms=(1.0, 2.0), w_max=0.3),
+            ),
+            total_weight=1.0,
+            total_weight_tolerance=0.05,
+        )
+        result = solve(problem, backend=backend)
+        assert result.status.has_solution
+        assert result.is_overloaded
+
+    def test_selection_indices_consistent(self, backend):
+        problem = two_dip_problem()
+        result = solve(problem, backend=backend)
+        assert problem.objective_of(result.selection) == pytest.approx(result.objective_ms)
+        assert problem.weights_of(result.selection) == result.weights
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestAllBackendsFeasibility:
+    def test_solution_within_tolerance_band(self, backend):
+        problem = two_dip_problem(tolerance=0.05)
+        result = solve(problem, backend=backend)
+        assert result.status.has_solution
+        assert abs(result.total_weight - 1.0) <= 0.05 + 1e-9
+
+    def test_larger_pool(self, backend):
+        dips = tuple(
+            DipCandidates(
+                dip=f"d{i}",
+                weights=(0.0, 0.05, 0.10, 0.15, 0.20),
+                latencies_ms=(1.0, 1.5, 2.5, 5.0, 9.0),
+                w_max=0.2,
+            )
+            for i in range(10)
+        )
+        problem = AssignmentProblem(dips=dips, total_weight=1.0, total_weight_tolerance=0.02)
+        result = solve(problem, backend=backend)
+        assert result.status.has_solution
+        assert abs(result.total_weight - 1.0) <= 0.02 + 1e-9
+
+
+class TestGreedy:
+    def test_close_to_optimal_on_convex_costs(self):
+        problem = two_dip_problem(tolerance=0.05)
+        exact = solve_branch_and_bound(problem)
+        heuristic = solve_greedy(problem)
+        assert heuristic.status.has_solution
+        assert heuristic.objective_ms <= exact.objective_ms * 1.5 + 1e-9
+
+    def test_infeasible_target(self):
+        problem = AssignmentProblem(
+            dips=(DipCandidates(dip="a", weights=(0.1,), latencies_ms=(1.0,)),),
+            total_weight=1.0,
+            total_weight_tolerance=0.01,
+        )
+        assert solve_greedy(problem).status is SolveStatus.INFEASIBLE
+
+
+class TestDp:
+    def test_matches_exact_objective(self):
+        problem = two_dip_problem(tolerance=0.02)
+        exact = solve_branch_and_bound(problem)
+        dp = solve_dp(problem, resolution=1e-3)
+        assert dp.status.has_solution
+        assert dp.objective_ms == pytest.approx(exact.objective_ms, rel=0.05)
+
+    def test_rejects_theta(self):
+        with pytest.raises(ConfigurationError):
+            solve_dp(two_dip_problem(theta=0.1))
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ConfigurationError):
+            solve_dp(two_dip_problem(), resolution=0.0)
+
+
+class TestDispatcher:
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            solve(two_dip_problem(), backend="nonexistent")
+
+    def test_auto_picks_available_backend(self):
+        result = solve(two_dip_problem(), backend="auto")
+        assert result.status.has_solution
+        assert result.backend in available_backends()
+
+    def test_available_backends_contains_pure_python(self):
+        assert "branch_and_bound" in available_backends()
+        assert "greedy" in available_backends()
+
+    @pytest.mark.skipif("scipy" not in available_backends(), reason="SciPy MILP unavailable")
+    def test_scipy_and_bnb_agree(self):
+        problem = two_dip_problem()
+        assert solve_scipy(problem).objective_ms == pytest.approx(
+            solve_branch_and_bound(problem).objective_ms
+        )
+
+
+class TestSolveResult:
+    def test_status_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.TIMEOUT.has_solution
+
+    def test_branch_and_bound_counts_nodes(self):
+        result = solve_branch_and_bound(two_dip_problem())
+        assert result.nodes_explored > 0

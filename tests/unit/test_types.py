@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.types import (
+    DipRecord,
+    LatencySample,
+    MeasurementPoint,
+    WeightAssignment,
+    equal_weights,
+    normalize_weights,
+    validate_weight,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestValidateWeight:
+    def test_accepts_zero(self):
+        assert validate_weight(0.0) == 0.0
+
+    def test_accepts_one(self):
+        assert validate_weight(1.0) == 1.0
+
+    def test_accepts_interior(self):
+        assert validate_weight(0.37) == pytest.approx(0.37)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_weight(-0.01)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            validate_weight(1.01)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            validate_weight(math.nan)
+
+    def test_message_mentions_name(self):
+        with pytest.raises(ConfigurationError, match="my_weight"):
+            validate_weight(2.0, name="my_weight")
+
+
+class TestLatencySample:
+    def test_valid_sample(self):
+        sample = LatencySample(dip="d1", latency_ms=3.2, timestamp=10.0, weight=0.1)
+        assert sample.dip == "d1"
+        assert not sample.dropped
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            LatencySample(dip="d1", latency_ms=-1.0, timestamp=0.0)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ConfigurationError):
+            LatencySample(dip="d1", latency_ms=1.0, timestamp=0.0, weight=1.5)
+
+    def test_is_frozen(self):
+        sample = LatencySample(dip="d1", latency_ms=3.2, timestamp=10.0)
+        with pytest.raises(AttributeError):
+            sample.latency_ms = 5.0  # type: ignore[misc]
+
+
+class TestMeasurementPoint:
+    def test_valid(self):
+        point = MeasurementPoint(weight=0.2, latency_ms=5.0)
+        assert not point.dropped
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementPoint(weight=0.2, latency_ms=-5.0)
+
+    def test_rejects_out_of_range_weight(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementPoint(weight=1.2, latency_ms=5.0)
+
+
+class TestWeightAssignment:
+    def test_total_weight(self):
+        a = WeightAssignment(vip="v", weights={"a": 0.4, "b": 0.6})
+        assert a.total_weight == pytest.approx(1.0)
+        assert a.is_normalized()
+
+    def test_not_normalized(self):
+        a = WeightAssignment(vip="v", weights={"a": 0.4, "b": 0.4})
+        assert not a.is_normalized()
+
+    def test_normalized_rescales(self):
+        a = WeightAssignment(vip="v", weights={"a": 0.4, "b": 0.4})
+        n = a.normalized()
+        assert n.total_weight == pytest.approx(1.0)
+        assert n.weights["a"] == pytest.approx(0.5)
+
+    def test_normalized_all_zero_raises(self):
+        a = WeightAssignment(vip="v", weights={"a": 0.0, "b": 0.0})
+        with pytest.raises(ConfigurationError):
+            a.normalized()
+
+    def test_weight_for_missing_dip_is_zero(self):
+        a = WeightAssignment(vip="v", weights={"a": 1.0})
+        assert a.weight_for("missing") == 0.0
+
+    def test_imbalance(self):
+        a = WeightAssignment(vip="v", weights={"a": 0.7, "b": 0.2, "c": 0.1})
+        assert a.imbalance() == pytest.approx(0.6)
+
+    def test_imbalance_empty(self):
+        a = WeightAssignment(vip="v", weights={})
+        assert a.imbalance() == 0.0
+
+    def test_rejects_invalid_weight(self):
+        with pytest.raises(ConfigurationError):
+            WeightAssignment(vip="v", weights={"a": 1.4})
+
+
+class TestNormalizeWeights:
+    def test_basic(self):
+        result = normalize_weights({"a": 2.0, "b": 2.0})
+        assert result == {"a": 0.5, "b": 0.5}
+
+    def test_zero_sum_raises(self):
+        with pytest.raises(ConfigurationError):
+            normalize_weights({"a": 0.0})
+
+    def test_preserves_ratios(self):
+        result = normalize_weights({"a": 1.0, "b": 3.0})
+        assert result["b"] == pytest.approx(3 * result["a"])
+
+
+class TestEqualWeights:
+    def test_three_dips(self):
+        result = equal_weights(["a", "b", "c"])
+        assert all(w == pytest.approx(1 / 3) for w in result.values())
+
+    def test_empty(self):
+        assert equal_weights([]) == {}
+
+    def test_sums_to_one(self):
+        result = equal_weights([f"d{i}" for i in range(7)])
+        assert sum(result.values()) == pytest.approx(1.0)
+
+
+class TestDipRecord:
+    def test_usable_points_filters_drops(self):
+        record = DipRecord(dip="d", vip="v")
+        record.points.append(MeasurementPoint(weight=0.1, latency_ms=2.0))
+        record.points.append(MeasurementPoint(weight=0.2, latency_ms=9.0, dropped=True))
+        usable = record.usable_points()
+        assert len(usable) == 1
+        assert usable[0].weight == pytest.approx(0.1)
+
+    def test_defaults(self):
+        record = DipRecord(dip="d", vip="v")
+        assert record.current_weight == 0.0
+        assert not record.exploration_done
+        assert not record.failed
