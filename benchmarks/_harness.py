@@ -8,6 +8,7 @@ so they can be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -24,3 +25,17 @@ def save_report(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n===== {name} =====\n{text}\n")
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Persist machine-readable benchmark output (tracked across PRs).
+
+    Written as ``benchmarks/results/<name>.json`` so CI can archive the file
+    and successive PRs can diff headline numbers (e.g. the fluid-substrate
+    speedup in ``BENCH_fleet_scale.json``).
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n===== {name}.json =====\n{json.dumps(payload, indent=2, sort_keys=True)}\n")
+    return path

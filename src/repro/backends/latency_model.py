@@ -20,7 +20,6 @@ stochastic jitter on top when sampling individual requests.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError

@@ -20,7 +20,14 @@ from repro.core.controller import (
     ControlStepReport,
     Deployment,
     ExplorationReport,
+    ExplorationRoundOutcome,
     KnapsackLBController,
+)
+from repro.core.fleet_controller import (
+    FleetController,
+    FleetMeasurementReport,
+    FleetRound,
+    VipPhase,
 )
 from repro.core.curve import WeightLatencyCurve, fit_curve, fit_error
 from repro.core.drain import DrainEstimate, DrainTimeEstimator, analytic_drain_time_s
@@ -72,7 +79,12 @@ __all__ = [
     "ControlStepReport",
     "Deployment",
     "ExplorationReport",
+    "ExplorationRoundOutcome",
     "KnapsackLBController",
+    "FleetController",
+    "FleetMeasurementReport",
+    "FleetRound",
+    "VipPhase",
     "WeightLatencyCurve",
     "fit_curve",
     "fit_error",

@@ -35,7 +35,6 @@ from repro.core.dynamics import (
     rescale_curve_for_observation,
 )
 from repro.core.exploration import ExplorationState
-from repro.core.ilp import IlpOutcome
 from repro.core.multistep import MultiStepOutcome, compute_weights_multistep
 from repro.core.scheduler import MeasurementPriority, MeasurementScheduler
 from repro.core.types import (
@@ -80,6 +79,21 @@ class ExplorationReport:
 
 
 @dataclass
+class ExplorationRoundOutcome:
+    """What one scheduler round of the measurement phase accomplished.
+
+    Returned by :meth:`KnapsackLBController.exploration_round` so a fleet
+    driver can interleave rounds from several VIPs: ``measured`` names the
+    DIPs measured at their scheduled weights this round, ``done`` signals
+    that the VIP's whole measurement phase has finished.
+    """
+
+    measured: dict[DipId, float] = field(default_factory=dict)
+    programmed: dict[DipId, float] = field(default_factory=dict)
+    done: bool = False
+
+
+@dataclass
 class ControlStepReport:
     """What happened during one steady-state control tick."""
 
@@ -118,6 +132,11 @@ class KnapsackLBController:
 
         self.l0_ms: dict[DipId, float] = {}
         self.explorations: dict[DipId, ExplorationState] = {}
+        self._explore_overutilized: set[DipId] = set()
+        self._explore_limit: int = self.config.exploration.max_iterations
+        self._explore_history: dict[DipId, list[float]] = {}
+        self._explore_proposals: dict[DipId, int] = {}
+        self._explore_rounds: int = 0
         self.curves: dict[DipId, WeightLatencyCurve] = {}
         self.failed_dips: set[DipId] = set()
         self.current_weights: dict[DipId, float] = {}
@@ -193,16 +212,18 @@ class KnapsackLBController:
 
     # ------------------------------------------------------- measurement phase
 
-    def run_exploration(
+    def begin_exploration(
         self,
         *,
         max_iterations: int | None = None,
         overutilized: Sequence[DipId] = (),
-    ) -> ExplorationReport:
-        """Run the measurement phase until every DIP's exploration finishes.
+    ) -> None:
+        """Initialise the measurement phase (stepwise API).
 
-        Returns per-DIP weight histories (Fig. 9) and the iteration/round
-        counts reported in §6.1.
+        After this, :meth:`exploration_round` runs one scheduler round at a
+        time — a fleet driver can interleave rounds from many VIPs — and
+        :meth:`finish_exploration` fits any stragglers and builds the report.
+        :meth:`run_exploration` drives the whole loop for single-VIP use.
         """
         dips = self._healthy_dips()
         if not self.l0_ms:
@@ -219,101 +240,153 @@ class KnapsackLBController:
                 initial_weight=initial,
                 config=self.config.exploration,
             )
+        self._explore_overutilized = set(overutilized)
+        self._explore_limit = max_iterations or self.config.exploration.max_iterations
+        self._explore_history = {d: [] for d in dips}
+        self._explore_proposals = {d: 0 for d in dips}
+        self._explore_rounds = 0
 
-        weight_history: dict[DipId, list[float]] = {d: [] for d in dips}
-        limit = max_iterations or self.config.exploration.max_iterations
-        iteration = 0
-        rounds = 0
-        round_duration = self.config.scheduler.round_duration_s
-
-        while iteration < limit:
-            pending = [d for d, e in self.explorations.items() if not e.done]
-            if not pending:
-                break
-            iteration += 1
-
-            # Queue this iteration's measurement weight per unexplored DIP.
-            for dip in pending:
-                weight = self.explorations[dip].propose()
-                priority = (
-                    MeasurementPriority.OVERUTILIZED
-                    if dip in overutilized
-                    else MeasurementPriority.NORMAL
-                )
-                self.scheduler.submit(dip, weight, priority=priority)
-                weight_history[dip].append(weight)
-
-            # Drain the queue in rounds (the sum of weights per round is 1).
-            measured_this_iteration: set[DipId] = set()
-            while set(pending) - measured_this_iteration:
-                curves_done = {
-                    d: c for d, c in self.curves.items() if d not in pending
-                }
-                plan = self.scheduler.plan_round(list(dips), curves_done)
-                if not plan.measured:
-                    break
-                self._program(plan.weights())
-                self._advance(round_duration)
-                rounds += 1
-
-                # KLM probes every DIP each interval (§5); use every sample.
-                # Probes for the DIPs scheduled this round drive Algorithm 1;
-                # probes for filler DIPs still under exploration are recorded
-                # as additional (weight, latency) points, which spreads the
-                # regression inputs across the weight range for free.
-                round_weights = plan.weights()
-                probe_targets = [d for d, w in round_weights.items() if w > 0]
-                probe_results = self._probe(probe_targets)
-                for dip, (latency, dropped) in probe_results.items():
-                    if dip not in self.explorations or self.explorations[dip].done:
-                        continue
-                    if dip in plan.measured:
-                        if latency is None:
-                            # Probe failure during exploration: treat as a
-                            # drop at a very high latency so Algorithm 1
-                            # backtracks.
-                            latency = (
-                                self.l0_ms[dip]
-                                * self.config.exploration.drop_latency_multiplier
-                            )
-                            dropped = True
-                        self.explorations[dip].observe(
-                            plan.measured[dip], latency, dropped=dropped
-                        )
-                        measured_this_iteration.add(dip)
-                    elif latency is not None:
-                        self.explorations[dip].points.append(
-                            MeasurementPoint(
-                                weight=round_weights[dip],
-                                latency_ms=latency,
-                                dropped=dropped,
-                            )
-                        )
-
-            # Fit curves for DIPs that just finished.
-            for dip in pending:
-                state = self.explorations[dip]
-                if state.done and dip not in self.curves:
-                    self._fit_dip_curve(dip)
-
-        # Any stragglers (hit the iteration limit): fit with what we have.
+    def _exploration_finished(self) -> bool:
+        """Every DIP is either converged or out of proposal budget."""
+        queued = {r.dip for r in self.scheduler.pending}
         for dip, state in self.explorations.items():
+            if state.done:
+                continue
+            if dip in queued:
+                return False
+            if self._explore_proposals.get(dip, 0) < self._explore_limit:
+                return False
+        return True
+
+    def exploration_round(
+        self,
+        *,
+        advance: bool = True,
+        exclude: Sequence[DipId] = (),
+    ) -> ExplorationRoundOutcome:
+        """Run one measurement round: propose, schedule, program, probe.
+
+        ``exclude`` names DIPs a fleet driver has already measured in the
+        current fleet-wide round (a shared DIP cannot serve two measurement
+        weights at once); their requests stay queued.  With ``advance=False``
+        the deployment clock is left untouched so the driver can advance a
+        shared fleet exactly once per interleaved round.
+        """
+        pending = [d for d, e in self.explorations.items() if not e.done]
+        if not pending:
+            return ExplorationRoundOutcome(done=True)
+        dips = self._healthy_dips()
+
+        # Queue the next measurement weight for every DIP whose previous
+        # request was consumed, while it still has proposal budget.
+        queued = {r.dip for r in self.scheduler.pending}
+        for dip in pending:
+            if dip in queued:
+                continue
+            if self._explore_proposals.get(dip, 0) >= self._explore_limit:
+                continue
+            weight = self.explorations[dip].propose()
+            priority = (
+                MeasurementPriority.OVERUTILIZED
+                if dip in self._explore_overutilized
+                else MeasurementPriority.NORMAL
+            )
+            self.scheduler.submit(dip, weight, priority=priority)
+            self._explore_history.setdefault(dip, []).append(weight)
+            self._explore_proposals[dip] = self._explore_proposals.get(dip, 0) + 1
+
+        curves_done = {d: c for d, c in self.curves.items() if d not in pending}
+        plan = self.scheduler.plan_round(list(dips), curves_done, exclude=exclude)
+        if not plan.measured:
+            return ExplorationRoundOutcome(done=self._exploration_finished())
+
+        self._program(plan.weights())
+        if advance:
+            self._advance(self.config.scheduler.round_duration_s)
+        self._explore_rounds += 1
+
+        # KLM probes every DIP each interval (§5); use every sample.  Probes
+        # for the DIPs scheduled this round drive Algorithm 1; probes for
+        # filler DIPs still under exploration are recorded as additional
+        # (weight, latency) points, which spreads the regression inputs
+        # across the weight range for free.
+        round_weights = plan.weights()
+        probe_targets = [d for d, w in round_weights.items() if w > 0]
+        probe_results = self._probe(probe_targets)
+        for dip, (latency, dropped) in probe_results.items():
+            if dip not in self.explorations or self.explorations[dip].done:
+                continue
+            if dip in plan.measured:
+                if latency is None:
+                    # Probe failure during exploration: treat as a drop at a
+                    # very high latency so Algorithm 1 backtracks.
+                    latency = (
+                        self.l0_ms[dip]
+                        * self.config.exploration.drop_latency_multiplier
+                    )
+                    dropped = True
+                self.explorations[dip].observe(
+                    plan.measured[dip], latency, dropped=dropped
+                )
+            elif latency is not None:
+                self.explorations[dip].points.append(
+                    MeasurementPoint(
+                        weight=round_weights[dip],
+                        latency_ms=latency,
+                        dropped=dropped,
+                    )
+                )
+
+        # Fit curves for DIPs that just finished.
+        for dip in plan.measured:
+            state = self.explorations.get(dip)
+            if state is not None and state.done and dip not in self.curves:
+                self._fit_dip_curve(dip)
+
+        return ExplorationRoundOutcome(
+            measured=dict(plan.measured),
+            programmed=round_weights,
+            done=self._exploration_finished(),
+        )
+
+    def finish_exploration(self) -> ExplorationReport:
+        """Fit stragglers and summarise the measurement phase."""
+        for dip in self.explorations:
             if dip not in self.curves:
                 try:
                     self._fit_dip_curve(dip)
                 except CurveFitError:
                     continue
-
         return ExplorationReport(
-            iterations=iteration,
-            rounds=rounds,
-            elapsed_s=rounds * round_duration,
+            iterations=max(self._explore_proposals.values(), default=0),
+            rounds=self._explore_rounds,
+            elapsed_s=self._explore_rounds * self.config.scheduler.round_duration_s,
             measurements_per_dip={
                 d: e.measurements for d, e in self.explorations.items()
             },
-            weight_history=weight_history,
+            weight_history={
+                d: list(w) for d, w in self._explore_history.items()
+            },
             w_max={d: e.effective_w_max() for d, e in self.explorations.items()},
         )
+
+    def run_exploration(
+        self,
+        *,
+        max_iterations: int | None = None,
+        overutilized: Sequence[DipId] = (),
+    ) -> ExplorationReport:
+        """Run the measurement phase until every DIP's exploration finishes.
+
+        Returns per-DIP weight histories (Fig. 9) and the iteration/round
+        counts reported in §6.1.
+        """
+        self.begin_exploration(
+            max_iterations=max_iterations, overutilized=overutilized
+        )
+        while not self.exploration_round().done:
+            pass
+        return self.finish_exploration()
 
     def _fit_dip_curve(self, dip: DipId) -> WeightLatencyCurve:
         state = self.explorations[dip]

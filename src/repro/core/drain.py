@@ -16,7 +16,7 @@ drain time = ``T2 − T1``.  The estimate is refreshed every two hours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError

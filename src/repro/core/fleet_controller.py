@@ -1,0 +1,281 @@
+"""The fleet-scale KnapsackLB control plane (§3.2, §5 at Table 8 scale).
+
+One :class:`FleetController` owns every VIP of a shared DIP fleet.  It
+multiplexes the per-VIP state machines — measurement (Algorithm 1 + the
+§4.6 scheduler), ILP weight computation and §4.5 dynamics — over one
+control interval, the way the paper's single stateful controller app
+manages thousands of VIPs:
+
+* every VIP gets its own :class:`KnapsackLBController` driven through a
+  :class:`~repro.sim.fleet.FleetDeployment` view, so weight programming and
+  probing stay VIP-scoped while the underlying DIPs carry the sum of all
+  tenants' traffic;
+* all KLM samples land in one shared :class:`LatencyStore`, keyed by VIP —
+  the in-process equivalent of the paper's single Redis;
+* measurement rounds from different VIPs interleave: each fleet round asks
+  every measuring VIP's scheduler for a plan, excluding DIPs another VIP is
+  already measuring this round, then advances the shared clock exactly once;
+* VIPs can be onboarded while the rest of the fleet is live (staggered
+  onboarding), and steady-state VIPs keep reacting to failures, capacity
+  and traffic changes every control tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.config import KnapsackLBConfig
+from repro.core.controller import (
+    ControlStepReport,
+    ExplorationReport,
+    KnapsackLBController,
+)
+from repro.core.multistep import MultiStepOutcome
+from repro.core.types import DipId, VipId, WeightAssignment
+from repro.exceptions import ConfigurationError
+from repro.probing.latency_store import LatencyStore
+from repro.sim.fleet import Fleet
+
+
+class VipPhase(enum.Enum):
+    """Lifecycle of a VIP inside the fleet control plane."""
+
+    ONBOARDED = "onboarded"  # registered, measurement not started
+    MEASURING = "measuring"  # running interleaved exploration rounds
+    STEADY = "steady"  # converged; §4.5 dynamics every control tick
+
+
+@dataclass(frozen=True)
+class FleetRound:
+    """One interleaved measurement round across the fleet (observability)."""
+
+    index: int
+    time: float
+    #: DIPs measured this round, per VIP, at their scheduled weights.
+    measured: Mapping[VipId, Mapping[DipId, float]]
+
+    def measured_dips(self) -> tuple[DipId, ...]:
+        return tuple(d for per_vip in self.measured.values() for d in per_vip)
+
+
+@dataclass
+class FleetMeasurementReport:
+    """Summary of an interleaved fleet-wide measurement phase."""
+
+    rounds: int
+    elapsed_s: float
+    #: rounds in which at least two VIPs measured concurrently.
+    interleaved_rounds: int
+    reports: dict[VipId, ExplorationReport]
+    round_log: list[FleetRound] = field(default_factory=list)
+
+
+class FleetController:
+    """Multi-VIP weight computation over a shared DIP fleet."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        *,
+        config: KnapsackLBConfig | None = None,
+        store: LatencyStore | None = None,
+    ) -> None:
+        self.fleet = fleet
+        self.config = config or KnapsackLBConfig()
+        self.store = store or LatencyStore()
+        self.controllers: dict[VipId, KnapsackLBController] = {}
+        self.phases: dict[VipId, VipPhase] = {}
+        self.round_log: list[FleetRound] = []
+        self._round_index = 0
+
+    # ------------------------------------------------------------- onboarding
+
+    def onboard_vip(
+        self,
+        vip_id: VipId,
+        *,
+        config: KnapsackLBConfig | None = None,
+        start_measurement: bool = True,
+    ) -> KnapsackLBController:
+        """Attach a controller to a fleet VIP (which may join a live fleet).
+
+        Bootstraps the VIP's idle latencies and, unless
+        ``start_measurement=False``, opens its measurement phase so the next
+        :meth:`run_measurement_phase` picks it up.  Other VIPs' traffic keeps
+        flowing throughout — their DIPs simply see the onboarding VIP's
+        measurement weights as additional load.
+        """
+        if vip_id in self.controllers:
+            raise ConfigurationError(f"VIP {vip_id!r} already onboarded")
+        if vip_id not in self.fleet.vips:
+            raise ConfigurationError(f"VIP {vip_id!r} not in fleet")
+        controller = KnapsackLBController(
+            vip_id,
+            self.fleet.view(vip_id),
+            store=self.store,
+            config=config or self.config,
+        )
+        controller.time = self.fleet.time
+        self.controllers[vip_id] = controller
+        self.phases[vip_id] = VipPhase.ONBOARDED
+        if start_measurement:
+            self.start_measurement(vip_id)
+        return controller
+
+    def start_measurement(self, vip_id: VipId) -> None:
+        """Bootstrap ``l0`` and open the VIP's measurement phase."""
+        controller = self._controller(vip_id)
+        controller.begin_exploration()
+        self.phases[vip_id] = VipPhase.MEASURING
+        self._sync_clocks()
+
+    def measuring_vips(self) -> tuple[VipId, ...]:
+        return tuple(
+            v for v, phase in self.phases.items() if phase is VipPhase.MEASURING
+        )
+
+    def steady_vips(self) -> tuple[VipId, ...]:
+        return tuple(
+            v for v, phase in self.phases.items() if phase is VipPhase.STEADY
+        )
+
+    # ------------------------------------------------- interleaved measurement
+
+    def run_measurement_phase(
+        self,
+        *,
+        max_rounds: int = 100_000,
+        steady_control: bool = False,
+    ) -> FleetMeasurementReport:
+        """Drive every measuring VIP to convergence, one shared round at a time.
+
+        Each fleet round walks the measuring VIPs (rotating the starting VIP
+        for fairness), lets each pack one scheduler round — excluding DIPs
+        already claimed by an earlier VIP this round, so no DIP serves two
+        measurement weights at once — and then advances the shared clock by
+        one round duration.  With ``steady_control=True`` the already-steady
+        VIPs run their §4.5 control tick after each round, so dynamics and
+        measurement genuinely coexist (staggered onboarding).
+        """
+        round_duration = self.config.scheduler.round_duration_s
+        reports: dict[VipId, ExplorationReport] = {}
+        rounds = 0
+        interleaved = 0
+
+        while self.measuring_vips() and rounds < max_rounds:
+            measuring = list(self.measuring_vips())
+            offset = rounds % len(measuring)
+            ordered = measuring[offset:] + measuring[:offset]
+
+            claimed: set[DipId] = set()
+            measured_by_vip: dict[VipId, dict[DipId, float]] = {}
+            for vip_id in ordered:
+                controller = self.controllers[vip_id]
+                outcome = controller.exploration_round(
+                    advance=False, exclude=claimed
+                )
+                if outcome.measured:
+                    claimed.update(outcome.measured)
+                    measured_by_vip[vip_id] = dict(outcome.measured)
+                if outcome.done:
+                    reports[vip_id] = controller.finish_exploration()
+                    self.phases[vip_id] = VipPhase.STEADY
+
+            self.fleet.advance(round_duration)
+            self._sync_clocks()
+            rounds += 1
+            if len(measured_by_vip) > 1:
+                interleaved += 1
+            self.round_log.append(
+                FleetRound(
+                    index=self._round_index,
+                    time=self.fleet.time,
+                    measured=measured_by_vip,
+                )
+            )
+            self._round_index += 1
+
+            if steady_control:
+                for vip_id in self.steady_vips():
+                    self.controllers[vip_id].control_step(advance=False)
+
+        return FleetMeasurementReport(
+            rounds=rounds,
+            elapsed_s=rounds * round_duration,
+            interleaved_rounds=interleaved,
+            reports=reports,
+            round_log=self.round_log[-rounds:] if rounds else [],
+        )
+
+    # --------------------------------------------------------- weights & steady state
+
+    def compute_all_weights(self) -> dict[VipId, MultiStepOutcome]:
+        """Run each converged VIP's (multi-step) ILP and program the result."""
+        outcomes: dict[VipId, MultiStepOutcome] = {}
+        for vip_id in self.steady_vips():
+            controller = self.controllers[vip_id]
+            outcome = controller.compute_weights()
+            controller.program_assignment(outcome.assignment)
+            outcomes[vip_id] = outcome
+        return outcomes
+
+    def control_step(self) -> dict[VipId, ControlStepReport]:
+        """One fleet-wide control tick: advance once, then every steady VIP.
+
+        Mirrors the paper's 5-second loop with the fleet clock advanced a
+        single time — each VIP then probes its own DIPs (whose load includes
+        every other tenant) and reacts independently.
+        """
+        self.fleet.advance(self.config.control_interval_s)
+        self._sync_clocks()
+        return {
+            vip_id: self.controllers[vip_id].control_step(advance=False)
+            for vip_id in self.steady_vips()
+        }
+
+    def converge_all(
+        self, *, settle_steps: int = 3
+    ) -> dict[VipId, WeightAssignment]:
+        """Measure, solve and program every onboarded VIP; settle the fleet."""
+        for vip_id, phase in self.phases.items():
+            if phase is VipPhase.ONBOARDED:
+                self.start_measurement(vip_id)
+        self.run_measurement_phase()
+        self.compute_all_weights()
+        for _ in range(max(0, settle_steps)):
+            reports = self.control_step()
+            if not any(report.events for report in reports.values()):
+                break
+        return {
+            vip_id: controller.last_assignment
+            for vip_id, controller in self.controllers.items()
+            if controller.last_assignment is not None
+        }
+
+    # ------------------------------------------------------------------ reporting
+
+    def status(self) -> dict[VipId, dict[str, object]]:
+        """Per-VIP phase and controller summary (observability)."""
+        state = self.fleet.state()
+        return {
+            vip_id: {
+                "phase": self.phases[vip_id].value,
+                "dips": len(self.fleet.vips[vip_id].dips),
+                "mean_latency_ms": state.vip_mean_latency_ms(vip_id),
+                "has_assignment": controller.last_assignment is not None,
+                "failed_dips": tuple(controller.failed_dips),
+            }
+            for vip_id, controller in self.controllers.items()
+        }
+
+    def _controller(self, vip_id: VipId) -> KnapsackLBController:
+        try:
+            return self.controllers[vip_id]
+        except KeyError:
+            raise ConfigurationError(f"VIP {vip_id!r} not onboarded") from None
+
+    def _sync_clocks(self) -> None:
+        for controller in self.controllers.values():
+            controller.time = self.fleet.time

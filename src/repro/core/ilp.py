@@ -12,7 +12,7 @@ scalability problem; the second half (multi-step refinement) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.config import IlpConfig
 from repro.core.curve import WeightLatencyCurve

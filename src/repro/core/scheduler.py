@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Collection, Mapping, Sequence
 
 from repro.core.config import IlpConfig, SchedulerConfig
 from repro.core.curve import WeightLatencyCurve
@@ -131,14 +131,23 @@ class MeasurementScheduler:
         self,
         all_dips: Sequence[DipId],
         curves: Mapping[DipId, WeightLatencyCurve] | None = None,
+        *,
+        exclude: Collection[DipId] = (),
     ) -> RoundPlan:
         """Greedily admit requests and fill the remaining weight.
 
         ``all_dips`` is the full healthy DIP set of the VIP; ``curves`` maps
         DIPs whose exploration is finished to their fitted curves (these are
         the DIPs eligible to receive ILP-computed filler weights).
+
+        ``exclude`` lists DIPs that must not be *measured* this round — in a
+        multi-VIP fleet a DIP already being measured by another VIP's round
+        cannot serve a second measurement weight at the same time.  Excluded
+        requests are deferred (they stay queued), and the excluded DIPs may
+        still receive filler weight (their share of ordinary traffic).
         """
         curves = curves or {}
+        exclude = set(exclude)
         ordered = self.pending
         admitted: dict[DipId, float] = {}
         deferred: list[MeasurementRequest] = []
@@ -147,7 +156,9 @@ class MeasurementScheduler:
         for request in ordered:
             if request.dip not in all_dips:
                 continue  # DIP left the pool; drop the request silently.
-            if request.weight <= budget + 1e-9 and request.dip not in admitted:
+            if request.dip in exclude:
+                deferred.append(request)
+            elif request.weight <= budget + 1e-9 and request.dip not in admitted:
                 admitted[request.dip] = min(request.weight, budget)
                 budget -= admitted[request.dip]
             else:

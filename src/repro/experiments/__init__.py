@@ -27,6 +27,14 @@ from repro.experiments.three_dip import run_three_dip_comparison
 from repro.experiments.dynamics import run_dynamics_study
 from repro.experiments.other_lbs import run_agent_baseline, run_other_lb_weights
 from repro.experiments.overheads import run_overhead_model
+from repro.experiments.scenarios import (
+    ScenarioResult,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario,
+)
 
 __all__ = [
     "run_azure_hash_imbalance",
@@ -44,4 +52,10 @@ __all__ = [
     "run_agent_baseline",
     "run_other_lb_weights",
     "run_overhead_model",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "scenario",
 ]

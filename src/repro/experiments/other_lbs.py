@@ -10,7 +10,6 @@ from repro.core import KnapsackLBController
 from repro.core.types import DipId
 from repro.lb import AzureTrafficManagerSim, NginxSim
 from repro.sim import FluidCluster, RequestCluster
-from repro.workloads import build_three_dip_pool
 
 TABLE5_WEIGHTS = {"DIP-1": 0.2, "DIP-2": 0.3, "DIP-3": 0.5}
 

@@ -1,0 +1,420 @@
+"""A registry of runnable scenarios over the fleet control plane.
+
+The paper's evaluation is a fixed set of figures; the reproduction's north
+star is *opening new scenarios*.  This module gives every workload shape a
+name: a scenario is a parameterised runner registered under a slug, so
+experiments, benchmarks and tests all launch the same configurations via
+:func:`run_scenario` instead of hand-wiring fleets.
+
+Built-in scenarios cover the single-VIP paths (as one-VIP fleets) plus the
+multi-VIP shapes the :class:`~repro.core.fleet_controller.FleetController`
+enables: shared-DIP contention, staggered VIP onboarding and heterogeneous
+per-VIP traffic mixes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core import FleetController, KnapsackLBController
+from repro.exceptions import ConfigurationError
+from repro.sim.fleet import Fleet
+from repro.workloads import build_shared_dip_fleet, build_testbed_cluster
+
+ScenarioRunner = Callable[..., "ScenarioResult"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run: headline metrics plus raw detail."""
+
+    name: str
+    params: dict[str, Any]
+    metrics: dict[str, float]
+    detail: Any = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: its runner and default parameters."""
+
+    name: str
+    summary: str
+    runner: ScenarioRunner
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def run(self, **overrides: Any) -> ScenarioResult:
+        params = {**self.defaults, **overrides}
+        return self.runner(**params)
+
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def scenario(
+    name: str, summary: str, **defaults: Any
+) -> Callable[[ScenarioRunner], ScenarioRunner]:
+    """Register ``runner`` under ``name`` with ``defaults`` as parameters."""
+
+    def register(runner: ScenarioRunner) -> ScenarioRunner:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name, summary=summary, runner=runner, defaults=defaults
+        )
+        return runner
+
+    return register
+
+
+def list_scenarios() -> tuple[ScenarioSpec, ...]:
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def run_scenario(name: str, **overrides: Any) -> ScenarioResult:
+    """Run a registered scenario with its defaults overridden by kwargs."""
+    return get_scenario(name).run(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# single-VIP scenarios (one-VIP fleets — the paper's original shape)
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    "single_vip_testbed",
+    "The Table 3 testbed as a one-VIP fleet driven to convergence",
+    load_fraction=0.70,
+    seed=7,
+)
+def run_single_vip_testbed(*, load_fraction: float, seed: int) -> ScenarioResult:
+    cluster = build_testbed_cluster(load_fraction=load_fraction, seed=seed)
+    controller = KnapsackLBController("vip-1", cluster)
+    assignment = controller.converge()
+    klb_latency = cluster.state().overall_mean_latency_ms()
+    cluster.set_weights({d: 1 / len(cluster.dips) for d in cluster.dips})
+    equal_latency = cluster.state().overall_mean_latency_ms()
+    cluster.set_weights(dict(assignment.weights))
+    return ScenarioResult(
+        name="single_vip_testbed",
+        params={"load_fraction": load_fraction, "seed": seed},
+        metrics={
+            "mean_latency_ms": klb_latency,
+            "equal_split_latency_ms": equal_latency,
+            "latency_gain": equal_latency / klb_latency,
+            "max_utilization": max(cluster.state().utilization.values()),
+        },
+        detail=assignment,
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-VIP scenarios (the fleet control plane)
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    "multi_vip_shared_dips",
+    "N VIPs contending for a shared DIP fleet, converged and perturbed",
+    num_vips=8,
+    num_dips=32,
+    load_fraction=0.55,
+    capacity_squeeze=0.6,
+    settle_steps=6,
+    control_steps=4,
+    seed=21,
+)
+def run_multi_vip_shared_dips(
+    *,
+    num_vips: int,
+    num_dips: int,
+    load_fraction: float,
+    capacity_squeeze: float,
+    settle_steps: int,
+    control_steps: int,
+    seed: int,
+) -> ScenarioResult:
+    """Shared-DIP contention end to end: measurement → ILP → dynamics.
+
+    After convergence, one shared DIP's capacity is squeezed to exercise the
+    §4.5 detection path under contention: every VIP sharing that DIP sees
+    the latency rise and reacts independently.
+    """
+    fleet = build_shared_dip_fleet(
+        num_vips=num_vips,
+        num_dips=num_dips,
+        load_fraction=load_fraction,
+        seed=seed,
+    )
+    plane = FleetController(fleet)
+    started = time.perf_counter()
+    for vip_id in fleet.vips:
+        plane.onboard_vip(vip_id)
+    measurement = plane.run_measurement_phase()
+    outcomes = plane.compute_all_weights()
+    # Joint programming changes every shared DIP's contention at once; the
+    # §4.5 curve-rescaling feedback needs a few ticks to absorb it, exactly
+    # like the single-VIP converge() settle phase.
+    for _ in range(max(0, settle_steps)):
+        reports = plane.control_step()
+        if not any(r.events for r in reports.values()):
+            break
+    converge_wall_s = time.perf_counter() - started
+
+    state = fleet.state()
+    converged_latency = state.overall_mean_latency_ms()
+    converged_util = max(state.utilization.values())
+
+    shared = fleet.shared_dip_ids()
+    squeezed = shared[0] if shared else next(iter(fleet.dips))
+    fleet.set_capacity_ratio(squeezed, capacity_squeeze)
+    reprogrammed = 0
+    events = 0
+    for _ in range(max(1, control_steps)):
+        reports = plane.control_step()
+        reprogrammed += sum(1 for r in reports.values() if r.reprogrammed)
+        events += sum(len(r.events) for r in reports.values())
+
+    final_state = fleet.state()
+    return ScenarioResult(
+        name="multi_vip_shared_dips",
+        params={
+            "num_vips": num_vips,
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "capacity_squeeze": capacity_squeeze,
+            "control_steps": control_steps,
+            "seed": seed,
+        },
+        metrics={
+            "measurement_rounds": float(measurement.rounds),
+            "interleaved_rounds": float(measurement.interleaved_rounds),
+            "vips_with_assignment": float(len(outcomes)),
+            "shared_dips": float(len(shared)),
+            "converged_latency_ms": converged_latency,
+            "converged_max_utilization": converged_util,
+            "post_squeeze_events": float(events),
+            "post_squeeze_reprograms": float(reprogrammed),
+            "final_max_utilization": max(final_state.utilization.values()),
+            "converge_wall_s": converge_wall_s,
+        },
+        detail={
+            "measurement": measurement,
+            "outcomes": outcomes,
+            "squeezed_dip": squeezed,
+            "final_state": final_state,
+        },
+    )
+
+
+@scenario(
+    "staggered_vip_onboarding",
+    "VIPs join a live fleet one at a time while the rest stay in control",
+    num_vips=6,
+    num_dips=24,
+    initial_vips=3,
+    load_fraction=0.5,
+    seed=33,
+)
+def run_staggered_vip_onboarding(
+    *,
+    num_vips: int,
+    num_dips: int,
+    initial_vips: int,
+    load_fraction: float,
+    seed: int,
+) -> ScenarioResult:
+    """Onboard VIPs in waves; steady VIPs keep their control loop running.
+
+    The second wave's measurement traffic lands on DIPs the first wave
+    already uses, so the steady VIPs' §4.5 detectors see real contention
+    changes while the newcomers explore.
+    """
+    if not 1 <= initial_vips <= num_vips:
+        raise ConfigurationError("initial_vips must be in [1, num_vips]")
+    fleet = build_shared_dip_fleet(
+        num_vips=num_vips,
+        num_dips=num_dips,
+        load_fraction=load_fraction,
+        seed=seed,
+    )
+    plane = FleetController(fleet)
+    vip_ids = list(fleet.vips)
+
+    for vip_id in vip_ids[:initial_vips]:
+        plane.onboard_vip(vip_id)
+    first_wave = plane.run_measurement_phase()
+    plane.compute_all_weights()
+    latency_before = fleet.state().overall_mean_latency_ms()
+
+    steady_events = 0
+    for vip_id in vip_ids[initial_vips:]:
+        plane.onboard_vip(vip_id)
+        plane.run_measurement_phase(steady_control=True)
+        plane.compute_all_weights()
+    for _ in range(3):
+        reports = plane.control_step()
+        steady_events += sum(len(r.events) for r in reports.values())
+
+    state = fleet.state()
+    return ScenarioResult(
+        name="staggered_vip_onboarding",
+        params={
+            "num_vips": num_vips,
+            "num_dips": num_dips,
+            "initial_vips": initial_vips,
+            "load_fraction": load_fraction,
+            "seed": seed,
+        },
+        metrics={
+            "first_wave_rounds": float(first_wave.rounds),
+            "total_rounds": float(len(plane.round_log)),
+            "latency_before_ms": latency_before,
+            "latency_after_ms": state.overall_mean_latency_ms(),
+            "settle_events": float(steady_events),
+            "max_utilization": max(state.utilization.values()),
+            "steady_vips": float(len(plane.steady_vips())),
+        },
+        detail={"round_log": plane.round_log},
+    )
+
+
+@scenario(
+    "per_vip_traffic_mix",
+    "Heterogeneous per-VIP rates and policies on one shared fleet",
+    num_vips=6,
+    num_dips=24,
+    load_fraction=0.45,
+    background_policy="lc",
+    seed=55,
+)
+def run_per_vip_traffic_mix(
+    *,
+    num_vips: int,
+    num_dips: int,
+    load_fraction: float,
+    background_policy: str,
+    seed: int,
+) -> ScenarioResult:
+    """Half the VIPs are KnapsackLB-controlled, half are background tenants.
+
+    The background VIPs run a load-dependent policy (least-connection by
+    default) with skewed rates, so the controlled VIPs must converge on DIPs
+    whose spare capacity both shifts with the fixed point and differs per
+    DIP — the multi-tenant reality a per-VIP controller never sees.
+    """
+    mix = tuple(1.5 if i % 2 == 0 else 0.5 for i in range(num_vips))
+    fleet = build_shared_dip_fleet(
+        num_vips=num_vips,
+        num_dips=num_dips,
+        load_fraction=load_fraction,
+        rate_mix=mix,
+        seed=seed,
+    )
+    vip_ids = list(fleet.vips)
+    controlled = vip_ids[: num_vips // 2]
+    background = vip_ids[num_vips // 2 :]
+    for vip_id in background:
+        fleet.vips[vip_id].policy_name = background_policy
+    fleet.apply()
+
+    plane = FleetController(fleet)
+    for vip_id in controlled:
+        plane.onboard_vip(vip_id)
+    measurement = plane.run_measurement_phase()
+    plane.compute_all_weights()
+    for _ in range(2):
+        plane.control_step()
+
+    state = fleet.state()
+    controlled_latency = [state.vip_mean_latency_ms(v) for v in controlled]
+    background_latency = [state.vip_mean_latency_ms(v) for v in background]
+    return ScenarioResult(
+        name="per_vip_traffic_mix",
+        params={
+            "num_vips": num_vips,
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "background_policy": background_policy,
+            "seed": seed,
+        },
+        metrics={
+            "measurement_rounds": float(measurement.rounds),
+            "controlled_mean_latency_ms": sum(controlled_latency)
+            / len(controlled_latency),
+            "background_mean_latency_ms": sum(background_latency)
+            / len(background_latency),
+            "max_utilization": max(state.utilization.values()),
+        },
+        detail={"state": state},
+    )
+
+
+@scenario(
+    "datacenter_scale_fluid",
+    "Joint fleet evaluation throughput at Table 8-like scale",
+    num_vips=20,
+    num_dips=2000,
+    load_fraction=0.6,
+    evaluations=5,
+    seed=77,
+)
+def run_datacenter_scale_fluid(
+    *,
+    num_vips: int,
+    num_dips: int,
+    load_fraction: float,
+    evaluations: int,
+    seed: int,
+) -> ScenarioResult:
+    """Time the vectorized joint evaluation of a large shared fleet."""
+    fleet = build_shared_dip_fleet(
+        num_vips=num_vips,
+        num_dips=num_dips,
+        load_fraction=load_fraction,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    for _ in range(max(1, evaluations)):
+        state = fleet.apply()
+    elapsed = time.perf_counter() - started
+    per_apply_ms = elapsed / max(1, evaluations) * 1000.0
+    return ScenarioResult(
+        name="datacenter_scale_fluid",
+        params={
+            "num_vips": num_vips,
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "evaluations": evaluations,
+            "seed": seed,
+        },
+        metrics={
+            "apply_ms": per_apply_ms,
+            "dip_evaluations_per_s": num_dips / (per_apply_ms / 1000.0),
+            "max_utilization": max(state.utilization.values()),
+        },
+    )
+
+
+def fleet_for_scenario(name: str, **overrides: Any) -> Fleet:
+    """Convenience: build (without running) the fleet a scenario would use."""
+    spec = get_scenario(name)
+    params = {**spec.defaults, **overrides}
+    return build_shared_dip_fleet(
+        num_vips=int(params.get("num_vips", 8)),
+        num_dips=int(params.get("num_dips", 32)),
+        load_fraction=float(params.get("load_fraction", 0.55)),
+        seed=params.get("seed"),
+    )

@@ -12,7 +12,7 @@ KnapsackLB programs (§3.2 "Using weights to control traffic").
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.types import DipId

@@ -14,7 +14,7 @@ optional per-MUX propagation delay the simulator can honour).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError

@@ -9,7 +9,7 @@ with optional retention limits, plus the read patterns the controller needs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.types import DipId, LatencySample, VipId

@@ -14,13 +14,18 @@ Two complementary simulators share the same DIP models:
 from repro.sim.client import ClientPool, WorkloadGenerator
 from repro.sim.cluster import RequestCluster, RunResult
 from repro.sim.engine import EventHandle, EventScheduler
+from repro.sim.fleet import Fleet, FleetDeployment, FleetState
 from repro.sim.fluid import (
     FluidCluster,
     FluidClusterState,
+    PoolArrays,
     equal_split,
     least_connection_split,
+    pool_arrays,
     power_of_two_split,
     split_for_policy,
+    vector_mean_latency_ms,
+    vector_utilization,
     weighted_split,
 )
 from repro.sim.queueing import DipStation, DipQueueStats
@@ -41,12 +46,19 @@ __all__ = [
     "RunResult",
     "EventHandle",
     "EventScheduler",
+    "Fleet",
+    "FleetDeployment",
+    "FleetState",
     "FluidCluster",
     "FluidClusterState",
+    "PoolArrays",
     "equal_split",
     "least_connection_split",
+    "pool_arrays",
     "power_of_two_split",
     "split_for_policy",
+    "vector_mean_latency_ms",
+    "vector_utilization",
     "weighted_split",
     "DipStation",
     "DipQueueStats",

@@ -81,8 +81,15 @@ class EventScheduler:
         return self.schedule(max(0.0, time - self._now), callback)
 
     def run_until(self, end_time: float, *, max_events: int | None = None) -> int:
-        """Run events with timestamps <= ``end_time``; returns events executed."""
+        """Run events with timestamps <= ``end_time``; returns events executed.
+
+        When ``max_events`` truncates the run with events still due before
+        ``end_time``, the clock stays at the last executed event's time —
+        advancing it to ``end_time`` would let those pending events fire in
+        the scheduler's past on the next call.
+        """
         executed = 0
+        truncated = False
         while self._queue and self._queue[0].time <= end_time:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -94,8 +101,12 @@ class EventScheduler:
             executed += 1
             self._processed += 1
             if max_events is not None and executed >= max_events:
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                truncated = bool(self._queue) and self._queue[0].time <= end_time
                 break
-        self._now = max(self._now, end_time)
+        if not truncated:
+            self._now = max(self._now, end_time)
         return executed
 
     def run_all(self, *, max_events: int = 10_000_000) -> int:

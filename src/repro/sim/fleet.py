@@ -1,0 +1,381 @@
+"""A shared DIP fleet serving many VIPs — the multi-VIP fluid substrate.
+
+The paper's controller is datacenter-scale: Table 8 accounts for thousands
+of VIPs multiplexed over a 60 K-DIP fleet.  :class:`Fleet` models that
+shape: one pool of :class:`DipServer` instances, any number of
+:class:`~repro.sim.vip.Vip` tenants whose pools are (possibly overlapping)
+subsets, and a joint, numpy-vectorized evaluation that maps every VIP's
+(rate, policy, weights) to per-DIP arrival rates in one shot.
+
+DIPs shared by several VIPs carry the *sum* of the per-VIP rates, so their
+latency — and therefore everything KLM probes observe — reflects cross-VIP
+contention.  Load-dependent policies (least-connection, power-of-two) are
+resolved by an outer fixed point: each VIP's split is recomputed against
+the background load the other VIPs put on its DIPs until the joint rates
+stabilise.
+
+Per-VIP :class:`FleetDeployment` views satisfy the controller's
+``Deployment`` protocol, so a :class:`repro.core.KnapsackLBController` (or
+the multi-VIP :class:`repro.core.fleet_controller.FleetController`) drives
+a fleet exactly like a single-VIP :class:`~repro.sim.fluid.FluidCluster` —
+which is itself now a one-VIP fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.backends.dip import DipServer
+from repro.core.types import DipId, VipId
+from repro.exceptions import ConfigurationError
+from repro.sim.fluid import (
+    LOAD_DEPENDENT_POLICIES,
+    PoolArrays,
+    pool_arrays,
+    split_rates_array,
+    vector_mean_latency_ms,
+    vector_utilization,
+)
+from repro.sim.vip import Vip
+
+
+def _subset(pool: PoolArrays, index: np.ndarray) -> PoolArrays:
+    return PoolArrays(
+        ids=tuple(pool.ids[i] for i in index),
+        servers=pool.servers[index],
+        capacity_rps=pool.capacity_rps[index],
+        idle_latency_ms=pool.idle_latency_ms[index],
+        max_queue=pool.max_queue[index],
+        drop_utilization=pool.drop_utilization[index],
+        failed=pool.failed[index],
+    )
+
+
+@dataclass
+class FleetState:
+    """A snapshot of the whole fleet after a joint evaluation."""
+
+    time: float
+    #: total arrival rate per DIP, summed over every VIP it serves.
+    total_rates_rps: dict[DipId, float]
+    utilization: dict[DipId, float]
+    mean_latency_ms: dict[DipId, float]
+    #: each VIP's own contribution per DIP.
+    per_vip_rates: dict[VipId, dict[DipId, float]]
+
+    def vip_mean_latency_ms(self, vip: VipId) -> float:
+        """Request-weighted mean latency experienced by one VIP's traffic."""
+        rates = self.per_vip_rates.get(vip, {})
+        total = sum(rates.values())
+        if total <= 0:
+            return float("nan")
+        return (
+            sum(rate * self.mean_latency_ms[d] for d, rate in rates.items()) / total
+        )
+
+    def overall_mean_latency_ms(self) -> float:
+        """Request-weighted mean latency across the whole fleet."""
+        total = sum(self.total_rates_rps.values())
+        if total <= 0:
+            return float("nan")
+        return (
+            sum(
+                rate * self.mean_latency_ms[d]
+                for d, rate in self.total_rates_rps.items()
+            )
+            / total
+        )
+
+
+class FleetDeployment:
+    """One VIP's view of a shared fleet (satisfies ``Deployment``).
+
+    The controller programs weights and advances time through this view; it
+    only ever sees its own VIP's DIPs, while the underlying rates include
+    whatever the other tenants put on the shared servers.
+    """
+
+    def __init__(self, fleet: "Fleet", vip_id: VipId) -> None:
+        self._fleet = fleet
+        self.vip_id = vip_id
+
+    @property
+    def dips(self) -> dict[DipId, DipServer]:
+        return self._fleet.vips[self.vip_id].dips
+
+    def set_weights(self, weights: Mapping[DipId, float]) -> None:
+        self._fleet.set_weights(self.vip_id, weights)
+
+    def advance(self, duration_s: float) -> FleetState:
+        return self._fleet.advance(duration_s)
+
+    def healthy_dip_ids(self) -> tuple[DipId, ...]:
+        return self._fleet.vips[self.vip_id].healthy_dip_ids()
+
+
+class Fleet:
+    """A pool of DIP servers shared by any number of VIPs."""
+
+    def __init__(
+        self,
+        dips: Mapping[DipId, DipServer] | None = None,
+        *,
+        start_time: float = 0.0,
+        contention_iterations: int = 12,
+        contention_tolerance: float = 1e-6,
+    ) -> None:
+        if contention_iterations < 1:
+            raise ConfigurationError("contention_iterations must be >= 1")
+        self.dips: dict[DipId, DipServer] = dict(dips) if dips else {}
+        self.vips: dict[VipId, Vip] = {}
+        self.time = float(start_time)
+        self.contention_iterations = contention_iterations
+        self.contention_tolerance = contention_tolerance
+        self._last_state: FleetState | None = None
+
+    # -- membership --------------------------------------------------------------
+
+    def add_dip(self, server: DipServer) -> None:
+        if server.dip_id in self.dips:
+            raise ConfigurationError(f"DIP {server.dip_id!r} already in fleet")
+        self.dips[server.dip_id] = server
+        self._last_state = None
+
+    def create_vip(
+        self,
+        vip_id: VipId,
+        *,
+        dip_ids: Iterable[DipId],
+        total_rate_rps: float,
+        policy_name: str = "wrr",
+        weights: Mapping[DipId, float] | None = None,
+        probe_url: str = "/",
+    ) -> Vip:
+        """Register a VIP fronting a subset of the fleet's DIPs."""
+        if vip_id in self.vips:
+            raise ConfigurationError(f"VIP {vip_id!r} already in fleet")
+        members = list(dip_ids)
+        if not members:
+            raise ConfigurationError(f"VIP {vip_id!r} needs at least one DIP")
+        unknown = [d for d in members if d not in self.dips]
+        if unknown:
+            raise ConfigurationError(f"unknown DIPs for VIP {vip_id!r}: {unknown}")
+        vip = Vip(
+            vip_id=vip_id,
+            dips={d: self.dips[d] for d in members},
+            probe_url=probe_url,
+            total_rate_rps=float(total_rate_rps),
+            policy_name=policy_name,
+            weights=dict(weights) if weights else {},
+        )
+        self.vips[vip_id] = vip
+        self._last_state = None
+        return vip
+
+    def add_vip(self, vip: Vip) -> Vip:
+        """Register an existing :class:`Vip`; its DIPs join the fleet."""
+        if vip.vip_id in self.vips:
+            raise ConfigurationError(f"VIP {vip.vip_id!r} already in fleet")
+        for dip_id, server in vip.dips.items():
+            existing = self.dips.get(dip_id)
+            if existing is None:
+                self.dips[dip_id] = server
+            elif existing is not server:
+                raise ConfigurationError(
+                    f"DIP {dip_id!r} of VIP {vip.vip_id!r} conflicts with the fleet's"
+                )
+        self.vips[vip.vip_id] = vip
+        self._last_state = None
+        return vip
+
+    def remove_vip(self, vip_id: VipId) -> Vip:
+        try:
+            vip = self.vips.pop(vip_id)
+        except KeyError:
+            raise ConfigurationError(f"VIP {vip_id!r} not in fleet") from None
+        self.apply()
+        return vip
+
+    def view(self, vip_id: VipId) -> FleetDeployment:
+        """A ``Deployment``-protocol view scoped to one VIP."""
+        if vip_id not in self.vips:
+            raise ConfigurationError(f"VIP {vip_id!r} not in fleet")
+        return FleetDeployment(self, vip_id)
+
+    # -- control interface --------------------------------------------------------
+
+    def set_weights(self, vip_id: VipId, weights: Mapping[DipId, float]) -> None:
+        vip = self._vip(vip_id)
+        for dip in weights:
+            if dip not in vip.dips:
+                raise ConfigurationError(f"unknown DIP {dip!r}")
+        vip.weights.update({d: float(w) for d, w in weights.items()})
+        self.apply()
+
+    def set_total_rate(self, vip_id: VipId, total_rate_rps: float) -> None:
+        if total_rate_rps < 0:
+            raise ConfigurationError("total_rate_rps must be >= 0")
+        self._vip(vip_id).total_rate_rps = float(total_rate_rps)
+        self.apply()
+
+    def scale_traffic(self, vip_id: VipId, factor: float) -> None:
+        if factor < 0:
+            raise ConfigurationError("factor must be >= 0")
+        vip = self._vip(vip_id)
+        self.set_total_rate(vip_id, vip.total_rate_rps * factor)
+
+    def fail_dip(self, dip: DipId) -> None:
+        self.dips[dip].fail()
+        self.apply()
+
+    def recover_dip(self, dip: DipId) -> None:
+        self.dips[dip].recover()
+        self.apply()
+
+    def set_capacity_ratio(self, dip: DipId, ratio: float) -> None:
+        self.dips[dip].set_capacity_ratio(ratio, at_time=self.time)
+        self.apply()
+
+    # -- joint evaluation ----------------------------------------------------------
+
+    def apply(self) -> FleetState:
+        """Recompute every DIP's arrival rate from all VIPs' traffic at once.
+
+        Load-independent policies (equal/weighted splits) are evaluated in a
+        single vectorized pass; load-dependent ones (lc/wlc/p2) then iterate
+        against the background load of the other VIPs until the joint rates
+        converge.
+        """
+        pool = pool_arrays(self.dips)
+        n = pool.size
+        index_of = {dip: i for i, dip in enumerate(pool.ids)}
+        total = np.zeros(n)
+        contributions: dict[VipId, tuple[np.ndarray, np.ndarray]] = {}
+        reactive: list[VipId] = []
+
+        for vip_id, vip in self.vips.items():
+            healthy = vip.healthy_dip_ids()
+            if not healthy:
+                raise ConfigurationError(f"VIP {vip_id!r}: no healthy DIPs")
+            index = np.array([index_of[d] for d in healthy], dtype=np.intp)
+            sub_pool = _subset(pool, index)
+            weight_vec = np.array(
+                [vip.weights.get(d, 0.0) for d in healthy], dtype=np.float64
+            )
+            if vip.policy_name in LOAD_DEPENDENT_POLICIES:
+                # Seed with an equal split; refined by the fixed point below.
+                rates = np.full(len(healthy), vip.total_rate_rps / len(healthy))
+                reactive.append(vip_id)
+            else:
+                rates = split_rates_array(
+                    vip.policy_name, sub_pool, vip.total_rate_rps, weights=weight_vec
+                )
+            contributions[vip_id] = (index, rates)
+            total[index] += rates
+
+        for _ in range(self.contention_iterations if reactive else 0):
+            max_delta = 0.0
+            for vip_id in reactive:
+                vip = self.vips[vip_id]
+                index, old_rates = contributions[vip_id]
+                sub_pool = _subset(pool, index)
+                background = total[index] - old_rates
+                weight_vec = np.array(
+                    [vip.weights.get(d, 0.0) for d in sub_pool.ids],
+                    dtype=np.float64,
+                )
+                new_rates = split_rates_array(
+                    vip.policy_name,
+                    sub_pool,
+                    vip.total_rate_rps,
+                    weights=weight_vec,
+                    background_rps=background,
+                )
+                total[index] += new_rates - old_rates
+                contributions[vip_id] = (index, new_rates)
+                delta = float(np.max(np.abs(new_rates - old_rates))) if len(index) else 0.0
+                max_delta = max(max_delta, delta)
+            scale = max(1.0, float(total.sum()))
+            if max_delta < self.contention_tolerance * scale:
+                break
+
+        for i, dip_id in enumerate(pool.ids):
+            self.dips[dip_id].set_offered_rate(float(total[i]))
+        self._last_state = self._state_from(pool, total, contributions)
+        return self._last_state
+
+    def advance(self, duration_s: float) -> FleetState:
+        """Advance shared simulated time (loads are steady in the fluid model)."""
+        if duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        self.time += duration_s
+        return self.apply()
+
+    # -- observation ---------------------------------------------------------------
+
+    def _state_from(
+        self,
+        pool: PoolArrays,
+        total: np.ndarray,
+        contributions: Mapping[VipId, tuple[np.ndarray, np.ndarray]],
+    ) -> FleetState:
+        latency = vector_mean_latency_ms(pool, total)
+        utilization = np.minimum(1.0, vector_utilization(pool, total))
+        per_vip = {
+            vip_id: {
+                pool.ids[i]: float(rate) for i, rate in zip(index, rates)
+            }
+            for vip_id, (index, rates) in contributions.items()
+        }
+        return FleetState(
+            time=self.time,
+            total_rates_rps={d: float(r) for d, r in zip(pool.ids, total)},
+            utilization={
+                d: (0.0 if failed else float(u))
+                for d, u, failed in zip(pool.ids, utilization, pool.failed)
+            },
+            mean_latency_ms={
+                d: (float("inf") if failed else float(l))
+                for d, l, failed in zip(pool.ids, latency, pool.failed)
+            },
+            per_vip_rates=per_vip,
+        )
+
+    def state(self) -> FleetState:
+        """The snapshot of the last joint evaluation (reads are free).
+
+        Every mutating entry point (``set_weights``, ``set_total_rate``,
+        ``fail_dip``, ``advance``, …) re-runs :meth:`apply`, so the cached
+        snapshot is current unless DIPs were mutated directly — call
+        :meth:`apply` after doing that.
+        """
+        if self._last_state is None or self._last_state.time != self.time:
+            return self.apply()
+        return self._last_state
+
+    def _vip(self, vip_id: VipId) -> Vip:
+        try:
+            return self.vips[vip_id]
+        except KeyError:
+            raise ConfigurationError(f"VIP {vip_id!r} not in fleet") from None
+
+    @property
+    def total_capacity_rps(self) -> float:
+        return sum(s.capacity_rps for s in self.dips.values() if not s.failed)
+
+    def healthy_dip_ids(self) -> tuple[DipId, ...]:
+        return tuple(d for d, s in self.dips.items() if not s.failed)
+
+    def shared_dip_ids(self) -> tuple[DipId, ...]:
+        """DIPs that belong to more than one VIP (the contention set)."""
+        owners: dict[DipId, int] = {}
+        for vip in self.vips.values():
+            for dip in vip.dips:
+                owners[dip] = owners.get(dip, 0) + 1
+        return tuple(d for d, count in owners.items() if count > 1)
+
+    def __len__(self) -> int:
+        return len(self.dips)

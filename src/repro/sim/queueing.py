@@ -10,7 +10,7 @@ request-level and fluid simulations agree on means by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque
 
 import collections

@@ -7,7 +7,7 @@ module gathers those from either simulator and renders simple summaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import numpy as np

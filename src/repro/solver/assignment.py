@@ -12,8 +12,8 @@ All solver backends consume this representation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError

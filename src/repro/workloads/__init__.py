@@ -6,6 +6,7 @@ from repro.workloads.generators import (
     TestbedLayout,
     build_graded_three_dip_pool,
     build_heterogeneous_pair,
+    build_shared_dip_fleet,
     build_testbed_cluster,
     build_testbed_dips,
     build_three_dip_pool,
@@ -20,6 +21,7 @@ __all__ = [
     "TestbedLayout",
     "build_graded_three_dip_pool",
     "build_heterogeneous_pair",
+    "build_shared_dip_fleet",
     "build_testbed_cluster",
     "build_testbed_dips",
     "build_three_dip_pool",

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.backends import (
     DS1_V2,
     DS2_V2,
@@ -26,6 +28,7 @@ from repro.backends import (
 )
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
+from repro.sim.fleet import Fleet
 from repro.sim.fluid import FluidCluster
 
 #: DIP counts per VM type in the paper's 30-DIP testbed (Table 3).
@@ -174,6 +177,81 @@ def build_uniform_pool(
         )
         for i in range(num_dips)
     }
+
+
+def build_shared_dip_fleet(
+    *,
+    num_vips: int = 8,
+    num_dips: int = 32,
+    pool_size: int | None = None,
+    load_fraction: float = 0.55,
+    policy_name: str = "wrr",
+    rate_mix: tuple[float, ...] | None = None,
+    core_choices: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int | None = 21,
+) -> Fleet:
+    """A fleet of ``num_dips`` heterogeneous DIPs shared by ``num_vips`` VIPs.
+
+    Each VIP fronts a contiguous window of ``pool_size`` DIPs starting at a
+    stride of ``num_dips / num_vips``, so neighbouring VIPs overlap and most
+    DIPs serve more than one VIP — the shared-fleet contention shape of the
+    Table 8 datacenter.  Per-VIP rates are sized so the *total* load on each
+    DIP (summed over the VIPs sharing it) lands around ``load_fraction`` of
+    its capacity; ``rate_mix`` multiplies the per-VIP rates for heterogeneous
+    traffic mixes.
+    """
+    if num_vips < 1 or num_dips < 1:
+        raise ConfigurationError("num_vips and num_dips must be >= 1")
+    pool_size = pool_size or min(num_dips, max(2, (2 * num_dips) // num_vips))
+    if pool_size > num_dips:
+        raise ConfigurationError("pool_size cannot exceed num_dips")
+    if rate_mix is not None and len(rate_mix) != num_vips:
+        raise ConfigurationError("rate_mix must have one entry per VIP")
+
+    rng = np.random.default_rng(seed)
+    fleet = Fleet()
+    for index in range(num_dips):
+        cores = int(core_choices[int(rng.integers(len(core_choices)))])
+        vm = custom_vm_type(
+            f"fleet-{cores}core",
+            vcpus=cores,
+            capacity_rps=400.0 * cores,
+            idle_latency_ms=1000.0 / 400.0,
+        )
+        fleet.add_dip(
+            DipServer(
+                f"DIP-{index + 1}",
+                vm,
+                seed=None if seed is None else seed + index,
+            )
+        )
+
+    dip_ids = list(fleet.dips)
+    stride = max(1, num_dips // num_vips)
+    # How many VIPs share a typical DIP under this windowing.
+    sharing = max(1.0, num_vips * pool_size / num_dips)
+    for vip_index in range(num_vips):
+        start = (vip_index * stride) % num_dips
+        members = [dip_ids[(start + j) % num_dips] for j in range(pool_size)]
+        pool_capacity = sum(fleet.dips[d].capacity_rps for d in members)
+        rate = load_fraction * pool_capacity / sharing
+        if rate_mix is not None:
+            rate *= rate_mix[vip_index]
+        # Start from capacity-proportional weights (a sane operator baseline);
+        # an equal split would saturate the small DIPs of a heterogeneous
+        # pool outright — the very pathology KnapsackLB is meant to fix.
+        initial = {
+            d: fleet.dips[d].capacity_rps / pool_capacity for d in members
+        }
+        fleet.create_vip(
+            f"VIP-{vip_index + 1}",
+            dip_ids=members,
+            total_rate_rps=rate,
+            policy_name=policy_name,
+            weights=initial,
+        )
+    fleet.apply()
+    return fleet
 
 
 def table8_vip_counts() -> dict[int, int]:

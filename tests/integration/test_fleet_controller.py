@@ -1,0 +1,100 @@
+"""Integration: the multi-VIP control plane end to end on a shared fleet.
+
+The acceptance scenario of the fleet-scale refactor: 8 VIPs sharing 32
+DIPs run measurement, per-VIP ILP weights and dynamics through one
+FleetController, with rounds from different VIPs interleaved on the shared
+clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scenario, list_scenarios, run_scenario
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def shared_dip_result():
+    """The 8-VIP / 32-DIP shared-fleet scenario, run once for all tests."""
+    return run_scenario("multi_vip_shared_dips")
+
+
+class TestScenarioRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = {spec.name for spec in list_scenarios()}
+        assert {
+            "single_vip_testbed",
+            "multi_vip_shared_dips",
+            "staggered_vip_onboarding",
+            "per_vip_traffic_mix",
+            "datacenter_scale_fluid",
+        } <= names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario("definitely-not-a-scenario")
+
+    def test_defaults_can_be_overridden(self):
+        spec = get_scenario("multi_vip_shared_dips")
+        assert spec.defaults["num_vips"] == 8
+        result = run_scenario(
+            "multi_vip_shared_dips",
+            num_vips=2,
+            num_dips=6,
+            settle_steps=2,
+            control_steps=1,
+        )
+        assert result.params["num_vips"] == 2
+        assert result.metrics["vips_with_assignment"] == 2.0
+
+
+class TestMultiVipSharedDips:
+    def test_acceptance_scale(self, shared_dip_result):
+        """≥8 VIPs sharing ≥32 DIPs, end to end through FleetController."""
+        assert shared_dip_result.params["num_vips"] >= 8
+        assert shared_dip_result.params["num_dips"] >= 32
+        assert shared_dip_result.metrics["vips_with_assignment"] == 8.0
+        assert shared_dip_result.metrics["shared_dips"] >= 1.0
+
+    def test_measurement_rounds_interleave(self, shared_dip_result):
+        metrics = shared_dip_result.metrics
+        assert metrics["measurement_rounds"] > 0
+        # The whole point of the fleet scheduler: most rounds carry
+        # measurements from more than one VIP.
+        assert metrics["interleaved_rounds"] >= metrics["measurement_rounds"] * 0.5
+
+    def test_no_dip_measured_twice_per_round(self, shared_dip_result):
+        measurement = shared_dip_result.detail["measurement"]
+        for entry in measurement.round_log:
+            measured = entry.measured_dips()
+            assert len(measured) == len(set(measured))
+
+    def test_converged_fleet_is_healthy(self, shared_dip_result):
+        metrics = shared_dip_result.metrics
+        assert metrics["converged_max_utilization"] <= 1.0
+        assert metrics["converged_latency_ms"] < 50.0
+
+    def test_dynamics_react_to_shared_capacity_squeeze(self, shared_dip_result):
+        metrics = shared_dip_result.metrics
+        assert metrics["post_squeeze_events"] >= 1.0
+        assert metrics["post_squeeze_reprograms"] >= 1.0
+        assert metrics["final_max_utilization"] <= 1.0
+
+
+class TestStaggeredOnboarding:
+    def test_late_vips_join_live_fleet(self):
+        result = run_scenario(
+            "staggered_vip_onboarding", num_vips=4, num_dips=12, initial_vips=2
+        )
+        assert result.metrics["steady_vips"] == 4.0
+        assert result.metrics["total_rounds"] > result.metrics["first_wave_rounds"]
+        assert result.metrics["max_utilization"] <= 1.0
+
+
+class TestPerVipTrafficMix:
+    def test_controlled_vips_converge_amid_background_tenants(self):
+        result = run_scenario("per_vip_traffic_mix", num_vips=4, num_dips=12)
+        assert result.metrics["measurement_rounds"] > 0
+        assert result.metrics["max_utilization"] <= 1.0
+        assert result.metrics["controlled_mean_latency_ms"] < 50.0

@@ -9,7 +9,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.backends.latency_model import LatencyModel, erlang_c, scaled_model
-from repro.core.curve import WeightLatencyCurve, fit_curve
+from repro.core.curve import fit_curve
 from repro.core.exploration import ExplorationState
 from repro.core.config import ExplorationConfig
 from repro.core.types import MeasurementPoint, normalize_weights

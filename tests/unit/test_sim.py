@@ -99,6 +99,38 @@ class TestEventScheduler:
         scheduler.run_until(1.0)
         assert scheduler.processed_events == 2
 
+    def test_max_events_truncation_keeps_clock_at_last_event(self):
+        """Regression: a truncated run must not advance past pending events."""
+        scheduler = EventScheduler()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.schedule(delay, lambda d=delay: fired.append(d))
+        executed = scheduler.run_until(10.0, max_events=2)
+        assert executed == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.now == 2.0  # not 10.0: an event at t=3 is still due
+        # Resuming executes the pending event at its own (future) time.
+        executed = scheduler.run_until(10.0)
+        assert executed == 1
+        assert fired == [1.0, 2.0, 3.0]
+        assert scheduler.now == 10.0
+
+    def test_max_events_truncation_without_pending_reaches_end_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        executed = scheduler.run_until(5.0, max_events=1)
+        assert executed == 1
+        assert scheduler.now == 5.0  # nothing else due before end_time
+
+    def test_max_events_truncation_ignores_cancelled_pending(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        handle = scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        executed = scheduler.run_until(5.0, max_events=1)
+        assert executed == 1
+        assert scheduler.now == 5.0  # the only pending event was cancelled
+
 
 class TestWorkloadGenerator:
     def test_interarrival_mean_matches_rate(self):
