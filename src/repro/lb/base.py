@@ -57,6 +57,14 @@ class Policy(abc.ABC):
     name: str = "policy"
     #: whether :meth:`set_weights` has any effect.
     supports_weights: bool = False
+    #: whether :meth:`select` inspects the flow 5-tuple.  Policies that
+    #: ignore it (round robin, least connection, …) let the request
+    #: simulator skip building a FlowKey per request on the hot path.
+    uses_flow: bool = True
+    #: whether :meth:`select` reads ``active_connections``.  When a policy
+    #: never looks at connection counts (round robin, hash, random, DNS),
+    #: the simulator skips the per-request open/close bookkeeping.
+    uses_connection_counts: bool = True
 
     def __init__(self, dips: Iterable[DipId]) -> None:
         dip_list = list(dips)
@@ -67,8 +75,18 @@ class Policy(abc.ABC):
         self._views: dict[DipId, DipView] = {
             dip: DipView(dip=dip) for dip in dip_list
         }
+        # Healthy-set caches: select() runs once per simulated request, so
+        # recomputing the healthy tuple per call is O(DIPs) on the hot path.
+        # Health only changes through set_healthy/add_dip/remove_dip, which
+        # invalidate both caches.
+        self._healthy_cache: tuple[DipId, ...] | None = None
+        self._candidates_cache: list[DipView] | None = None
 
     # -- DIP pool management -------------------------------------------------
+
+    def _invalidate_pool_caches(self) -> None:
+        self._healthy_cache = None
+        self._candidates_cache = None
 
     @property
     def dips(self) -> tuple[DipId, ...]:
@@ -76,7 +94,11 @@ class Policy(abc.ABC):
 
     @property
     def healthy_dips(self) -> tuple[DipId, ...]:
-        return tuple(d for d, v in self._views.items() if v.healthy)
+        cached = self._healthy_cache
+        if cached is None:
+            cached = tuple(d for d, v in self._views.items() if v.healthy)
+            self._healthy_cache = cached
+        return cached
 
     def view(self, dip: DipId) -> DipView:
         return self._views[dip]
@@ -87,12 +109,15 @@ class Policy(abc.ABC):
         if weight < 0:
             raise ConfigurationError(f"negative weight for {dip!r}")
         self._views[dip] = DipView(dip=dip, weight=float(weight))
+        self._invalidate_pool_caches()
 
     def remove_dip(self, dip: DipId) -> None:
         self._views.pop(dip, None)
+        self._invalidate_pool_caches()
 
     def set_healthy(self, dip: DipId, healthy: bool) -> None:
         self._views[dip].healthy = healthy
+        self._invalidate_pool_caches()
 
     # -- weights --------------------------------------------------------------
 
@@ -134,7 +159,10 @@ class Policy(abc.ABC):
     # -- helpers ---------------------------------------------------------------
 
     def _candidates(self) -> list[DipView]:
-        views = [v for v in self._views.values() if v.healthy]
+        views = self._candidates_cache
+        if views is None:
+            views = [v for v in self._views.values() if v.healthy]
+            self._candidates_cache = views
         if not views:
             raise ConfigurationError("no healthy DIPs available")
         return views

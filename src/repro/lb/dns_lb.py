@@ -84,6 +84,7 @@ class DnsWeightedPolicy(Policy):
 
     name = "dns"
     supports_weights = True
+    uses_connection_counts = False
 
     def __init__(
         self,

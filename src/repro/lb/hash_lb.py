@@ -27,6 +27,7 @@ class FiveTupleHash(Policy):
 
     name = "hash"
     supports_weights = False
+    uses_connection_counts = False
 
     def __init__(self, dips: Iterable[DipId], *, salt: str = "") -> None:
         super().__init__(dips)

@@ -21,6 +21,7 @@ class LeastConnection(Policy):
 
     name = "lc"
     supports_weights = False
+    uses_flow = False
 
     def select(self, flow: FlowKey) -> DipId:
         candidates = self._candidates()
@@ -38,6 +39,7 @@ class WeightedLeastConnection(Policy):
 
     name = "wlc"
     supports_weights = True
+    uses_flow = False
 
     def __init__(
         self,

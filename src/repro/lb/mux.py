@@ -33,6 +33,9 @@ class WeightUpdate:
 class MuxPool:
     """A set of identical MUXes fronted by ECMP."""
 
+    #: ECMP hashes the flow onto a MUX, so the pool always needs the 5-tuple.
+    uses_flow = True
+
     def __init__(
         self,
         policy_factory: Callable[[], Policy],
@@ -63,6 +66,10 @@ class MuxPool:
     @property
     def supports_weights(self) -> bool:
         return self._muxes[0].supports_weights
+
+    @property
+    def uses_connection_counts(self) -> bool:
+        return self._muxes[0].uses_connection_counts
 
     def mux_for(self, flow: FlowKey) -> Policy:
         """ECMP: hash the flow onto one MUX instance."""

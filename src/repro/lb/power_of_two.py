@@ -22,6 +22,7 @@ class PowerOfTwo(Policy):
 
     name = "p2"
     supports_weights = False
+    uses_flow = False
 
     def __init__(
         self,

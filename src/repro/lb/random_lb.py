@@ -15,6 +15,8 @@ class RandomSelect(Policy):
 
     name = "random"
     supports_weights = False
+    uses_flow = False
+    uses_connection_counts = False
 
     def __init__(self, dips: Iterable[DipId], *, seed: int | None = None) -> None:
         super().__init__(dips)
@@ -30,6 +32,8 @@ class WeightedRandom(Policy):
 
     name = "wrandom"
     supports_weights = True
+    uses_flow = False
+    uses_connection_counts = False
 
     def __init__(
         self,

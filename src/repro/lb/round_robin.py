@@ -21,6 +21,8 @@ class RoundRobin(Policy):
 
     name = "rr"
     supports_weights = False
+    uses_flow = False
+    uses_connection_counts = False
 
     def __init__(self, dips: Iterable[DipId]) -> None:
         super().__init__(dips)
@@ -40,6 +42,8 @@ class WeightedRoundRobin(Policy):
 
     name = "wrr"
     supports_weights = True
+    uses_flow = False
+    uses_connection_counts = False
 
     def __init__(
         self,

@@ -29,8 +29,23 @@ class ClientPool:
             raise ConfigurationError("num_clients must be >= 1")
 
 
+#: ephemeral source ports cycle through [1024, 65000] as in the seed path.
+_PORT_MIN = 1024
+_PORT_MAX = 65000
+_PORT_SPAN = _PORT_MAX - _PORT_MIN + 1
+
+
 class WorkloadGenerator:
-    """Open-loop Poisson request generator."""
+    """Open-loop Poisson request generator.
+
+    Supports two draw styles with the same per-seed determinism guarantee
+    (a fixed seed always yields the same stream *within* a style):
+
+    * scalar ``next_interarrival_s`` / ``next_flow`` — one RNG call per
+      sample, as the seed simulator used;
+    * :meth:`next_batch` — one vectorized RNG call per chunk, feeding the
+      streaming-arrival engine without per-request Generator overhead.
+    """
 
     def __init__(
         self,
@@ -55,6 +70,36 @@ class WorkloadGenerator:
     def next_interarrival_s(self) -> float:
         """Time until the next request arrival."""
         return float(self._rng.exponential(1.0 / self.rate_rps))
+
+    def next_batch(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` arrivals in one shot: (interarrivals_s, client_idx, ports).
+
+        Interarrival times are exponential at the *current* rate; client
+        indices are uniform over the pool; source ports continue the same
+        rolling [1024, 65000] sequence the scalar path uses.  Counters
+        advance by ``n`` so batch and scalar draws can be mixed.
+        """
+        if n < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        gaps = self._rng.exponential(1.0 / self.rate_rps, size=n)
+        client_indices = self._rng.integers(self.clients.num_clients, size=n)
+        ports = (
+            self._next_port + 1 - _PORT_MIN + np.arange(n, dtype=np.int64)
+        ) % _PORT_SPAN + _PORT_MIN
+        self._next_port = int(ports[-1])
+        self._request_counter += n
+        return gaps, client_indices, ports
+
+    def next_interarrival_batch(self, n: int) -> np.ndarray:
+        """Draw only ``n`` interarrival times (policies that ignore flows)."""
+        if n < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        self._request_counter += n
+        return self._rng.exponential(1.0 / self.rate_rps, size=n)
+
+    def client_ips(self) -> list[str]:
+        """Source IP strings by client index (precomputed for batch mode)."""
+        return [f"10.1.0.{i + 1}" for i in range(self.clients.num_clients)]
 
     def next_flow(self) -> FlowKey:
         """A fresh connection 5-tuple for the next request."""

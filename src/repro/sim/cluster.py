@@ -6,6 +6,23 @@ requests to the VIP, a MUX picks the DIP for each new connection, the DIP
 serves the request through an M/M/c/K queue, and the client-observed latency
 is recorded.  This is the substrate behind the policy-comparison experiments
 (Figs. 3, 4, 12, 13, 14 and Tables 1, 4, 5).
+
+Hot-path design (``BENCH_request_engine.json`` tracks the speedup):
+
+* **streaming arrivals** — instead of pre-scheduling every Poisson arrival
+  upfront (O(total requests) heap entries before the first event fires),
+  the cluster keeps exactly one pending arrival event; firing it submits
+  the request and schedules the next arrival from a batch of
+  :meth:`~repro.sim.client.WorkloadGenerator.next_batch` draws.  Peak heap
+  size is O(in-flight requests), independent of run length.
+* **resolved dispatch** — whether the policy is a :class:`MuxPool`, needs
+  ``advance_time`` (DNS) or inspects the flow 5-tuple is decided once at
+  construction, not re-``isinstance``-checked per request; FlowKey objects
+  are only built for policies that declare ``uses_flow``.
+* **one submit path** — warm-up and measured requests flow through the same
+  ``_arrival`` handler; whether a request is recorded is decided by its
+  arrival time against the warm-up boundary (the seed had a copy-pasted
+  ``_warmup_request`` twin).
 """
 
 from __future__ import annotations
@@ -16,7 +33,7 @@ from typing import Mapping
 from repro.backends.dip import DipServer
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
-from repro.lb.base import Policy
+from repro.lb.base import FlowKey, Policy
 from repro.lb.dns_lb import DnsWeightedPolicy
 from repro.lb.mux import MuxPool
 from repro.sim.client import ClientPool, WorkloadGenerator
@@ -24,6 +41,11 @@ from repro.sim.engine import EventScheduler
 from repro.sim.queueing import DipStation
 from repro.sim.request import Request, RequestOutcome
 from repro.sim.trace import MetricsCollector
+
+#: Poisson arrivals drawn per vectorized workload call.
+ARRIVAL_BATCH = 4096
+
+_INF = float("inf")
 
 
 @dataclass
@@ -70,6 +92,7 @@ class RequestCluster:
                 self.scheduler,
                 queue_capacity=queue_capacity,
                 seed=None if seed is None else seed + index + 1,
+                completion_sink=self._on_request_done,
             )
             for index, (dip_id, server) in enumerate(self.dips.items())
         }
@@ -78,10 +101,36 @@ class RequestCluster:
         self._completed = 0
         self._dropped = 0
 
+        # Policy dispatch resolved once, not per request.
+        self._mux = isinstance(policy, MuxPool)
+        self._dns = policy if isinstance(policy, DnsWeightedPolicy) else None
+        self._needs_flow = getattr(policy, "uses_flow", True)
+        self._track_conns = getattr(policy, "uses_connection_counts", True)
+        self._select = policy.select
+        self._open = policy.on_connection_open
+        self._close = policy.on_connection_close
+
+        # Streaming-arrival state (filled per run()).
+        self._client_ips = self.workload.client_ips()
+        self._vip_address = self.workload.clients.vip_address
+        self._vip_port = self.workload.clients.vip_port
+        # Arrival buffers hold the *reversed* batch so pop() walks arrivals
+        # in time order without index bookkeeping.
+        self._arrival_times: list[float] = []
+        self._arrival_clients: list[int] = []
+        self._arrival_ports: list[int] = []
+        self._arrival_clock = 0.0
+        self._next_request_id = 0
+        self._measure_from = 0.0
+        self._total_duration = 0.0
+        #: recycled Request objects (bounded by the in-flight count).
+        self._free_requests: list[Request] = []
+        self._record = self.metrics.record_request
+
     # -- weight programming (the KnapsackLB-facing interface) --------------------
 
     def set_weights(self, weights: Mapping[DipId, float]) -> None:
-        if isinstance(self.policy, MuxPool):
+        if self._mux:
             self.policy.program_weights(weights, at_time=self.scheduler.now)
         else:
             self.policy.set_weights(weights)
@@ -94,46 +143,102 @@ class RequestCluster:
             dip_id: min(1.0, station.active_requests / station.workers)
             for dip_id, station in self._stations.items()
         }
-        if isinstance(self.policy, MuxPool):
-            self.policy.observe_utilization(snapshot)
-        else:
-            self.policy.observe_utilization(snapshot)
+        # MuxPool and Policy share the observe_utilization signature.
+        self.policy.observe_utilization(snapshot)
+        next_time = self.scheduler.now + self._observation_interval
+        if next_time < self._total_duration:
+            self.scheduler.schedule_at(next_time, self._observe_utilization)
 
-    def _submit_one(self) -> None:
-        flow = self.workload.next_flow()
-        if isinstance(self.policy, DnsWeightedPolicy):
-            self.policy.advance_time(self.scheduler.now)
-        dip_id = self.policy.select(flow)
-        request = Request(
-            request_id=self.workload.requests_generated,
-            flow=flow,
-            arrival_time=self.scheduler.now,
-            dip=dip_id,
-        )
-        self._submitted += 1
-        if isinstance(self.policy, MuxPool):
-            self.policy.on_connection_open(flow, dip_id)
+    def _refill_arrivals(self) -> None:
+        if self._needs_flow:
+            gaps, client_indices, ports = self.workload.next_batch(ARRIVAL_BATCH)
+            self._arrival_clients = client_indices[::-1].tolist()
+            self._arrival_ports = ports[::-1].tolist()
         else:
-            self.policy.on_connection_open(dip_id)
+            # Flow-less policies skip the client/port draws entirely.
+            gaps = self.workload.next_interarrival_batch(ARRIVAL_BATCH)
+        times = gaps.cumsum()
+        times += self._arrival_clock
+        self._arrival_clock = float(times[-1])
+        self._arrival_times = times[::-1].tolist()
 
-        def on_complete(req: Request) -> None:
-            if isinstance(self.policy, MuxPool):
-                self.policy.on_connection_close(flow, dip_id)
-            else:
-                self.policy.on_connection_close(dip_id)
-            completed = req.outcome is RequestOutcome.COMPLETED
-            if completed:
-                self._completed += 1
-            else:
-                self._dropped += 1
-            self.metrics.record_request(
-                dip_id,
-                req.latency_ms,
-                completed=completed,
-                timestamp=self.scheduler.now,
+    def _fire_arrival(self) -> float:
+        """Submit one request at the current time; return the next arrival time.
+
+        Driven by :meth:`EventScheduler.run_stream`: the arrival stream
+        never touches the event heap, and the returned time (``inf`` once
+        past the run horizon) tells the engine when to hand control back.
+        """
+        now = self.scheduler._now
+        times = self._arrival_times
+        times.pop()  # this arrival's timestamp (already == now)
+        if self._needs_flow:
+            flow = FlowKey(
+                src_ip=self._client_ips[self._arrival_clients.pop()],
+                src_port=self._arrival_ports.pop(),
+                dst_ip=self._vip_address,
+                dst_port=self._vip_port,
             )
+        else:
+            flow = None
+        if self._dns is not None:
+            self._dns.advance_time(now)
+        dip_id = self._select(flow)
+        request_id = self._next_request_id
+        self._next_request_id = request_id + 1
+        if now >= self._measure_from:
+            self._submitted += 1
+        pool = self._free_requests
+        if pool:
+            # Recycle a completed request: every field is re-set before any
+            # read on the lifecycle below.
+            request = pool.pop()
+            request.request_id = request_id
+            request.flow = flow
+            request.arrival_time = now
+            request.dip = dip_id
+        else:
+            request = Request(request_id, flow, now, dip_id)
+        if self._track_conns:
+            if self._mux:
+                self._open(flow, dip_id)
+            else:
+                self._open(dip_id)
+        self._stations[dip_id].submit(request)
+        # Advance the stream (refilling the numpy-drawn batch when drained).
+        if not times:
+            self._refill_arrivals()
+            times = self._arrival_times
+        next_time = times[-1]
+        return next_time if next_time < self._total_duration else _INF
 
-        self._stations[dip_id].submit(request, on_complete)
+    def _on_request_done(self, request: Request) -> None:
+        """Completion sink shared by every station (bound once, no closures)."""
+        dip_id = request.dip
+        if self._track_conns:
+            if self._mux:
+                self._close(request.flow, dip_id)
+            else:
+                self._close(dip_id)
+        arrival_time = request.arrival_time
+        if arrival_time < self._measure_from:
+            self._free_requests.append(request)
+            return  # warm-up request: routed and served but not recorded
+        completion_time = request.completion_time
+        completed = request.outcome is RequestOutcome.COMPLETED
+        if completed:
+            self._completed += 1
+        else:
+            self._dropped += 1
+        self._record(
+            dip_id,
+            (completion_time - arrival_time) * 1000.0
+            if completion_time is not None
+            else None,
+            completed,
+            self.scheduler._now,
+        )
+        self._free_requests.append(request)
 
     # -- driving the simulation -------------------------------------------------------
 
@@ -157,28 +262,28 @@ class RequestCluster:
             duration_s = num_requests / self.workload.rate_rps
         total_duration = warmup_s + duration_s
 
-        # Pre-schedule Poisson arrivals across the whole run.
-        arrival_time = 0.0
-        start_measuring_at = warmup_s
-        scheduled = 0
-        while arrival_time < total_duration:
-            arrival_time += self.workload.next_interarrival_s()
-            if arrival_time >= total_duration:
-                break
-            if arrival_time < start_measuring_at:
-                self.scheduler.schedule_at(arrival_time, self._warmup_request)
-            else:
-                self.scheduler.schedule_at(arrival_time, self._submit_one)
-            scheduled += 1
+        # Stream Poisson arrivals: the sorted stream is merged against the
+        # event heap by run_stream, so arrivals never occupy the heap and
+        # peak heap size stays O(in-flight requests).
+        self._measure_from = warmup_s
+        self._total_duration = total_duration
+        self._arrival_clock = 0.0
+        self._refill_arrivals()
+        first_arrival = self._arrival_times[-1]
+        if first_arrival >= total_duration:
+            first_arrival = _INF
 
-        # Periodic utilization observations for CPU-aware policies.
-        observation_time = self._observation_interval
-        while observation_time < total_duration:
-            self.scheduler.schedule_at(observation_time, self._observe_utilization)
-            observation_time += self._observation_interval
+        # Periodic utilization observations for CPU-aware policies
+        # (self-rescheduling — also streamed rather than pre-scheduled).
+        if self._observation_interval < total_duration:
+            self.scheduler.schedule_at(
+                self._observation_interval, self._observe_utilization
+            )
 
         # Run past the end so in-flight requests complete.
-        self.scheduler.run_until(total_duration + 30.0)
+        self.scheduler.run_stream(
+            total_duration + 30.0, first_arrival, self._fire_arrival
+        )
 
         measured_duration = duration_s
         for dip_id, station in self._stations.items():
@@ -193,31 +298,6 @@ class RequestCluster:
             requests_completed=self._completed,
             requests_dropped=self._dropped,
         )
-
-    def _warmup_request(self) -> None:
-        """A request issued during warm-up: routed and served but not recorded."""
-        flow = self.workload.next_flow()
-        if isinstance(self.policy, DnsWeightedPolicy):
-            self.policy.advance_time(self.scheduler.now)
-        dip_id = self.policy.select(flow)
-        request = Request(
-            request_id=self.workload.requests_generated,
-            flow=flow,
-            arrival_time=self.scheduler.now,
-            dip=dip_id,
-        )
-        if isinstance(self.policy, MuxPool):
-            self.policy.on_connection_open(flow, dip_id)
-        else:
-            self.policy.on_connection_open(dip_id)
-
-        def on_complete(req: Request) -> None:
-            if isinstance(self.policy, MuxPool):
-                self.policy.on_connection_close(flow, dip_id)
-            else:
-                self.policy.on_connection_close(dip_id)
-
-        self._stations[dip_id].submit(request, on_complete)
 
     # -- observation -------------------------------------------------------------------
 

@@ -5,11 +5,21 @@ exponential service time whose mean tracks the DIP's *current* capacity
 (antagonists slow every request down), and a finite queue of length ``K``
 beyond which requests are dropped.  This is the generative counterpart of
 the analytic :class:`repro.backends.latency_model.LatencyModel`, so the
-request-level and fluid simulations agree on means by construction.
+request-level and fluid simulations agree on means by construction
+(``tests/unit/test_request_engine.py`` checks that agreement).
+
+Hot-path design: each station owns its RNG and draws *unit* exponentials in
+batches (one vectorized call per ``SERVICE_BATCH`` requests), scaling by the
+current mean service time at consumption — so antagonist-driven capacity
+changes still affect every in-flight draw, and per-station draw order is
+preserved regardless of how arrivals interleave across stations.  Service
+completions are scheduled as ``(bound_method, request)`` heap payloads
+instead of per-request closures.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, Deque
 
@@ -22,10 +32,17 @@ from repro.exceptions import ConfigurationError
 from repro.sim.engine import EventScheduler
 from repro.sim.request import Request, RequestOutcome
 
+_heappush = heapq.heappush
+
 CompletionCallback = Callable[[Request], None]
 
+#: unit-exponential draws per vectorized RNG call.
+SERVICE_BATCH = 512
 
-@dataclass
+_COMPLETED = RequestOutcome.COMPLETED
+
+
+@dataclass(slots=True)
 class DipQueueStats:
     """Counters a station accumulates over a simulation run."""
 
@@ -40,6 +57,22 @@ class DipQueueStats:
 class DipStation:
     """The M/M/c/K queue representing one DIP in the request simulator."""
 
+    __slots__ = (
+        "dip",
+        "_scheduler",
+        "_queue_capacity",
+        "_rng",
+        "_waiting",
+        "_busy_workers",
+        "_last_change",
+        "_workers",
+        "_svc_buf",
+        "_svc_mean",
+        "_svc_token",
+        "_sink",
+        "stats",
+    )
+
     def __init__(
         self,
         dip: DipServer,
@@ -47,6 +80,7 @@ class DipStation:
         *,
         queue_capacity: int = 256,
         seed: int | None = None,
+        completion_sink: CompletionCallback | None = None,
     ) -> None:
         if queue_capacity < 0:
             raise ConfigurationError("queue_capacity must be >= 0")
@@ -54,24 +88,40 @@ class DipStation:
         self._scheduler = scheduler
         self._queue_capacity = queue_capacity
         self._rng = np.random.default_rng(seed)
-        self._waiting: Deque[Request] = collections.deque()
+        #: waiting requests with their completion callbacks (FIFO).
+        self._waiting: Deque[tuple[Request, CompletionCallback]] = collections.deque()
         self._busy_workers = 0
         self._last_change = scheduler.now
+        self._workers = dip.vm_type.vcpus
+        #: pre-drawn unit exponentials, reversed so pop() preserves draw order.
+        self._svc_buf: list[float] = []
+        # The mean service time is cached against the antagonist's change
+        # history (every capacity change appends an entry), avoiding a
+        # scaled_model construction per request on degraded DIPs.
+        self._svc_mean = self._mean_service_time_s()
+        self._svc_token = len(dip.antagonist.history)
+        self._sink = completion_sink
         self.stats = DipQueueStats()
 
     # -- service-time model --------------------------------------------------
 
     @property
     def workers(self) -> int:
-        return self.dip.vm_type.vcpus
+        return self._workers
+
+    def set_completion_sink(self, sink: CompletionCallback) -> None:
+        """Default completion callback for ``submit`` calls that omit one."""
+        self._sink = sink
 
     def _mean_service_time_s(self) -> float:
-        """Current mean per-request service time (antagonist-aware)."""
+        """Current mean per-request service time (antagonist-aware).
+
+        Unit exponentials are pre-drawn in batches (see ``_start_service``);
+        scaling by this mean at consumption keeps draws tracking the DIP's
+        *current* capacity.
+        """
         model = self.dip.latency_model
         return model.servers / model.capacity_rps
-
-    def _sample_service_time_s(self) -> float:
-        return float(self._rng.exponential(self._mean_service_time_s()))
 
     # -- utilization accounting ------------------------------------------------
 
@@ -79,9 +129,11 @@ class DipStation:
         now = self._scheduler.now
         elapsed = now - self._last_change
         if elapsed > 0:
-            self.stats.busy_worker_seconds += self._busy_workers * elapsed
-            if self._busy_workers > 0:
-                self.stats.busy_time_s += elapsed
+            busy = self._busy_workers
+            stats = self.stats
+            stats.busy_worker_seconds += busy * elapsed
+            if busy > 0:
+                stats.busy_time_s += elapsed
             self._last_change = now
 
     def mean_utilization(self, duration_s: float) -> float:
@@ -89,7 +141,7 @@ class DipStation:
         if duration_s <= 0:
             return 0.0
         self._account()
-        return min(1.0, self.stats.busy_worker_seconds / (self.workers * duration_s))
+        return min(1.0, self.stats.busy_worker_seconds / (self._workers * duration_s))
 
     @property
     def active_requests(self) -> int:
@@ -97,45 +149,131 @@ class DipStation:
 
     # -- request lifecycle -----------------------------------------------------
 
-    def submit(self, request: Request, on_complete: CompletionCallback) -> None:
-        """Accept a request routed to this DIP."""
-        self.stats.arrivals += 1
+    def submit(self, request: Request, on_complete: CompletionCallback | None = None) -> None:
+        """Accept a request routed to this DIP.
+
+        ``on_complete`` defaults to the station's completion sink (set once
+        by the cluster), so the hot path passes no per-request callable.
+        The busy/idle accounting is inlined here and in the finish handlers:
+        these two methods run once per simulated request each.
+        """
+        if on_complete is None:
+            on_complete = self._sink
+            if on_complete is None:
+                raise ConfigurationError(
+                    "submit() needs on_complete or a completion sink"
+                )
+        stats = self.stats
+        stats.arrivals += 1
+        scheduler = self._scheduler
         if self.dip.failed:
             request.outcome = RequestOutcome.FAILED_DIP
-            request.completion_time = self._scheduler.now
+            request.completion_time = scheduler._now
             on_complete(request)
             return
-        self._account()
-        if self._busy_workers < self.workers:
-            self._start_service(request, on_complete)
+        now = scheduler._now
+        busy = self._busy_workers
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            stats.busy_worker_seconds += busy * elapsed
+            if busy > 0:
+                stats.busy_time_s += elapsed
+            self._last_change = now
+        if busy < self._workers:
+            # Uncontended start (inlined _start_service — the common case).
+            # The completion event is heap-pushed directly: service times
+            # are never negative and never cancelled, so the engine's
+            # schedule() checks are skipped (same tuple layout).
+            self._busy_workers = busy + 1
+            request.start_service_time = now
+            buf = self._svc_buf
+            if not buf:
+                buf = self._rng.standard_exponential(SERVICE_BATCH)[::-1].tolist()
+                self._svc_buf = buf
+            token = len(self.dip.antagonist.history)
+            if token != self._svc_token:
+                self._svc_mean = self._mean_service_time_s()
+                self._svc_token = token
+            delay = buf.pop() * self._svc_mean
+            seq = scheduler._next_seq
+            scheduler._next_seq = seq + 1
+            queue = scheduler._queue
+            if on_complete is self._sink:
+                _heappush(queue, (now + delay, seq, (self._finish_to_sink, request)))
+            else:
+                _heappush(
+                    queue, (now + delay, seq, (self._finish_to, (request, on_complete)))
+                )
+            pending = len(queue) - scheduler._cancelled
+            if pending > scheduler._peak:
+                scheduler._peak = pending
         elif len(self._waiting) < self._queue_capacity:
-            request._on_complete = on_complete  # type: ignore[attr-defined]
-            self._waiting.append(request)
+            self._waiting.append((request, on_complete))
         else:
-            self.stats.drops += 1
+            stats.drops += 1
             request.outcome = RequestOutcome.DROPPED
-            request.completion_time = self._scheduler.now
+            request.completion_time = now
             on_complete(request)
 
     def _start_service(self, request: Request, on_complete: CompletionCallback) -> None:
+        """Start serving ``request`` (dequeue path; submit inlines this)."""
         self._busy_workers += 1
-        request.start_service_time = self._scheduler.now
-        service_time = self._sample_service_time_s()
+        scheduler = self._scheduler
+        request.start_service_time = scheduler._now
+        buf = self._svc_buf
+        if not buf:
+            buf = self._rng.standard_exponential(SERVICE_BATCH)[::-1].tolist()
+            self._svc_buf = buf
+        token = len(self.dip.antagonist.history)
+        if token != self._svc_token:
+            self._svc_mean = self._mean_service_time_s()
+            self._svc_token = token
+        delay = buf.pop() * self._svc_mean
+        if on_complete is self._sink:
+            scheduler.schedule(delay, (self._finish_to_sink, request))
+        else:
+            scheduler.schedule(delay, (self._finish_to, (request, on_complete)))
 
-        def finish() -> None:
-            self._account()
-            self._busy_workers -= 1
-            request.completion_time = self._scheduler.now
-            request.outcome = RequestOutcome.COMPLETED
-            self.stats.completions += 1
-            on_complete(request)
-            self._dequeue_next()
+    def _finish_to_sink(self, request: Request) -> None:
+        """Service completion for a sink-routed request (the hot path).
 
-        self._scheduler.schedule(service_time, finish)
+        Busy/idle accounting is inlined (this runs once per request).
+        """
+        now = self._scheduler._now
+        busy = self._busy_workers
+        stats = self.stats
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            stats.busy_worker_seconds += busy * elapsed
+            if busy > 0:
+                stats.busy_time_s += elapsed
+            self._last_change = now
+        self._busy_workers = busy - 1
+        request.completion_time = now
+        request.outcome = _COMPLETED
+        stats.completions += 1
+        self._sink(request)
+        if self._waiting and self._busy_workers < self._workers:
+            queued, callback = self._waiting.popleft()
+            self._start_service(queued, callback)
 
-    def _dequeue_next(self) -> None:
-        if not self._waiting or self._busy_workers >= self.workers:
-            return
-        queued = self._waiting.popleft()
-        callback: CompletionCallback = queued._on_complete  # type: ignore[attr-defined]
-        self._start_service(queued, callback)
+    def _finish_to(self, item: tuple[Request, CompletionCallback]) -> None:
+        """Service completion for a request with an explicit callback."""
+        request, on_complete = item
+        now = self._scheduler._now
+        busy = self._busy_workers
+        stats = self.stats
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            stats.busy_worker_seconds += busy * elapsed
+            if busy > 0:
+                stats.busy_time_s += elapsed
+            self._last_change = now
+        self._busy_workers = busy - 1
+        request.completion_time = now
+        request.outcome = _COMPLETED
+        stats.completions += 1
+        on_complete(request)
+        if self._waiting and self._busy_workers < self._workers:
+            queued, callback = self._waiting.popleft()
+            self._start_service(queued, callback)

@@ -15,16 +15,22 @@ class RequestOutcome(enum.Enum):
     FAILED_DIP = "failed_dip"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One client request-response exchange over a fresh connection.
 
     The paper's workload is HTTP request/response over HAProxy: one request
-    per connection, latency measured end-to-end by the client.
+    per connection, latency measured end-to-end by the client.  Slotted:
+    the request simulator allocates one of these per simulated request, so
+    the instance dict would dominate the hot path's memory traffic.
+
+    ``flow`` may be ``None`` when the routing policy declares (via
+    ``Policy.uses_flow``) that it never inspects the 5-tuple — building a
+    FlowKey per request is then pure overhead.
     """
 
     request_id: int
-    flow: FlowKey
+    flow: FlowKey | None
     arrival_time: float
     dip: DipId | None = None
     start_service_time: float | None = None

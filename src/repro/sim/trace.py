@@ -3,6 +3,18 @@
 The paper's evaluation reports per-DIP (and per-DIP-type) mean latency, CPU
 utilization, request counts and end-to-end latency distributions; this
 module gathers those from either simulator and renders simple summaries.
+
+Storage is columnar: per-request fields land in chunk-grown numpy append
+buffers (latency, DIP code, completed flag, timestamp) with DIP ids
+interned to integer codes, so a million-request run costs four staged
+appends per request instead of a ``RequestRecord`` allocation, and every
+aggregate (``latencies_ms``, ``request_share``, ``drop_fraction``,
+``summaries``) is a vectorized single pass.  Ingestion goes through small
+Python-list staging buffers that are bulk-converted into the numpy columns
+every ``_CHUNK`` records (one vectorized assignment per chunk — scalar
+numpy ``__setitem__`` per request would cost 2x the append).  ``records``
+survives as a lazy compatibility view that materialises ``RequestRecord``
+objects on demand.
 """
 
 from __future__ import annotations
@@ -13,6 +25,11 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.types import DipId
+
+#: staged records per bulk conversion into the numpy columns.
+_CHUNK = 8192
+
+_NAN = float("nan")
 
 
 @dataclass
@@ -42,28 +59,84 @@ class DipSummary:
 class MetricsCollector:
     """Accumulates request records and utilization observations."""
 
+    __slots__ = (
+        "_dip_ids",
+        "_dip_code",
+        "_lat",
+        "_code",
+        "_done",
+        "_ts",
+        "_n",
+        "_p_lat",
+        "_p_code",
+        "_p_done",
+        "_p_ts",
+        "_utilization",
+    )
+
     def __init__(self) -> None:
-        self._records: list[RequestRecord] = []
+        self._dip_ids: list[DipId] = []
+        self._dip_code: dict[DipId, int] = {}
+        # Committed columnar storage (first _n entries are valid) ...
+        self._lat = np.empty(_CHUNK, dtype=np.float64)
+        self._code = np.empty(_CHUNK, dtype=np.int32)
+        self._done = np.empty(_CHUNK, dtype=bool)
+        self._ts = np.empty(_CHUNK, dtype=np.float64)
+        self._n = 0
+        # ... and the staging lists bulk-flushed into it per chunk.
+        self._p_lat: list[float] = []
+        self._p_code: list[int] = []
+        self._p_done: list[bool] = []
+        self._p_ts: list[float] = []
         self._utilization: dict[DipId, float] = {}
 
     # -- ingestion -------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Bulk-convert the staged records into the numpy columns."""
+        staged = len(self._p_lat)
+        if not staged:
+            return
+        n = self._n
+        need = n + staged
+        capacity = self._lat.shape[0]
+        if need > capacity:
+            while capacity < need:
+                capacity *= 2
+            for name in ("_lat", "_code", "_done", "_ts"):
+                old = getattr(self, name)
+                new = np.empty(capacity, dtype=old.dtype)
+                new[:n] = old[:n]
+                setattr(self, name, new)
+        self._lat[n:need] = self._p_lat
+        self._code[n:need] = self._p_code
+        self._done[n:need] = self._p_done
+        self._ts[n:need] = self._p_ts
+        self._n = need
+        self._p_lat.clear()
+        self._p_code.clear()
+        self._p_done.clear()
+        self._p_ts.clear()
 
     def record_request(
         self,
         dip: DipId,
         latency_ms: float | None,
-        *,
         completed: bool = True,
         timestamp: float = 0.0,
     ) -> None:
-        self._records.append(
-            RequestRecord(
-                dip=dip,
-                latency_ms=float(latency_ms) if latency_ms is not None else float("nan"),
-                completed=completed,
-                timestamp=timestamp,
-            )
-        )
+        code = self._dip_code.get(dip)
+        if code is None:
+            code = len(self._dip_ids)
+            self._dip_code[dip] = code
+            self._dip_ids.append(dip)
+        staged = self._p_lat
+        staged.append(latency_ms if latency_ms is not None else _NAN)
+        self._p_code.append(code)
+        self._p_done.append(completed)
+        self._p_ts.append(timestamp)
+        if len(staged) >= _CHUNK:
+            self._flush()
 
     def record_utilization(self, utilization: Mapping[DipId, float]) -> None:
         self._utilization.update({d: float(u) for d, u in utilization.items()})
@@ -72,31 +145,51 @@ class MetricsCollector:
 
     @property
     def records(self) -> tuple[RequestRecord, ...]:
-        return tuple(self._records)
+        """Per-request records, materialised lazily from the columns."""
+        self._flush()
+        ids = self._dip_ids
+        n = self._n
+        lat, code, done, ts = self._lat, self._code, self._done, self._ts
+        return tuple(
+            RequestRecord(
+                dip=ids[code[i]],
+                latency_ms=float(lat[i]),
+                completed=bool(done[i]),
+                timestamp=float(ts[i]),
+            )
+            for i in range(n)
+        )
 
     @property
     def total_requests(self) -> int:
-        return len(self._records)
+        return self._n + len(self._p_lat)
+
+    def _dip_mask(self, dips: Iterable[DipId]) -> np.ndarray:
+        codes = [self._dip_code[d] for d in dips if d in self._dip_code]
+        if not codes:
+            return np.zeros(self._n, dtype=bool)
+        return np.isin(self._code[: self._n], codes)
 
     def latencies_ms(self, *, dips: Iterable[DipId] | None = None) -> np.ndarray:
         """Latencies of completed requests, optionally restricted to ``dips``."""
-        selected = set(dips) if dips is not None else None
-        values = [
-            r.latency_ms
-            for r in self._records
-            if r.completed and (selected is None or r.dip in selected)
-        ]
-        return np.asarray(values, dtype=float)
+        self._flush()
+        mask = self._done[: self._n]
+        if dips is not None:
+            mask = mask & self._dip_mask(dips)
+        return self._lat[: self._n][mask].astype(float, copy=True)
 
     def request_share(self) -> dict[DipId, float]:
         """Fraction of all requests routed to each DIP."""
-        counts: dict[DipId, int] = {}
-        for record in self._records:
-            counts[record.dip] = counts.get(record.dip, 0) + 1
-        total = sum(counts.values())
-        if total == 0:
+        self._flush()
+        n = self._n
+        if n == 0:
             return {}
-        return {dip: count / total for dip, count in counts.items()}
+        counts = np.bincount(self._code[:n], minlength=len(self._dip_ids)).tolist()
+        return {
+            dip: counts[code] / n
+            for code, dip in enumerate(self._dip_ids)
+            if counts[code]
+        }
 
     def mean_latency_ms(self, *, dips: Iterable[DipId] | None = None) -> float:
         values = self.latencies_ms(dips=dips)
@@ -109,34 +202,47 @@ class MetricsCollector:
         return float(np.percentile(values, percentile)) if values.size else float("nan")
 
     def drop_fraction(self, *, dips: Iterable[DipId] | None = None) -> float:
-        selected = set(dips) if dips is not None else None
-        relevant = [
-            r for r in self._records if selected is None or r.dip in selected
-        ]
-        if not relevant:
+        self._flush()
+        n = self._n
+        done = self._done[:n]
+        if dips is not None:
+            mask = self._dip_mask(dips)
+            total = int(mask.sum())
+            if total == 0:
+                return 0.0
+            return float((~done[mask]).sum() / total)
+        if n == 0:
             return 0.0
-        dropped = sum(1 for r in relevant if not r.completed)
-        return dropped / len(relevant)
+        return float((~done).sum() / n)
 
     def utilization(self) -> dict[DipId, float]:
         return dict(self._utilization)
 
     def dip_summary(self, dip: DipId) -> DipSummary:
-        latencies = self.latencies_ms(dips=[dip])
-        requests = sum(1 for r in self._records if r.dip == dip)
+        latencies = self.latencies_ms(dips=[dip])  # flushes staging
+        code = self._dip_code.get(dip)
+        if code is None:
+            requests = 0
+        else:
+            requests = int((self._code[: self._n] == code).sum())
+        if latencies.size:
+            p50, p90, p99 = np.percentile(latencies, [50, 90, 99])
+            mean = float(latencies.mean())
+        else:
+            mean = p50 = p90 = p99 = float("nan")
         return DipSummary(
             dip=dip,
             requests=requests,
-            mean_latency_ms=float(latencies.mean()) if latencies.size else float("nan"),
-            p50_latency_ms=float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
-            p90_latency_ms=float(np.percentile(latencies, 90)) if latencies.size else float("nan"),
-            p99_latency_ms=float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
+            mean_latency_ms=mean,
+            p50_latency_ms=float(p50),
+            p90_latency_ms=float(p90),
+            p99_latency_ms=float(p99),
             cpu_utilization=self._utilization.get(dip, float("nan")),
             drop_fraction=self.drop_fraction(dips=[dip]),
         )
 
     def summaries(self) -> dict[DipId, DipSummary]:
-        dips = {r.dip for r in self._records} | set(self._utilization)
+        dips = set(self._dip_ids) | set(self._utilization)
         return {dip: self.dip_summary(dip) for dip in sorted(dips)}
 
     # -- comparisons ------------------------------------------------------------

@@ -29,7 +29,16 @@ class TestScenarioRegistry:
             "staggered_vip_onboarding",
             "per_vip_traffic_mix",
             "datacenter_scale_fluid",
+            "request_vs_fluid_crosscheck",
         } <= names
+
+    def test_request_vs_fluid_crosscheck_agrees_on_means(self):
+        """The two simulators agree on mean latency (reduced request count)."""
+        result = run_scenario("request_vs_fluid_crosscheck", num_requests=60_000)
+        assert result.metrics["mean_rel_delta"] < 0.05
+        # streaming arrivals: the heap never scales with the request count.
+        assert result.metrics["peak_scheduled_events"] < 3000
+        assert result.metrics["max_share_deviation"] < 0.02
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,264 @@
+"""Tests for the rebuilt request-simulation hot path.
+
+Covers the guarantees the streaming engine must keep: per-seed determinism
+(bit-identical counters and summaries across runs), agreement with the
+analytic M/M/c model ("agree on means by construction"), O(1) pending-event
+accounting, bounded heap growth under streaming arrivals, and the columnar
+metrics compatibility surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import DipServer, custom_vm_type
+from repro.lb import FiveTupleHash, LeastConnection, RoundRobin
+from repro.sim import EventScheduler, MetricsCollector, RequestCluster, WorkloadGenerator
+
+
+def make_dips(capacities, seed=0, cores=1):
+    dips = {}
+    for index, capacity in enumerate(capacities):
+        vm = custom_vm_type(f"vm{index}", vcpus=cores, capacity_rps=capacity)
+        dips[f"d{index}"] = DipServer(
+            f"d{index}", vm, seed=seed + index, jitter_fraction=0.0
+        )
+    return dips
+
+
+class TestSchedulerFastPath:
+    def test_tuple_payload_dispatch(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(1.0, (seen.append, "a"))
+        scheduler.schedule(2.0, lambda: seen.append("b"))
+        scheduler.run_until(3.0)
+        assert seen == ["a", "b"]
+
+    def test_pending_events_counter_tracks_schedule_cancel_pop(self):
+        scheduler = EventScheduler()
+        assert scheduler.pending_events == 0
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        handle = scheduler.schedule_cancellable(3.0, lambda: None)
+        assert scheduler.pending_events == 3
+        handle.cancel()
+        assert scheduler.pending_events == 2
+        handle.cancel()  # idempotent
+        assert scheduler.pending_events == 2
+        scheduler.run_until(1.5)
+        assert scheduler.pending_events == 1
+        scheduler.run_until(10.0)
+        assert scheduler.pending_events == 0
+
+    def test_peak_pending_records_high_water_mark(self):
+        scheduler = EventScheduler()
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.schedule(delay, lambda: None)
+        scheduler.run_until(10.0)
+        assert scheduler.peak_pending_events == 3
+        assert scheduler.pending_events == 0
+
+    def test_cancel_after_fire_does_not_corrupt_pending_count(self):
+        """Regression: cancelling an already-fired handle must be a no-op."""
+        scheduler = EventScheduler()
+        handle = scheduler.schedule_cancellable(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        handle.cancel()
+        assert scheduler.pending_events == 0
+        scheduler.schedule(1.0, lambda: None)
+        assert scheduler.pending_events == 1
+        assert scheduler.peak_pending_events == 1
+
+    def test_cancellable_events_keep_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("plain"))
+        scheduler.schedule_cancellable(1.0, lambda: order.append("cancellable"))
+        scheduler.run_until(5.0)
+        assert order == ["cancellable", "plain"]
+
+    def test_run_stream_merges_arrivals_with_heap_events(self):
+        scheduler = EventScheduler()
+        order = []
+        stream = iter([1.0, 2.5, math.inf])
+
+        def fire():
+            order.append(("arrival", scheduler.now))
+            return next(stream)
+
+        scheduler.schedule(2.0, lambda: order.append(("event", scheduler.now)))
+        executed = scheduler.run_stream(10.0, 0.5, fire)
+        assert executed == 4
+        assert order == [
+            ("arrival", 0.5),
+            ("arrival", 1.0),
+            ("event", 2.0),
+            ("arrival", 2.5),
+        ]
+        assert scheduler.now == 10.0
+
+    def test_run_stream_with_no_arrivals_drains_heap(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(True))
+        executed = scheduler.run_stream(5.0, math.inf, lambda: math.inf)
+        assert executed == 1
+        assert fired == [True]
+
+
+class TestWorkloadBatches:
+    def test_batch_port_sequence_matches_scalar_wraparound(self):
+        batched = WorkloadGenerator(rate_rps=10.0, seed=1)
+        scalar = WorkloadGenerator(rate_rps=10.0, seed=1)
+        scalar._next_port = batched._next_port = 64995
+        _, _, ports = batched.next_batch(12)
+        expected = [scalar.next_flow().src_port for _ in range(12)]
+        assert ports.tolist() == expected
+
+    def test_batch_advances_request_counter(self):
+        generator = WorkloadGenerator(rate_rps=10.0, seed=1)
+        generator.next_batch(64)
+        generator.next_interarrival_batch(16)
+        assert generator.requests_generated == 80
+
+    def test_batch_interarrivals_match_rate(self):
+        generator = WorkloadGenerator(rate_rps=100.0, seed=3)
+        gaps, _, _ = generator.next_batch(4000)
+        assert gaps.mean() == pytest.approx(0.01, rel=0.1)
+
+    def test_same_seed_same_batches(self):
+        a = WorkloadGenerator(rate_rps=50.0, seed=9)
+        b = WorkloadGenerator(rate_rps=50.0, seed=9)
+        ga, ca, pa = a.next_batch(256)
+        gb, cb, pb = b.next_batch(256)
+        assert np.array_equal(ga, gb)
+        assert np.array_equal(ca, cb)
+        assert np.array_equal(pa, pb)
+
+
+class TestDeterminism:
+    def _run(self, policy_cls, seed=11, requests=4000, warmup=0.5):
+        dips = make_dips([400.0, 400.0, 300.0], cores=2)
+        cluster = RequestCluster(
+            dips, policy_cls(list(dips)), rate_rps=600.0, seed=seed
+        )
+        return cluster.run(num_requests=requests, warmup_s=warmup)
+
+    @pytest.mark.parametrize("policy_cls", [RoundRobin, LeastConnection, FiveTupleHash])
+    def test_same_seed_bit_identical_runs(self, policy_cls):
+        first = self._run(policy_cls)
+        second = self._run(policy_cls)
+        assert first.requests_submitted == second.requests_submitted
+        assert first.requests_completed == second.requests_completed
+        assert first.requests_dropped == second.requests_dropped
+        assert first.metrics.request_share() == second.metrics.request_share()
+        first_summaries = first.metrics.summaries()
+        second_summaries = second.metrics.summaries()
+        assert first_summaries.keys() == second_summaries.keys()
+        for dip, summary in first_summaries.items():
+            other = second_summaries[dip]
+            assert summary.requests == other.requests
+            # bit-identical, not approximately equal
+            assert summary.mean_latency_ms == other.mean_latency_ms
+            assert summary.p99_latency_ms == other.p99_latency_ms
+            assert summary.drop_fraction == other.drop_fraction
+
+    def test_different_seeds_differ(self):
+        first = self._run(RoundRobin, seed=11)
+        second = self._run(RoundRobin, seed=12)
+        assert (
+            first.metrics.mean_latency_ms() != second.metrics.mean_latency_ms()
+        )
+
+
+class TestAnalyticAgreement:
+    def test_mean_latency_matches_mmc_model_multicore(self):
+        """Request-level mean latency tracks the analytic M/M/c mean.
+
+        The 'agree on means by construction' claim in sim/queueing.py: a
+        4-worker station at moderate load must reproduce the Erlang-C mean.
+        """
+        dips = make_dips([800.0], cores=4)
+        rate = 0.6 * 800.0
+        cluster = RequestCluster(dips, RoundRobin(list(dips)), rate_rps=rate, seed=5)
+        result = cluster.run(num_requests=20_000, warmup_s=2.0)
+        analytic = dips["d0"].latency_model.mean_latency_ms(rate)
+        measured = result.metrics.mean_latency_ms()
+        assert measured == pytest.approx(analytic, rel=0.1)
+
+    def test_mean_latency_matches_under_degraded_capacity(self):
+        """The cached mean service time must track antagonist changes."""
+        dips = make_dips([500.0], cores=2)
+        dips["d0"].set_capacity_ratio(0.6)
+        rate = 0.5 * 500.0 * 0.6
+        cluster = RequestCluster(dips, RoundRobin(list(dips)), rate_rps=rate, seed=5)
+        result = cluster.run(num_requests=15_000, warmup_s=2.0)
+        analytic = dips["d0"].latency_model.mean_latency_ms(rate)
+        assert result.metrics.mean_latency_ms() == pytest.approx(analytic, rel=0.12)
+
+
+class TestStreamingArrivals:
+    def test_peak_heap_stays_bounded(self):
+        """Peak scheduled events must be O(in-flight), not O(total requests)."""
+        dips = make_dips([400.0] * 8, cores=2)
+        cluster = RequestCluster(dips, RoundRobin(list(dips)), rate_rps=1800.0, seed=3)
+        result = cluster.run(num_requests=30_000)
+        assert result.requests_submitted >= 29_000
+        # 8 DIPs x 2 workers + 8 x 256 queue slots + observation event is the
+        # absolute ceiling; typical peaks are far below the request count.
+        assert cluster.scheduler.peak_pending_events < 3000
+        assert cluster.scheduler.pending_events == 0
+
+    def test_warmup_requests_not_recorded(self):
+        dips = make_dips([400.0])
+        cluster = RequestCluster(dips, RoundRobin(list(dips)), rate_rps=200.0, seed=3)
+        result = cluster.run(num_requests=1000, warmup_s=2.0)
+        # ~400 warmup arrivals happened but were not recorded.
+        assert result.metrics.total_requests == result.requests_submitted
+        assert result.requests_submitted < cluster.workload.requests_generated
+
+
+class TestColumnarMetrics:
+    def test_records_lazy_view_round_trips(self):
+        metrics = MetricsCollector()
+        metrics.record_request("a", 1.5, completed=True, timestamp=0.1)
+        metrics.record_request("b", None, completed=False, timestamp=0.2)
+        records = metrics.records
+        assert len(records) == 2
+        assert records[0].dip == "a"
+        assert records[0].latency_ms == pytest.approx(1.5)
+        assert records[1].dip == "b"
+        assert math.isnan(records[1].latency_ms)
+        assert not records[1].completed
+        assert records[1].timestamp == pytest.approx(0.2)
+
+    def test_queries_see_staged_records(self):
+        """Aggregates must include records still in the staging buffers."""
+        metrics = MetricsCollector()
+        for _ in range(10):
+            metrics.record_request("a", 2.0)
+        assert metrics.total_requests == 10
+        assert metrics.mean_latency_ms() == pytest.approx(2.0)
+        assert metrics.request_share() == {"a": 1.0}
+        # interleave more records after a flush-inducing query
+        metrics.record_request("b", 4.0)
+        assert metrics.total_requests == 11
+        assert metrics.request_share()["b"] == pytest.approx(1 / 11)
+
+    def test_large_ingest_crosses_chunk_boundary(self):
+        metrics = MetricsCollector()
+        for i in range(20_000):
+            metrics.record_request("a" if i % 2 else "b", float(i % 7), completed=i % 5 != 0)
+        assert metrics.total_requests == 20_000
+        assert metrics.drop_fraction() == pytest.approx(0.2)
+        assert metrics.latencies_ms().size == 16_000
+
+    def test_dip_filter_with_unknown_dip(self):
+        metrics = MetricsCollector()
+        metrics.record_request("a", 1.0)
+        assert metrics.latencies_ms(dips=["ghost"]).size == 0
+        assert metrics.drop_fraction(dips=["ghost"]) == 0.0

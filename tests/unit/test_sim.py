@@ -61,7 +61,7 @@ class TestEventScheduler:
     def test_cancelled_event_not_run(self):
         scheduler = EventScheduler()
         fired = []
-        handle = scheduler.schedule(1.0, lambda: fired.append(True))
+        handle = scheduler.schedule_cancellable(1.0, lambda: fired.append(True))
         handle.cancel()
         scheduler.run_until(2.0)
         assert not fired
@@ -125,7 +125,7 @@ class TestEventScheduler:
     def test_max_events_truncation_ignores_cancelled_pending(self):
         scheduler = EventScheduler()
         scheduler.schedule(1.0, lambda: None)
-        handle = scheduler.schedule(2.0, lambda: None)
+        handle = scheduler.schedule_cancellable(2.0, lambda: None)
         handle.cancel()
         executed = scheduler.run_until(5.0, max_events=1)
         assert executed == 1
