@@ -3,18 +3,19 @@
 
 Reproduces the §2.1 / Fig. 14 situation: a 3-DIP pool where one DIP's
 capacity is squeezed by a cache-thrashing antagonist while the controller is
-running.  The script shows the weights before the squeeze, the detection of
-the capacity change through the §4.5 mechanism, and the weights afterwards.
+running.  The pool and controller come from a declarative spec
+(``pool.kind = "three_dip"``); the squeeze itself is driven by hand, which
+is exactly what :func:`repro.api.build_cluster` is for — spec-built systems
+you perturb interactively.
 
 Run with:  python examples/dynamic_capacity.py
 """
 
 from __future__ import annotations
 
-from repro import KnapsackLBController
+from repro import KnapsackLBController, api
 from repro.analysis import format_table
 from repro.sim import FluidCluster
-from repro.workloads import build_three_dip_pool
 
 
 def describe(cluster: FluidCluster, controller: KnapsackLBController, title: str) -> None:
@@ -39,9 +40,14 @@ def describe(cluster: FluidCluster, controller: KnapsackLBController, title: str
 
 
 def main() -> None:
-    dips = build_three_dip_pool(capacity_ratio=1.0, cores=2, seed=11)
-    rate = sum(d.capacity_rps for d in dips.values()) * 0.70
-    cluster = FluidCluster(dips=dips, total_rate_rps=rate, policy_name="wrr")
+    spec = api.ExperimentSpec(
+        name="noisy-neighbour",
+        runner="fluid",
+        pool=api.PoolSpec(kind="three_dip", vm=api.VmSpec(vcpus=2)),
+        workload=api.WorkloadSpec(load_fraction=0.70),
+        seed=11,
+    )
+    cluster = api.build_cluster(spec)
 
     controller = KnapsackLBController("vip-noisy", cluster)
     controller.converge()

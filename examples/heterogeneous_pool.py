@@ -1,48 +1,61 @@
 #!/usr/bin/env python3
-"""Heterogeneous DIP pool evaluated on the request-level simulator.
+"""Heterogeneous DIP pool: policy sweep on the request-level simulator.
 
-Computes KnapsackLB weights for the 30-DIP Table 3 testbed (mixed DS / F
-VM types) and then replays the same open-loop workload through the
-request-level simulator under round robin, scaled-out least connection and
-KnapsackLB's weighted round robin, printing the per-request latency
-comparison of Fig. 12 / Table 4.
+One declarative base spec (the 30-DIP Table 3 testbed on the request-level
+engine) swept over the LB policy axis — round robin, least connection,
+5-tuple hash — plus a KnapsackLB-controlled run of the same spec, all
+aligned in one comparison report (the Fig. 12 / Table 4 story).
+
+The same sweep from the shell:
+
+    python -m repro sweep testbed_klb --runner request \
+        --set controller.enabled=false \
+        --axis policy.name=rr,lc,hash
 
 Run with:  python examples/heterogeneous_pool.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import format_table
-from repro.experiments import run_policy_comparison
+import os
+
+from repro import api
+
+#: Smoke tests set this to keep the example fast; the default sizes match
+#: the paper's replay methodology more closely.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
 
 
 def main() -> None:
-    print("Computing KnapsackLB weights and replaying the workload (this takes ~a minute)...")
-    comparison = run_policy_comparison(requests=5000, policies=("rr", "lc", "hash", "klb"))
-
-    groups = ("1-core", "2-core", "4-core", "8-core")
-    rows = []
-    for name, run in comparison.runs.items():
-        rows.append(
-            [name]
-            + [f"{run.utilization_by_group[g] * 100:.0f}%" for g in groups]
-            + [f"{run.overall_latency_ms:.2f}"]
-        )
-    print(
-        format_table(
-            ["policy"] + [f"{g} CPU" for g in groups] + ["mean latency (ms)"],
-            rows,
-            title="Policies on the 30-DIP testbed (request-level simulation)",
-        )
+    base = api.get_spec("testbed_klb").with_overrides(
+        {
+            "runner": "request",
+            "controller.enabled": False,
+            "workload.num_requests": 3_000 if FAST else 30_000,
+        }
     )
 
-    for baseline in ("rr", "lc", "hash"):
-        gain = comparison.max_gain_percent(baseline)
-        fraction = comparison.improved_fraction_percent(baseline)
-        print(
-            f"KnapsackLB vs {baseline.upper():5s}: cuts latency by up to "
-            f"{gain:.0f}% for {fraction:.0f}% of requests"
+    print("Sweeping LB policies over the 30-DIP testbed (request-level engine)...")
+    sweep = api.Sweep.from_axes(base, {"policy.name": ["rr", "lc", "hash"]})
+    results = list(sweep.run())
+
+    print("Converging KnapsackLB and replaying the same workload...")
+    klb = api.run(
+        base.with_overrides(
+            {"name": "testbed_klb/policy=klb+wrr", "controller.enabled": True}
         )
+    )
+    results.append(klb)
+
+    print()
+    print(api.compare(results).render())
+
+    baseline = results[0]
+    gain = baseline.metrics["mean_latency_ms"] / klb.metrics["mean_latency_ms"]
+    print(
+        f"\nKnapsackLB vs RR: mean latency {klb.metrics['mean_latency_ms']:.2f} ms "
+        f"vs {baseline.metrics['mean_latency_ms']:.2f} ms ({gain:.1f}x)"
+    )
 
 
 if __name__ == "__main__":

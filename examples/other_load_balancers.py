@@ -5,34 +5,33 @@ KnapsackLB is a meta LB: the same weights can be pushed to HAProxy or Nginx
 (native weight interface) or, when the LB has no such interface (Azure L4
 LB), to a DNS traffic manager.  This example programs the 0.2 / 0.3 / 0.5
 split of Table 5 through each front-end and measures the request share each
-DIP actually receives.
+DIP actually receives.  The pool comes from the declarative pool builder
+the experiment specs use (`build_pool`), so there is no hand-wired cluster
+setup here — only the facade under test.
 
 Run with:  python examples/other_load_balancers.py
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import format_table
-from repro.backends import DipServer, custom_vm_type
 from repro.exceptions import ConfigurationError
 from repro.lb import AzureLBSim, AzureTrafficManagerSim, HAProxySim, NginxSim
 from repro.sim import RequestCluster
+from repro.workloads import build_pool
 
 WEIGHTS = {"DIP-1": 0.2, "DIP-2": 0.3, "DIP-3": 0.5}
 
-
-def fresh_pool(seed: int = 3):
-    vm = custom_vm_type("web", vcpus=2, capacity_rps=800.0)
-    return {
-        dip: DipServer(dip, vm, seed=seed + index, jitter_fraction=0.0)
-        for index, dip in enumerate(WEIGHTS)
-    }
+NUM_REQUESTS = 2_000 if os.environ.get("REPRO_EXAMPLE_FAST") else 8_000
 
 
 def measure(facade, *, seed: int = 5) -> dict[str, float]:
-    dips = fresh_pool()
+    dips = build_pool("uniform", num_dips=3, vm_name="web", vcpus=2,
+                      capacity_rps=800.0, seed=3)
     cluster = RequestCluster(dips, facade.policy, rate_rps=500.0, seed=seed)
-    cluster.run(num_requests=8000)
+    cluster.run(num_requests=NUM_REQUESTS)
     return cluster.request_share()
 
 

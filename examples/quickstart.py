@@ -1,40 +1,54 @@
 #!/usr/bin/env python3
-"""Quickstart: run KnapsackLB against the paper's 30-DIP testbed.
+"""Quickstart: one declarative spec in, one reproducible artifact out.
 
-Builds the Table 3 testbed as a fluid cluster at 70 % load, lets the
-KnapsackLB controller bootstrap idle latencies, explore weight-latency
-curves (Algorithm 1), solve the ILP and program the weights — then prints
-the weights and the resulting per-DIP-type utilization and latency.
+Runs the registered ``testbed_klb`` spec — the paper's 30-DIP Table 3
+testbed at 70 % load, converged by the KnapsackLB controller on the
+analytic fluid model — and prints the headline metrics plus the per-DIP-type
+weight/utilization/latency table (compare Fig. 11 / Fig. 12).
+
+The same run from the shell:
+
+    python -m repro run testbed_klb -o testbed.json
+    python -m repro run testbed_klb --runner request   # request-level engine
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import KnapsackLBController
+from repro import api
 from repro.analysis import format_table
-from repro.workloads import build_testbed_cluster
 
 
 def main() -> None:
-    cluster = build_testbed_cluster(load_fraction=0.70, seed=7)
-    controller = KnapsackLBController("vip-quickstart", cluster)
+    spec = api.get_spec("testbed_klb")
+    print(f"Running spec {spec.name!r} on the {spec.runner!r} substrate...")
+    result = api.run(spec)
 
-    print("Converging (bootstrap -> exploration -> ILP -> program)...")
-    assignment = controller.converge()
-
+    assignment = result.detail  # the WeightAssignment the controller programmed
     print(f"\nObjective (estimated): {assignment.objective_ms:.3f}")
-    print(f"ILP solve time: {assignment.solve_time_s * 1000:.0f} ms\n")
+    print(f"Wall clock: {result.provenance.wall_clock_s:.2f} s\n")
 
-    state = cluster.state()
+    # Group the artifact's per-DIP rows by VM core count.
+    cores_of = {
+        dip: server.vm_type.vcpus
+        for dip, server in api.build_cluster(spec).dips.items()
+    }
     rows = []
     for cores in (1, 2, 4, 8):
-        dips = [d for d, s in cluster.dips.items() if s.vm_type.vcpus == cores]
+        dips = [d for d, c in cores_of.items() if c == cores]
+        summary = [result.dip_summaries[d] for d in dips]
         mean_weight = sum(assignment.weights.get(d, 0.0) for d in dips) / len(dips)
-        mean_util = sum(state.utilization[d] for d in dips) / len(dips)
-        mean_latency = sum(state.mean_latency_ms[d] for d in dips) / len(dips)
+        mean_util = sum(s["utilization"] for s in summary) / len(summary)
+        mean_latency = sum(s["mean_latency_ms"] for s in summary) / len(summary)
         rows.append(
-            [f"{cores}-core", len(dips), f"{mean_weight:.4f}", f"{mean_util * 100:.0f}%", f"{mean_latency:.2f}"]
+            [
+                f"{cores}-core",
+                len(dips),
+                f"{mean_weight:.4f}",
+                f"{mean_util * 100:.0f}%",
+                f"{mean_latency:.2f}",
+            ]
         )
     print(
         format_table(
@@ -43,12 +57,16 @@ def main() -> None:
             title="KnapsackLB weight assignment (compare Fig. 11 / Fig. 12)",
         )
     )
-    print(f"\nOverall mean latency: {state.overall_mean_latency_ms():.2f} ms")
+    print(f"\nOverall mean latency: {result.metrics['mean_latency_ms']:.2f} ms")
+    print(
+        f"Equal-split mean latency: {result.metrics['equal_split_latency_ms']:.2f} ms"
+        f"  ({result.metrics['latency_gain']:.1f}x gain)"
+    )
 
-    # Compare against an equal split (what RR / 5-tuple hashing would do).
-    equal = {d: 1.0 / len(cluster.dips) for d in cluster.dips}
-    cluster.set_weights(equal)
-    print(f"Equal-split mean latency: {cluster.state().overall_mean_latency_ms():.2f} ms")
+    out = result.save("quickstart_result.json")
+    reloaded = api.RunResult.load(out)
+    print(f"\nArtifact saved to {out} (reloads identically: "
+          f"{reloaded.metrics == result.metrics})")
 
 
 if __name__ == "__main__":

@@ -11,9 +11,21 @@ the latency store (:mod:`repro.probing`), an agent-based baseline
 builders (:mod:`repro.workloads`) and per-figure/table experiment drivers
 (:mod:`repro.experiments`).
 
+The declarative front door is :mod:`repro.api` (also on the command line as
+``python -m repro``): describe a run as an :class:`~repro.api.ExperimentSpec`
+— pool, workload, policy, controller, substrate, seed — and execute it into
+a reproducible :class:`~repro.api.RunResult` artifact.
+
 Quickstart::
 
-    from repro import KnapsackLBController, KnapsackLBConfig
+    from repro import api
+
+    result = api.run(api.get_spec("testbed_klb"))
+    print(result.metrics["mean_latency_ms"])
+
+or, driving the controller by hand::
+
+    from repro import KnapsackLBController
     from repro.workloads import build_testbed_cluster
 
     cluster = build_testbed_cluster(load_fraction=0.7, seed=7)
@@ -45,9 +57,25 @@ from repro.exceptions import (
     SolverTimeoutError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The declarative API imports experiments (scenario bridging), which imports
+# almost everything else — load it lazily so ``import repro`` stays light.
+_LAZY_SUBMODULES = ("api",)
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
     "KnapsackLBConfig",
     "KnapsackLBController",
     "WeightAssignment",

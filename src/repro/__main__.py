@@ -1,0 +1,8 @@
+"""``python -m repro`` — the declarative experiment CLI (see repro.api.cli)."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,12 @@ from repro.analysis.metrics import (
     weighted_mean,
     weights_ratio,
 )
-from repro.analysis.reporting import format_series, format_table, format_weights
+from repro.analysis.reporting import (
+    format_run_comparison,
+    format_series,
+    format_table,
+    format_weights,
+)
 
 __all__ = [
     "LatencyStats",
@@ -17,6 +22,7 @@ __all__ = [
     "utilization_spread",
     "weighted_mean",
     "weights_ratio",
+    "format_run_comparison",
     "format_series",
     "format_table",
     "format_weights",

@@ -56,6 +56,46 @@ def format_weights(weights: Mapping[str, float], *, precision: int = 3) -> str:
     return ", ".join(parts)
 
 
+def format_run_comparison(
+    runs: Sequence[Mapping[str, object]], *, title: str | None = None
+) -> str:
+    """Render run artifacts side by side: one row per metric, one column per run.
+
+    ``runs`` are mappings with ``name`` and ``metrics`` (the shape
+    :func:`repro.api.compare` produces); the first run is the baseline and
+    every other column annotates its relative delta against it.
+    """
+    if not runs:
+        return "(no runs to compare)"
+    names = [str(run.get("name", f"run-{i}")) for i, run in enumerate(runs)]
+    metric_order: list[str] = []
+    for run in runs:
+        for metric in run.get("metrics", {}):
+            if metric not in metric_order:
+                metric_order.append(metric)
+
+    rows = []
+    for metric in metric_order:
+        cells: list[str] = [metric]
+        base = None
+        for index, run in enumerate(runs):
+            value = run.get("metrics", {}).get(metric)
+            if value is None:
+                cells.append("-")
+                continue
+            value = float(value)
+            rendered = _format_cell(value)
+            if index == 0:
+                base = value
+            elif base not in (None, 0.0) and base == base and value == value:
+                delta = (value - base) / abs(base) * 100.0
+                rendered += f" ({delta:+.1f}%)"
+            cells.append(rendered)
+        rows.append(cells)
+    heading = title or f"Run comparison (baseline: {names[0]})"
+    return format_table(["metric"] + names, rows, title=heading)
+
+
 def _format_cell(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # NaN

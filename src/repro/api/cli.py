@@ -1,0 +1,221 @@
+"""The ``python -m repro`` command line.
+
+Five verbs over the declarative API, all round-tripping through files:
+
+* ``list`` — registered specs (scenario bridges + built-ins);
+* ``show NAME|FILE`` — the fully-resolved spec as JSON;
+* ``run NAME|FILE [--set path=value ...] [--runner R] [-o out.json]``;
+* ``sweep NAME|FILE --axis path=v1,v2 [...] [-j N] [-o dir]``;
+* ``compare a.json b.json [...]`` — align saved result artifacts.
+
+``--set`` values are parsed as JSON first (so ``--set seed=3`` is an int
+and ``--set policy.name=lc`` a string); dotted paths address nested spec
+fields, and bare keys on scenario-backed specs address scenario
+parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis import format_table
+from repro.api.registry import get_spec, list_specs
+from repro.api.result import RunResult
+from repro.api.runners import execute
+from repro.api.spec import ExperimentSpec
+from repro.api.sweep import Sweep, SweepAxis, compare
+from repro.exceptions import ReproError
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        path, eq, value = pair.partition("=")
+        if not eq or not path:
+            raise ReproError(
+                f"--set expects path=value, got {pair!r} "
+                "(e.g. --set workload.load_fraction=0.5)"
+            )
+        overrides[path] = _parse_value(value)
+    return overrides
+
+
+def _resolve_spec(args: argparse.Namespace) -> ExperimentSpec:
+    spec = get_spec(args.spec)
+    overrides = _parse_overrides(args.set or [])
+    if getattr(args, "runner", None):
+        overrides["runner"] = args.runner
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
+
+
+def _metrics_table(result: RunResult) -> str:
+    rows = [[key, value] for key, value in sorted(result.metrics.items())]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=f"{result.spec.name} [{result.runner}] seed={result.seed}",
+    )
+
+
+# -- verbs ----------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [[name, summary] for name, summary in list_specs()]
+    print(format_table(["spec", "summary"], rows, title="Registered specs"))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(_resolve_spec(args).to_json())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    result = execute(spec)
+    print(_metrics_table(result))
+    if args.output:
+        path = result.save(args.output)
+        print(f"\nresult written to {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    axes = []
+    for raw in args.axis:
+        path, eq, values = raw.partition("=")
+        if not eq or not values:
+            raise ReproError(
+                f"--axis expects path=v1,v2,..., got {raw!r} "
+                "(e.g. --axis workload.load_fraction=0.4,0.6)"
+            )
+        axes.append(
+            SweepAxis(
+                path=path,
+                values=tuple(_parse_value(v) for v in values.split(",")),
+            )
+        )
+    sweep = Sweep(base=spec, axes=tuple(axes), mode=args.mode)
+    results = sweep.run(max_workers=args.jobs)
+    report = compare(results)
+    print(report.render())
+    if args.output:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for index, result in enumerate(results):
+            result.save(out_dir / f"result-{index:03d}.json")
+        (out_dir / "comparison.json").write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n{len(results)} results written to {out_dir}/")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = [RunResult.load(path) for path in args.results]
+    report = compare(results)
+    print(report.render())
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\ncomparison written to {args.output}")
+    return 0
+
+
+# -- wiring ---------------------------------------------------------------------
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="registered spec name or .json/.toml file")
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="override a spec field by dotted path (repeatable)",
+    )
+    parser.add_argument(
+        "--runner",
+        choices=("fluid", "request", "fleet", "scenario"),
+        help="execute on this substrate (same as --set runner=...)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Declarative KnapsackLB experiments: spec in, artifact out.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered specs").set_defaults(
+        handler=_cmd_list
+    )
+
+    show = commands.add_parser("show", help="print a fully-resolved spec")
+    _add_spec_arguments(show)
+    show.set_defaults(handler=_cmd_show)
+
+    run = commands.add_parser("run", help="execute a spec")
+    _add_spec_arguments(run)
+    run.add_argument("-o", "--output", help="write the RunResult JSON here")
+    run.set_defaults(handler=_cmd_run)
+
+    sweep = commands.add_parser("sweep", help="expand and run a parameter sweep")
+    _add_spec_arguments(sweep)
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="PATH=V1,V2,...",
+        help="sweep axis (repeatable)",
+    )
+    sweep.add_argument(
+        "--mode", choices=("grid", "zip"), default="grid", help="axis combination"
+    )
+    sweep.add_argument(
+        "-j", "--jobs", type=int, default=1, help="process-parallel workers"
+    )
+    sweep.add_argument("-o", "--output", help="directory for result artifacts")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    cmp_parser = commands.add_parser(
+        "compare", help="compare saved result artifacts"
+    )
+    cmp_parser.add_argument("results", nargs="+", help="RunResult JSON files")
+    cmp_parser.add_argument("-o", "--output", help="write the comparison JSON here")
+    cmp_parser.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0  # stdout consumer (e.g. `| head`) went away mid-print
+
+
+if __name__ == "__main__":
+    sys.exit(main())

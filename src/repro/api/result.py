@@ -1,0 +1,140 @@
+"""The run artifact: metrics + per-DIP detail + full provenance.
+
+A :class:`RunResult` is what every runner returns and what the CLI writes
+to disk: the headline metrics, per-DIP summary rows, the fully-resolved
+spec that produced them, the seed, and wall-clock provenance.  It
+round-trips through JSON, so a saved artifact can be reloaded, diffed
+against a later run (``metrics_equal``), or re-executed from its embedded
+spec to check reproducibility.
+
+Timing lives in ``provenance`` — never in ``metrics`` for the fluid and
+request runners — so re-running a saved spec with the same seed reproduces
+the metrics dict bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import __version__
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+
+#: Schema tag embedded in every serialized artifact.
+RESULT_SCHEMA = "repro.api.run_result/v1"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where and when a result came from (excluded from metric comparison)."""
+
+    started_at: str
+    wall_clock_s: float
+    version: str = __version__
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one :class:`ExperimentSpec`."""
+
+    spec: ExperimentSpec
+    runner: str
+    seed: int
+    metrics: dict[str, float]
+    dip_summaries: dict[str, dict[str, float]]
+    provenance: Provenance
+    #: rich in-memory detail (assignments, states); never serialized.
+    detail: Any = field(default=None, compare=False, repr=False)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": RESULT_SCHEMA,
+            "spec": self.spec.to_dict(),
+            "runner": self.runner,
+            "seed": self.seed,
+            "metrics": dict(self.metrics),
+            "dip_summaries": {
+                dip: dict(row) for dip, row in self.dip_summaries.items()
+            },
+            "provenance": {
+                "started_at": self.provenance.started_at,
+                "wall_clock_s": self.provenance.wall_clock_s,
+                "version": self.provenance.version,
+            },
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported result schema {schema!r}; expected {RESULT_SCHEMA!r}"
+            )
+        missing = [
+            key
+            for key in ("spec", "runner", "seed", "metrics", "provenance")
+            if key not in data
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"result artifact is missing field {missing[0]!r}"
+            )
+        prov = data["provenance"]
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            runner=str(data["runner"]),
+            seed=int(data["seed"]),
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            dip_summaries={
+                dip: {k: float(v) for k, v in row.items()}
+                for dip, row in data.get("dip_summaries", {}).items()
+            },
+            provenance=Provenance(
+                started_at=str(prov.get("started_at", "")),
+                wall_clock_s=float(prov.get("wall_clock_s", 0.0)),
+                version=str(prov.get("version", "")),
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunResult":
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"result file {str(path)!r} does not exist")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"result file {str(path)!r} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+    # -- comparison ------------------------------------------------------------
+
+    def metrics_equal(self, other: "RunResult", *, rel_tol: float = 0.0) -> bool:
+        """Same metric keys and values (within ``rel_tol`` relative error)."""
+        if set(self.metrics) != set(other.metrics):
+            return False
+        for key, value in self.metrics.items():
+            theirs = other.metrics[key]
+            if value == theirs:
+                continue
+            if value != value and theirs != theirs:  # both NaN
+                continue
+            scale = max(abs(value), abs(theirs), 1e-12)
+            if abs(value - theirs) / scale > rel_tol:
+                return False
+        return True

@@ -1,0 +1,305 @@
+"""Execute an :class:`ExperimentSpec` on one of the simulation substrates.
+
+One :class:`Runner` per substrate, all returning the same
+:class:`~repro.api.result.RunResult` shape:
+
+* :class:`FluidRunner` — the analytic fluid model (exact means, instant);
+* :class:`RequestRunner` — the request-level discrete-event engine
+  (latency distributions, per-request LB decisions);
+* :class:`FleetRunner` — the multi-VIP shared fleet driven by the
+  :class:`~repro.core.fleet_controller.FleetController`;
+* :class:`ScenarioRunner` — delegates to a registered scenario from
+  :mod:`repro.experiments.scenarios`.
+
+The same spec executes on fluid, request and fleet unchanged — only the
+``runner`` field flips.  Wall-clock timing goes into the result's
+provenance, never its metrics, so a re-run from a saved spec reproduces
+the metrics dict exactly (fluid is analytic; the request engine is
+deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from typing import Any, Mapping, Protocol
+
+from repro.api.result import Provenance, RunResult
+from repro.api.spec import ExperimentSpec, PoolSpec
+from repro.core import FleetController, KnapsackLBController
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.lb import make_policy
+from repro.sim import FluidCluster, RequestCluster
+from repro.workloads import build_pool, fleet_from_pool
+
+#: Policies whose constructors take a seed (they draw randomness per pick).
+_SEEDED_POLICIES = frozenset({"random", "wrandom", "p2", "dns"})
+
+
+class Runner(Protocol):
+    """Anything that can execute a spec into a result artifact."""
+
+    kind: str
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Execute ``spec`` and return its result artifact."""
+        ...
+
+
+def _pool_from_spec(pool: PoolSpec, seed: int) -> dict[DipId, Any]:
+    return build_pool(
+        pool.kind,
+        num_dips=pool.num_dips,
+        vm_name=pool.vm.name,
+        vcpus=pool.vm.vcpus,
+        capacity_rps=pool.vm.capacity_rps,
+        idle_latency_ms=pool.vm.idle_latency_ms,
+        capacity_ratio=pool.capacity_ratio,
+        seed=seed,
+    )
+
+
+def build_cluster(spec: ExperimentSpec) -> FluidCluster:
+    """The fluid cluster a spec describes (without running anything).
+
+    Exposed for interactive use — examples and notebooks that want the
+    spec-built system but drive perturbations (capacity squeezes, failures)
+    by hand.
+    """
+    dips = _pool_from_spec(spec.pool, spec.seed)
+    total_capacity = sum(d.capacity_rps for d in dips.values())
+    return FluidCluster(
+        dips=dips,
+        total_rate_rps=spec.workload.load_fraction * total_capacity,
+        policy_name=spec.policy.name,
+    )
+
+
+def _finish(
+    spec: ExperimentSpec,
+    *,
+    metrics: Mapping[str, float],
+    dip_summaries: Mapping[str, Mapping[str, float]],
+    started_at: str,
+    started_clock: float,
+    detail: Any = None,
+) -> RunResult:
+    return RunResult(
+        spec=spec,
+        runner=spec.runner,
+        seed=spec.seed,
+        metrics={k: float(v) for k, v in metrics.items()},
+        dip_summaries={
+            dip: {k: float(v) for k, v in row.items()}
+            for dip, row in dip_summaries.items()
+        },
+        provenance=Provenance(
+            started_at=started_at,
+            wall_clock_s=time.perf_counter() - started_clock,
+        ),
+        detail=detail,
+    )
+
+
+def _now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class FluidRunner:
+    """Analytic fluid-model execution (optionally KnapsackLB-converged)."""
+
+    kind = "fluid"
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        started_at, started = _now_iso(), time.perf_counter()
+        cluster = build_cluster(spec)
+        metrics: dict[str, float] = {}
+        detail = None
+        if spec.controller.enabled:
+            controller = KnapsackLBController(
+                f"vip-{spec.name}", cluster, config=spec.controller.config
+            )
+            assignment = controller.converge(
+                settle_steps=spec.controller.settle_steps
+            )
+            for _ in range(spec.controller.control_steps):
+                controller.control_step()
+            metrics["objective_ms"] = assignment.objective_ms
+            detail = assignment
+            # How much the computed weights beat a blind equal split.
+            klb_latency = cluster.state().overall_mean_latency_ms()
+            cluster.set_weights({d: 1.0 / len(cluster.dips) for d in cluster.dips})
+            equal_latency = cluster.state().overall_mean_latency_ms()
+            cluster.set_weights(dict(assignment.weights))
+            metrics["equal_split_latency_ms"] = equal_latency
+            metrics["latency_gain"] = equal_latency / klb_latency
+        state = cluster.state()
+        metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
+        metrics["max_utilization"] = max(state.utilization.values())
+        metrics["total_rate_rps"] = cluster.total_rate_rps
+        return _finish(
+            spec,
+            metrics=metrics,
+            dip_summaries=state.dip_summaries(),
+            started_at=started_at,
+            started_clock=started,
+            detail=detail,
+        )
+
+
+class RequestRunner:
+    """Request-level discrete-event execution of the same spec."""
+
+    kind = "request"
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        started_at, started = _now_iso(), time.perf_counter()
+        dips = _pool_from_spec(spec.pool, spec.seed)
+        total_capacity = sum(d.capacity_rps for d in dips.values())
+        rate = spec.workload.load_fraction * total_capacity
+
+        weights: dict[DipId, float] | None = None
+        if spec.controller.enabled:
+            # Compute KnapsackLB weights on an analytic twin of the pool,
+            # then replay them through the request engine — the Fig. 12
+            # "weights computed once, traffic replayed" methodology.  The
+            # spec guarantees the policy is weighted (ExperimentSpec
+            # validation), so the weights actually take effect.
+            twin = build_cluster(spec)
+            controller = KnapsackLBController(
+                f"vip-{spec.name}", twin, config=spec.controller.config
+            )
+            controller.converge(settle_steps=spec.controller.settle_steps)
+            for _ in range(spec.controller.control_steps):
+                controller.control_step()
+            weights = dict(controller.current_weights)
+
+        policy_kwargs = (
+            {"seed": spec.seed} if spec.policy.name in _SEEDED_POLICIES else {}
+        )
+        policy = make_policy(spec.policy.name, list(dips), **policy_kwargs)
+        cluster = RequestCluster(dips, policy, rate_rps=rate, seed=spec.seed)
+        if weights is not None:
+            cluster.set_weights(weights)
+        run = cluster.run(
+            num_requests=spec.workload.num_requests,
+            warmup_s=spec.workload.warmup_s,
+        )
+        metrics = {
+            "mean_latency_ms": run.metrics.mean_latency_ms(),
+            "p50_latency_ms": run.metrics.percentile_latency_ms(50),
+            "p99_latency_ms": run.metrics.percentile_latency_ms(99),
+            "drop_fraction": run.drop_fraction,
+            "requests_submitted": float(run.requests_submitted),
+            "duration_s": run.duration_s,
+        }
+        summaries = {
+            dip: {
+                "requests": float(row.requests),
+                "mean_latency_ms": row.mean_latency_ms,
+                "p99_latency_ms": row.p99_latency_ms,
+                "cpu_utilization": row.cpu_utilization,
+                "drop_fraction": row.drop_fraction,
+            }
+            for dip, row in run.metrics.summaries().items()
+        }
+        return _finish(
+            spec,
+            metrics=metrics,
+            dip_summaries=summaries,
+            started_at=started_at,
+            started_clock=started,
+            detail=run,
+        )
+
+
+class FleetRunner:
+    """Multi-VIP shared-fleet execution under the FleetController."""
+
+    kind = "fleet"
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        started_at, started = _now_iso(), time.perf_counter()
+        # The *same* pool spec the other runners execute, windowed across
+        # the VIPs — so a testbed or three_dip spec stays that pool here.
+        fleet = fleet_from_pool(
+            _pool_from_spec(spec.pool, spec.seed),
+            num_vips=spec.fleet.num_vips,
+            pool_size=spec.fleet.pool_size,
+            load_fraction=spec.workload.load_fraction,
+            policy_name=spec.policy.name,
+        )
+        metrics: dict[str, float] = {}
+        detail: Any = None
+        if spec.controller.enabled:
+            plane = FleetController(fleet, config=spec.controller.config)
+            for vip_id in fleet.vips:
+                plane.onboard_vip(vip_id)
+            assignments = plane.converge_all(
+                settle_steps=spec.controller.settle_steps
+            )
+            for _ in range(spec.controller.control_steps):
+                plane.control_step()
+            metrics["vips_with_assignment"] = float(len(assignments))
+            metrics["measurement_rounds"] = float(len(plane.round_log))
+            detail = {"assignments": assignments, "plane": plane}
+        state = fleet.state()
+        metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
+        metrics["max_utilization"] = max(state.utilization.values())
+        metrics["num_vips"] = float(len(fleet.vips))
+        metrics["shared_dips"] = float(len(fleet.shared_dip_ids()))
+        return _finish(
+            spec,
+            metrics=metrics,
+            dip_summaries=state.dip_summaries(),
+            started_at=started_at,
+            started_clock=started,
+            detail=detail,
+        )
+
+
+class ScenarioRunner:
+    """Delegate to a registered scenario (the pre-spec experiment registry)."""
+
+    kind = "scenario"
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        from repro.experiments.scenarios import get_scenario
+
+        started_at, started = _now_iso(), time.perf_counter()
+        assert spec.scenario is not None  # enforced by ExperimentSpec
+        scenario = get_scenario(spec.scenario)
+        params = dict(spec.params)
+        if "seed" in scenario.defaults:
+            params.setdefault("seed", spec.seed)
+        outcome = scenario.run(**params)
+        return _finish(
+            spec,
+            metrics=outcome.metrics,
+            dip_summaries={},
+            started_at=started_at,
+            started_clock=started,
+            detail=outcome,
+        )
+
+
+_RUNNERS: dict[str, Runner] = {
+    runner.kind: runner()
+    for runner in (FluidRunner, RequestRunner, FleetRunner, ScenarioRunner)
+}
+
+
+def runner_for(kind: str) -> Runner:
+    try:
+        return _RUNNERS[kind]
+    except KeyError:
+        kinds = ", ".join(sorted(_RUNNERS))
+        raise ConfigurationError(
+            f"unknown runner {kind!r}; known runners: {kinds}"
+        ) from None
+
+
+def execute(spec: ExperimentSpec) -> RunResult:
+    """Run ``spec`` on the substrate its ``runner`` field names."""
+    return runner_for(spec.runner).run(spec)

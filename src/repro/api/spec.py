@@ -1,0 +1,306 @@
+"""The declarative experiment spec: one frozen dataclass tree per run.
+
+An :class:`ExperimentSpec` describes *everything* a run needs — the DIP
+pool, the workload, the LB policy, whether the KnapsackLB controller runs,
+the execution substrate (``runner``) and the seed — so the same spec can be
+built in code, loaded from a plain dict, or parsed from a JSON/TOML file,
+and then executed on the analytic fluid model, the request-level engine or
+the multi-VIP fleet by flipping the single ``runner`` field.
+
+Validation happens eagerly in each dataclass's ``__post_init__`` with
+errors that name the bad field (``workload.load_fraction must be in (0,
+1.5)``); dict/file loading goes through
+:func:`repro.core.config.dataclass_from_dict`, whose unknown-key errors
+name the offending dotted path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.config import (
+    KnapsackLBConfig,
+    dataclass_from_dict,
+    dataclass_to_dict,
+)
+from repro.exceptions import ConfigurationError
+from repro.lb import policy_registry
+from repro.workloads import POOL_KINDS
+
+#: Substrates a spec can execute on; "scenario" delegates to the registry in
+#: :mod:`repro.experiments.scenarios`.
+RUNNER_KINDS: tuple[str, ...] = ("fluid", "request", "fleet", "scenario")
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """The VM type used for ``uniform`` pools (and cores for ``three_dip``)."""
+
+    name: str = "api-2core"
+    vcpus: int = 2
+    capacity_rps: float = 800.0
+    #: ``None`` picks the M/M/c-consistent idle latency (vcpus/capacity).
+    idle_latency_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError("pool.vm.vcpus must be >= 1")
+        if self.capacity_rps <= 0:
+            raise ConfigurationError("pool.vm.capacity_rps must be positive")
+        if self.idle_latency_ms is not None and self.idle_latency_ms <= 0:
+            raise ConfigurationError(
+                "pool.vm.idle_latency_ms must be positive or null"
+            )
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Which DIP pool to build (see :func:`repro.workloads.build_pool`)."""
+
+    kind: str = "uniform"
+    num_dips: int = 8
+    vm: VmSpec = VmSpec()
+    #: capacity squeeze of the low-capacity DIP for ``three_dip`` pools.
+    capacity_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in POOL_KINDS:
+            known = ", ".join(POOL_KINDS)
+            raise ConfigurationError(
+                f"pool.kind must be one of: {known}; got {self.kind!r}"
+            )
+        if self.num_dips < 1:
+            raise ConfigurationError("pool.num_dips must be >= 1")
+        if not 0 < self.capacity_ratio <= 1:
+            raise ConfigurationError("pool.capacity_ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The offered traffic, sized relative to the pool's total capacity."""
+
+    load_fraction: float = 0.6
+    #: request budget for the request-level engine.
+    num_requests: int = 20_000
+    #: simulated warm-up before measurement starts (request engine only).
+    warmup_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.load_fraction < 1.5:
+            raise ConfigurationError(
+                "workload.load_fraction must be in (0, 1.5)"
+            )
+        if self.num_requests < 1:
+            raise ConfigurationError("workload.num_requests must be >= 1")
+        if self.warmup_s < 0:
+            raise ConfigurationError("workload.warmup_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """The LB policy requests are split by (names from the lb registry)."""
+
+    name: str = "wrr"
+
+    def __post_init__(self) -> None:
+        known = policy_registry()
+        if self.name not in known:
+            names = ", ".join(sorted(known))
+            raise ConfigurationError(
+                f"policy.name must be one of: {names}; got {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Whether (and how) the KnapsackLB controller drives the run.
+
+    When enabled, the fluid and fleet runners converge the controller before
+    measuring; the request runner computes weights on an analytic fluid twin
+    of the same pool and replays them through the request-level engine.
+    """
+
+    enabled: bool = True
+    #: settle control steps after programming weights (fluid/fleet).
+    settle_steps: int = 3
+    #: extra §4.5 control ticks after convergence.
+    control_steps: int = 0
+    config: KnapsackLBConfig = KnapsackLBConfig()
+
+    def __post_init__(self) -> None:
+        if self.settle_steps < 0:
+            raise ConfigurationError("controller.settle_steps must be >= 0")
+        if self.control_steps < 0:
+            raise ConfigurationError("controller.control_steps must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Multi-VIP shape used only by the fleet runner.
+
+    The pool's DIPs are shared by ``num_vips`` overlapping VIPs (see
+    :func:`repro.workloads.build_shared_dip_fleet`); a spec without a
+    ``fleet`` section still runs on the fleet substrate with these defaults.
+    """
+
+    num_vips: int = 4
+    #: DIPs per VIP window; ``None`` derives it from the sharing ratio.
+    pool_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_vips < 1:
+            raise ConfigurationError("fleet.num_vips must be >= 1")
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ConfigurationError("fleet.pool_size must be >= 1 or null")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The single declarative description of one experiment run."""
+
+    name: str
+    runner: str = "fluid"
+    pool: PoolSpec = PoolSpec()
+    workload: WorkloadSpec = WorkloadSpec()
+    policy: PolicySpec = PolicySpec()
+    controller: ControllerSpec = ControllerSpec()
+    fleet: FleetSpec = FleetSpec()
+    seed: int = 0
+    #: registered scenario to delegate to (runner == "scenario" only).
+    scenario: str | None = None
+    #: parameter overrides for the scenario's runner.
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("name must be a non-empty string")
+        if self.runner not in RUNNER_KINDS:
+            kinds = ", ".join(RUNNER_KINDS)
+            raise ConfigurationError(
+                f"runner must be one of: {kinds}; got {self.runner!r}"
+            )
+        if self.runner == "scenario" and not self.scenario:
+            raise ConfigurationError(
+                "runner 'scenario' needs the scenario field set"
+            )
+        if self.scenario is not None and self.runner != "scenario":
+            raise ConfigurationError(
+                f"scenario {self.scenario!r} requires runner 'scenario', "
+                f"got {self.runner!r}"
+            )
+        if (
+            self.controller.enabled
+            and self.runner != "scenario"
+            and not policy_registry()[self.policy.name].weighted
+        ):
+            raise ConfigurationError(
+                f"policy.name {self.policy.name!r} cannot carry KnapsackLB "
+                "weights; pick a weighted policy (wrr, wrandom, wlc, dns) "
+                "or set controller.enabled = false"
+            )
+        # ``params`` is the one mutable field on this frozen tree: copy it so
+        # derived specs never share (and callers can never mutate) state.
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a plain mapping, naming any bad field."""
+        return dataclass_from_dict(cls, data, path="spec")
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"spec file {str(path)!r} does not exist")
+        text = path.read_text(encoding="utf-8")
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as error:
+                raise ConfigurationError(
+                    f"spec file {str(path)!r} is not valid TOML: {error}"
+                ) from None
+        elif suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"spec file {str(path)!r} is not valid JSON: {error}"
+                ) from None
+        else:
+            raise ConfigurationError(
+                f"spec file {str(path)!r} must end in .json or .toml"
+            )
+        return cls.from_dict(data)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclass_to_dict(self)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    # -- derivation ------------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """A new spec with dotted-path overrides applied.
+
+        ``{"workload.load_fraction": 0.4, "runner": "request"}`` replaces
+        nested fields; on scenario-backed specs a bare key that is not a
+        spec field is treated as a scenario parameter (``params.<key>``).
+        """
+        spec = self
+        for raw_path, value in overrides.items():
+            parts = str(raw_path).split(".")
+            if (
+                len(parts) == 1
+                and self.scenario is not None
+                and parts[0] not in _SPEC_FIELDS
+            ):
+                parts = ["params", parts[0]]
+            spec = _override(spec, parts, value, raw_path)
+        return spec
+
+
+_SPEC_FIELDS = frozenset(ExperimentSpec.__dataclass_fields__)
+
+
+def _override(node: Any, parts: list[str], value: Any, raw_path: str) -> Any:
+    head = parts[0]
+    if isinstance(node, dict):
+        return {**node, head: value}
+    fields_map = getattr(node, "__dataclass_fields__", {})
+    if head not in fields_map:
+        valid = ", ".join(sorted(fields_map)) or "(none)"
+        raise ConfigurationError(
+            f"unknown override path {raw_path!r} at {head!r}; "
+            f"valid fields: {valid}"
+        )
+    if len(parts) == 1:
+        current = getattr(node, head)
+        if dataclass_is_node(current) and isinstance(value, Mapping):
+            value = dataclass_from_dict(type(current), value, path=head)
+        elif isinstance(current, tuple) and isinstance(value, list):
+            value = tuple(value)
+        return replace(node, **{head: value})
+    child = _override(getattr(node, head), parts[1:], value, raw_path)
+    return replace(node, **{head: child})
+
+
+def dataclass_is_node(obj: Any) -> bool:
+    return hasattr(obj, "__dataclass_fields__") and not isinstance(obj, type)

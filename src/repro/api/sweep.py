@@ -1,0 +1,231 @@
+"""Parameter sweeps over a base spec, with process-parallel execution.
+
+A :class:`Sweep` holds a base :class:`ExperimentSpec` plus one axis per
+swept dotted path (``workload.load_fraction = [0.4, 0.6, 0.8]``).  ``grid``
+mode expands the cartesian product, ``zip`` mode pairs the axes
+element-wise.  Expansion is pure (specs out, nothing run), so the same
+sweep can be inspected, saved, or executed — serially or across a
+``concurrent.futures`` process pool; either path produces the same results
+because every expanded spec carries its own seed.
+
+``compare`` lines up any set of results (swept or hand-picked) into one
+report: a metric-by-run table plus per-metric deltas against the first
+result as baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.result import RunResult
+from repro.api.runners import execute
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+
+#: Metrics shown first (when present) in comparison reports.
+_HEADLINE_METRICS = (
+    "mean_latency_ms",
+    "p99_latency_ms",
+    "max_utilization",
+    "latency_gain",
+    "drop_fraction",
+)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a dotted spec path and its values."""
+
+    path: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ConfigurationError("sweep axis path must be non-empty")
+        if not self.values:
+            raise ConfigurationError(
+                f"sweep axis {self.path!r} needs at least one value"
+            )
+
+
+def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool worker: dicts in, dicts out (picklable both ways)."""
+    return execute(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declarative parameter sweep over one base spec."""
+
+    base: ExperimentSpec
+    axes: tuple[SweepAxis, ...]
+    #: "grid" = cartesian product of the axes, "zip" = element-wise pairing.
+    mode: str = "grid"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("grid", "zip"):
+            raise ConfigurationError(
+                f"sweep mode must be 'grid' or 'zip'; got {self.mode!r}"
+            )
+        if not self.axes:
+            raise ConfigurationError("sweep needs at least one axis")
+        seen: set[str] = set()
+        for axis in self.axes:
+            if axis.path in seen:
+                raise ConfigurationError(
+                    f"sweep axis {axis.path!r} appears more than once"
+                )
+            seen.add(axis.path)
+        if self.mode == "zip":
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) > 1:
+                raise ConfigurationError(
+                    "zip-mode sweep axes must all have the same length"
+                )
+
+    @classmethod
+    def from_axes(
+        cls,
+        base: ExperimentSpec,
+        axes: Mapping[str, Iterable[Any]],
+        *,
+        mode: str = "grid",
+    ) -> "Sweep":
+        return cls(
+            base=base,
+            axes=tuple(
+                SweepAxis(path=path, values=tuple(values))
+                for path, values in axes.items()
+            ),
+            mode=mode,
+        )
+
+    # -- expansion -------------------------------------------------------------
+
+    def expand(self) -> tuple[ExperimentSpec, ...]:
+        """Every spec of the sweep, named ``<base>/<path>=<value>/...``."""
+        if self.mode == "zip":
+            combos: Iterable[tuple[Any, ...]] = zip(
+                *(axis.values for axis in self.axes)
+            )
+        else:
+            combos = itertools.product(*(axis.values for axis in self.axes))
+        specs = []
+        for combo in combos:
+            overrides = {
+                axis.path: value for axis, value in zip(self.axes, combo)
+            }
+            suffix = "/".join(
+                f"{axis.path.rpartition('.')[2]}={value}"
+                for axis, value in zip(self.axes, combo)
+            )
+            spec = self.base.with_overrides(overrides)
+            specs.append(
+                spec.with_overrides({"name": f"{self.base.name}/{suffix}"})
+            )
+        return tuple(specs)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, *, max_workers: int | None = None) -> tuple[RunResult, ...]:
+        """Execute the expansion; ``max_workers > 1`` uses a process pool.
+
+        Results come back in expansion order regardless of which process
+        finished first, so a sweep's output is stable run to run.
+        """
+        specs = self.expand()
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        workers = min(max_workers or 1, len(specs))
+        if workers <= 1:
+            return tuple(execute(spec) for spec in specs)
+        payloads = [spec.to_dict() for spec in specs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_run_spec_payload, payloads))
+        return tuple(RunResult.from_dict(data) for data in raw)
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """A metric-by-run alignment of several results."""
+
+    names: tuple[str, ...]
+    runners: tuple[str, ...]
+    seeds: tuple[int, ...]
+    #: metric -> one value per run (NaN where a run lacks the metric).
+    metrics: dict[str, tuple[float, ...]] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> str:
+        return self.names[0]
+
+    def delta_percent(self, metric: str) -> tuple[float, ...]:
+        """Per-run change vs the first run, in percent."""
+        values = self.metrics[metric]
+        base = values[0]
+        if base == 0 or base != base:
+            return tuple(float("nan") for _ in values)
+        return tuple((v - base) / abs(base) * 100.0 for v in values)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "names": list(self.names),
+            "runners": list(self.runners),
+            "seeds": list(self.seeds),
+            "metrics": {k: list(v) for k, v in self.metrics.items()},
+        }
+
+    def render(self) -> str:
+        """Human-readable table (one row per metric, one column per run)."""
+        from repro.analysis import format_run_comparison
+
+        # Disambiguate identical spec names (e.g. the same spec on two
+        # substrates) with the runner; missing metrics render as "-".
+        labels = [
+            f"{name} [{runner}]" if self.names.count(name) > 1 else name
+            for name, runner in zip(self.names, self.runners)
+        ]
+        return format_run_comparison(
+            [
+                {
+                    "name": label,
+                    "runner": runner,
+                    "seed": seed,
+                    "metrics": {
+                        metric: values[i]
+                        for metric, values in self.metrics.items()
+                        if values[i] == values[i]
+                    },
+                }
+                for i, (label, runner, seed) in enumerate(
+                    zip(labels, self.runners, self.seeds)
+                )
+            ]
+        )
+
+
+def compare(results: Sequence[RunResult]) -> ComparisonReport:
+    """Align ``results`` into one comparison (first result = baseline)."""
+    if not results:
+        raise ConfigurationError("compare needs at least one result")
+    ordered: list[str] = [
+        m
+        for m in _HEADLINE_METRICS
+        if any(m in r.metrics for r in results)
+    ]
+    for result in results:
+        for metric in sorted(result.metrics):
+            if metric not in ordered:
+                ordered.append(metric)
+    return ComparisonReport(
+        names=tuple(r.spec.name for r in results),
+        runners=tuple(r.runner for r in results),
+        seeds=tuple(r.seed for r in results),
+        metrics={
+            metric: tuple(r.metrics.get(metric, float("nan")) for r in results)
+            for metric in ordered
+        },
+    )

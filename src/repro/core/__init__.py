@@ -15,6 +15,8 @@ from repro.core.config import (
     KnapsackLBConfig,
     ProbeConfig,
     SchedulerConfig,
+    dataclass_from_dict,
+    dataclass_to_dict,
 )
 from repro.core.controller import (
     ControlStepReport,
@@ -76,6 +78,8 @@ __all__ = [
     "KnapsackLBConfig",
     "ProbeConfig",
     "SchedulerConfig",
+    "dataclass_from_dict",
+    "dataclass_to_dict",
     "ControlStepReport",
     "Deployment",
     "ExplorationReport",

@@ -16,9 +16,97 @@ Default values follow the paper's prototype (§4, §5):
 
 from __future__ import annotations
 
+import dataclasses
+import types
+import typing
 from dataclasses import dataclass, field
+from typing import Any, Mapping, TypeVar
 
 from repro.exceptions import ConfigurationError
+
+_D = TypeVar("_D")
+
+
+# ---------------------------------------------------------------------------
+# generic frozen-dataclass (de)serialization
+#
+# Shared by the config objects below and by the declarative experiment specs
+# in :mod:`repro.api.spec`: one recursive walk in each direction, with
+# ``from`` errors that name the offending field by its dotted path
+# (``controller.config.ilp.weights_per_dip``) instead of a bare TypeError.
+# ---------------------------------------------------------------------------
+
+
+def dataclass_to_dict(obj: Any) -> Any:
+    """Recursively convert a dataclass tree to plain JSON/TOML-able types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: dataclass_to_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): dataclass_to_dict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [dataclass_to_dict(v) for v in obj]
+    return obj
+
+
+def _unwrap_optional(annotation: Any) -> tuple[Any, bool]:
+    """Return (inner type, optional?) for ``X | None`` annotations."""
+    origin = typing.get_origin(annotation)
+    if origin in (typing.Union, types.UnionType):
+        members = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if len(members) == 1:
+            return members[0], True
+    return annotation, False
+
+
+def dataclass_from_dict(cls: type[_D], data: Any, *, path: str = "") -> _D:
+    """Build dataclass ``cls`` from a plain mapping, validating field names.
+
+    Unknown keys and mistyped sections raise :class:`ConfigurationError`
+    naming the bad field by dotted path and listing the valid fields, so a
+    typo in a JSON/TOML spec file points straight at the line to fix.
+    Nested dataclass fields recurse; ``tuple[...]`` fields accept lists.
+    """
+    label = path or cls.__name__
+    if dataclasses.is_dataclass(data) and isinstance(data, cls):
+        return data
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{label} must be a mapping, got {type(data).__name__}"
+        )
+    field_map = {f.name: f for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(data) - set(field_map))
+    if unknown:
+        valid = ", ".join(sorted(field_map))
+        where = f"{path}.{unknown[0]}" if path else unknown[0]
+        raise ConfigurationError(
+            f"unknown field {where!r} for {cls.__name__}; valid fields: {valid}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        sub_path = f"{path}.{name}" if path else name
+        annotation, optional = _unwrap_optional(hints.get(name, Any))
+        if value is None and optional:
+            kwargs[name] = None
+        elif dataclasses.is_dataclass(annotation):
+            kwargs[name] = dataclass_from_dict(annotation, value, path=sub_path)
+        elif typing.get_origin(annotation) is tuple and isinstance(value, list):
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except ConfigurationError as error:
+        # __post_init__ errors already name the field; prefix the section so
+        # nested specs read e.g. "controller.config.ilp: ...".
+        if path:
+            raise ConfigurationError(f"{path}: {error}") from None
+        raise
+    except TypeError as error:
+        raise ConfigurationError(f"{label}: {error}") from None
 
 
 @dataclass(frozen=True)
@@ -191,6 +279,22 @@ class KnapsackLBConfig:
     def __post_init__(self) -> None:
         if self.control_interval_s <= 0:
             raise ConfigurationError("control_interval_s must be positive")
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON/TOML-able); inverse of :meth:`from_dict`."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], *, path: str = "config"
+    ) -> "KnapsackLBConfig":
+        """Build a config from a plain mapping (e.g. a parsed spec file).
+
+        Partial mappings are fine — omitted sections/fields keep their
+        defaults; unknown fields raise :class:`ConfigurationError` naming
+        the dotted path of the offender.
+        """
+        return dataclass_from_dict(cls, data, path=path)
 
 
 DEFAULT_CONFIG = KnapsackLBConfig()

@@ -53,7 +53,19 @@ class ScenarioSpec:
     runner: ScenarioRunner
     defaults: Mapping[str, Any] = field(default_factory=dict)
 
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        """The override keys this scenario accepts (its defaults' keys)."""
+        return tuple(sorted(self.defaults))
+
     def run(self, **overrides: Any) -> ScenarioResult:
+        unknown = sorted(set(overrides) - set(self.defaults))
+        if unknown:
+            valid = ", ".join(self.parameters) or "(none)"
+            raise ConfigurationError(
+                f"unknown parameter {unknown[0]!r} for scenario {self.name!r}; "
+                f"valid parameters: {valid}"
+            )
         params = {**self.defaults, **overrides}
         return self.runner(**params)
 

@@ -89,6 +89,22 @@ class FleetState:
             / total
         )
 
+    def dip_summaries(self) -> dict[DipId, dict[str, float]]:
+        """Per-DIP {rate, utilization, latency, #vips} rows for result artifacts."""
+        vips_per_dip: dict[DipId, int] = {}
+        for rates in self.per_vip_rates.values():
+            for dip in rates:
+                vips_per_dip[dip] = vips_per_dip.get(dip, 0) + 1
+        return {
+            dip: {
+                "rate_rps": self.total_rates_rps[dip],
+                "utilization": self.utilization[dip],
+                "mean_latency_ms": self.mean_latency_ms[dip],
+                "vips": float(vips_per_dip.get(dip, 0)),
+            }
+            for dip in sorted(self.total_rates_rps)
+        }
+
 
 class FleetDeployment:
     """One VIP's view of a shared fleet (satisfies ``Deployment``).

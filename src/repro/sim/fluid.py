@@ -406,6 +406,17 @@ class FluidClusterState:
             self.rates_rps[d] * self.mean_latency_ms[d] for d in self.rates_rps
         ) / total_rate
 
+    def dip_summaries(self) -> dict[DipId, dict[str, float]]:
+        """Per-DIP {rate, utilization, latency} rows (result-artifact shape)."""
+        return {
+            dip: {
+                "rate_rps": self.rates_rps[dip],
+                "utilization": self.utilization[dip],
+                "mean_latency_ms": self.mean_latency_ms[dip],
+            }
+            for dip in sorted(self.rates_rps)
+        }
+
 
 @dataclass
 class FluidCluster:

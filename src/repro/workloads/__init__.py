@@ -1,31 +1,37 @@
 """Workload and scenario builders for the paper's experimental setups."""
 
 from repro.workloads.generators import (
+    POOL_KINDS,
     TABLE8_VIP_MIX,
     TESTBED_COMPOSITION,
     TestbedLayout,
     build_graded_three_dip_pool,
     build_heterogeneous_pair,
+    build_pool,
     build_shared_dip_fleet,
     build_testbed_cluster,
     build_testbed_dips,
     build_three_dip_pool,
     build_uniform_pool,
+    fleet_from_pool,
     table8_total_dips,
     table8_vip_counts,
 )
 
 __all__ = [
+    "POOL_KINDS",
     "TABLE8_VIP_MIX",
     "TESTBED_COMPOSITION",
     "TestbedLayout",
     "build_graded_three_dip_pool",
     "build_heterogeneous_pair",
+    "build_pool",
     "build_shared_dip_fleet",
     "build_testbed_cluster",
     "build_testbed_dips",
     "build_three_dip_pool",
     "build_uniform_pool",
+    "fleet_from_pool",
     "table8_total_dips",
     "table8_vip_counts",
 ]

@@ -179,52 +179,88 @@ def build_uniform_pool(
     }
 
 
-def build_shared_dip_fleet(
+#: Pool shapes :func:`build_pool` can produce (the spec-facing vocabulary).
+POOL_KINDS: tuple[str, ...] = (
+    "uniform",
+    "testbed",
+    "three_dip",
+    "graded_three_dip",
+    "heterogeneous_pair",
+)
+
+
+def build_pool(
+    kind: str = "uniform",
+    *,
+    num_dips: int = 8,
+    vm_name: str = "api-pool",
+    vcpus: int = 2,
+    capacity_rps: float = 800.0,
+    idle_latency_ms: float | None = None,
+    capacity_ratio: float = 1.0,
+    seed: int | None = 11,
+) -> dict[DipId, DipServer]:
+    """One entry point over every pool builder, keyed by ``kind``.
+
+    This is the vocabulary the declarative experiment specs
+    (:mod:`repro.api.spec`) speak: ``uniform`` builds ``num_dips`` identical
+    DIPs of an ad-hoc VM type, the other kinds reproduce the paper's fixed
+    pools (Table 3 testbed, the §2.1 / Fig. 14 three-DIP pools, the §2.2
+    DS-vs-F pair) and ignore the sizing arguments that do not apply.
+    """
+    if kind == "uniform":
+        vm = custom_vm_type(
+            vm_name,
+            vcpus=vcpus,
+            capacity_rps=capacity_rps,
+            idle_latency_ms=idle_latency_ms,
+        )
+        return build_uniform_pool(num_dips, vm_type=vm, seed=seed)
+    if kind == "testbed":
+        return dict(build_testbed_dips(seed=seed).dips)
+    if kind == "three_dip":
+        return build_three_dip_pool(
+            capacity_ratio=capacity_ratio, cores=vcpus, seed=seed
+        )
+    if kind == "graded_three_dip":
+        return build_graded_three_dip_pool(seed=seed)
+    if kind == "heterogeneous_pair":
+        return build_heterogeneous_pair(seed=seed)
+    known = ", ".join(POOL_KINDS)
+    raise ConfigurationError(f"unknown pool kind {kind!r}; known kinds: {known}")
+
+
+def fleet_from_pool(
+    dips: dict[DipId, DipServer],
     *,
     num_vips: int = 8,
-    num_dips: int = 32,
     pool_size: int | None = None,
     load_fraction: float = 0.55,
     policy_name: str = "wrr",
     rate_mix: tuple[float, ...] | None = None,
-    core_choices: tuple[int, ...] = (1, 2, 4, 8),
-    seed: int | None = 21,
 ) -> Fleet:
-    """A fleet of ``num_dips`` heterogeneous DIPs shared by ``num_vips`` VIPs.
+    """Share an existing DIP pool between ``num_vips`` overlapping VIPs.
 
     Each VIP fronts a contiguous window of ``pool_size`` DIPs starting at a
-    stride of ``num_dips / num_vips``, so neighbouring VIPs overlap and most
+    stride of ``len(dips) / num_vips``, so neighbouring VIPs overlap and most
     DIPs serve more than one VIP — the shared-fleet contention shape of the
     Table 8 datacenter.  Per-VIP rates are sized so the *total* load on each
     DIP (summed over the VIPs sharing it) lands around ``load_fraction`` of
     its capacity; ``rate_mix`` multiplies the per-VIP rates for heterogeneous
     traffic mixes.
     """
+    num_dips = len(dips)
     if num_vips < 1 or num_dips < 1:
-        raise ConfigurationError("num_vips and num_dips must be >= 1")
+        raise ConfigurationError("num_vips and the pool size must be >= 1")
     pool_size = pool_size or min(num_dips, max(2, (2 * num_dips) // num_vips))
     if pool_size > num_dips:
-        raise ConfigurationError("pool_size cannot exceed num_dips")
+        raise ConfigurationError("pool_size cannot exceed the number of DIPs")
     if rate_mix is not None and len(rate_mix) != num_vips:
         raise ConfigurationError("rate_mix must have one entry per VIP")
 
-    rng = np.random.default_rng(seed)
     fleet = Fleet()
-    for index in range(num_dips):
-        cores = int(core_choices[int(rng.integers(len(core_choices)))])
-        vm = custom_vm_type(
-            f"fleet-{cores}core",
-            vcpus=cores,
-            capacity_rps=400.0 * cores,
-            idle_latency_ms=1000.0 / 400.0,
-        )
-        fleet.add_dip(
-            DipServer(
-                f"DIP-{index + 1}",
-                vm,
-                seed=None if seed is None else seed + index,
-            )
-        )
+    for server in dips.values():
+        fleet.add_dip(server)
 
     dip_ids = list(fleet.dips)
     stride = max(1, num_dips // num_vips)
@@ -252,6 +288,48 @@ def build_shared_dip_fleet(
         )
     fleet.apply()
     return fleet
+
+
+def build_shared_dip_fleet(
+    *,
+    num_vips: int = 8,
+    num_dips: int = 32,
+    pool_size: int | None = None,
+    load_fraction: float = 0.55,
+    policy_name: str = "wrr",
+    rate_mix: tuple[float, ...] | None = None,
+    core_choices: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int | None = 21,
+) -> Fleet:
+    """A fleet of ``num_dips`` heterogeneous DIPs shared by ``num_vips`` VIPs.
+
+    Builds a random mixed-core pool (one of ``core_choices`` per DIP) and
+    windows the VIPs over it with :func:`fleet_from_pool`.
+    """
+    if num_dips < 1:
+        raise ConfigurationError("num_dips must be >= 1")
+    rng = np.random.default_rng(seed)
+    dips: dict[DipId, DipServer] = {}
+    for index in range(num_dips):
+        cores = int(core_choices[int(rng.integers(len(core_choices)))])
+        vm = custom_vm_type(
+            f"fleet-{cores}core",
+            vcpus=cores,
+            capacity_rps=400.0 * cores,
+            idle_latency_ms=1000.0 / 400.0,
+        )
+        dip_id = f"DIP-{index + 1}"
+        dips[dip_id] = DipServer(
+            dip_id, vm, seed=None if seed is None else seed + index
+        )
+    return fleet_from_pool(
+        dips,
+        num_vips=num_vips,
+        pool_size=pool_size,
+        load_fraction=load_fraction,
+        policy_name=policy_name,
+        rate_mix=rate_mix,
+    )
 
 
 def table8_vip_counts() -> dict[int, int]:

@@ -1,0 +1,132 @@
+"""End-to-end coverage of the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunResult
+from repro.api.cli import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, f"exit {code}; stderr: {captured.err}"
+    return captured.out
+
+
+class TestList:
+    def test_lists_bridged_scenarios_and_builtins(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "multi_vip_shared_dips" in out
+        assert "testbed_klb" in out
+        assert "fluid_uniform_pool" in out
+
+
+class TestShow:
+    def test_show_prints_resolved_json(self, capsys):
+        out = run_cli(capsys, "show", "fluid_uniform_pool")
+        data = json.loads(out)
+        assert data["runner"] == "fluid"
+        assert data["pool"]["num_dips"] == 8
+
+    def test_show_applies_set_overrides(self, capsys):
+        out = run_cli(
+            capsys, "show", "fluid_uniform_pool",
+            "--set", "workload.load_fraction=0.42",
+            "--set", "policy.name=wlc",
+        )
+        data = json.loads(out)
+        assert data["workload"]["load_fraction"] == 0.42
+        assert data["policy"]["name"] == "wlc"
+
+    def test_show_accepts_spec_files(self, capsys, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"name": "from-file", "seed": 5}))
+        out = run_cli(capsys, "show", str(path))
+        assert json.loads(out)["seed"] == 5
+
+
+class TestRun:
+    def test_run_writes_a_loadable_artifact(self, capsys, tmp_path):
+        out_file = tmp_path / "out.json"
+        out = run_cli(
+            capsys, "run", "fluid_uniform_pool",
+            "--set", "controller.enabled=false",
+            "-o", str(out_file),
+        )
+        assert "mean_latency_ms" in out
+        result = RunResult.load(out_file)
+        assert result.runner == "fluid"
+        assert result.metrics["mean_latency_ms"] > 0
+
+    def test_runner_flag_flips_substrate(self, capsys, tmp_path):
+        out_file = tmp_path / "req.json"
+        run_cli(
+            capsys, "run", "fluid_uniform_pool",
+            "--set", "controller.enabled=false",
+            "--set", "workload.num_requests=1500",
+            "--runner", "request",
+            "-o", str(out_file),
+        )
+        assert RunResult.load(out_file).runner == "request"
+
+    def test_scenario_set_overrides_params(self, capsys, tmp_path):
+        out_file = tmp_path / "scen.json"
+        run_cli(
+            capsys, "run", "single_vip_testbed",
+            "--set", "load_fraction=0.5",
+            "-o", str(out_file),
+        )
+        result = RunResult.load(out_file)
+        assert result.spec.params["load_fraction"] == 0.5
+        assert result.metrics["latency_gain"] > 1.0
+
+
+class TestSweepAndCompare:
+    def test_sweep_writes_artifacts_and_comparison(self, capsys, tmp_path):
+        out_dir = tmp_path / "sweep"
+        out = run_cli(
+            capsys, "sweep", "fluid_uniform_pool",
+            "--set", "controller.enabled=false",
+            "--axis", "workload.load_fraction=0.4,0.6",
+            "-o", str(out_dir),
+        )
+        assert "mean_latency_ms" in out
+        results = sorted(out_dir.glob("result-*.json"))
+        assert len(results) == 2
+        comparison = json.loads((out_dir / "comparison.json").read_text())
+        assert len(comparison["names"]) == 2
+
+    def test_compare_saved_artifacts(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        run_cli(capsys, "run", "fluid_uniform_pool",
+                "--set", "controller.enabled=false", "-o", str(a))
+        run_cli(capsys, "run", "fluid_uniform_pool",
+                "--set", "controller.enabled=false",
+                "--set", "workload.load_fraction=0.8", "-o", str(b))
+        out = run_cli(capsys, "compare", str(a), str(b), "-o",
+                      str(tmp_path / "cmp.json"))
+        assert "mean_latency_ms" in out
+        assert (tmp_path / "cmp.json").exists()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("run", "no_such_spec"),
+            ("run", "fluid_uniform_pool", "--set", "garbage"),
+            ("run", "fluid_uniform_pool", "--set", "pool.num_dips=0"),
+            ("sweep", "fluid_uniform_pool", "--axis", "broken"),
+            ("compare", "/does/not/exist.json"),
+        ],
+    )
+    def test_errors_exit_2_with_message(self, capsys, argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")

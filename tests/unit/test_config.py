@@ -161,3 +161,45 @@ class TestKnapsackLBConfig:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             KnapsackLBConfig().control_interval_s = 1.0  # type: ignore[misc]
+
+
+class TestConfigSerde:
+    """to_dict/from_dict round-tripping of the config tree."""
+
+    def test_round_trip_is_identity(self):
+        config = KnapsackLBConfig(
+            ilp=IlpConfig(weights_per_dip=12, theta=0.4),
+            exploration=ExplorationConfig(alpha=2.0),
+        )
+        assert KnapsackLBConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_plain_data(self):
+        import json
+
+        json.dumps(KnapsackLBConfig().to_dict())  # must not raise
+
+    def test_partial_dict_keeps_defaults(self):
+        config = KnapsackLBConfig.from_dict({"ilp": {"weights_per_dip": 4}})
+        assert config.ilp.weights_per_dip == 4
+        assert config.ilp.backend == "auto"
+        assert config.probe == ProbeConfig()
+
+    def test_none_round_trips_for_optional_fields(self):
+        config = KnapsackLBConfig.from_dict({"ilp": {"theta": None}})
+        assert config.ilp.theta is None
+
+    def test_unknown_field_names_dotted_path(self):
+        with pytest.raises(ConfigurationError, match=r"config\.ilp\.wieghts"):
+            KnapsackLBConfig.from_dict({"ilp": {"wieghts": 4}})
+
+    def test_unknown_section_lists_valid_fields(self):
+        with pytest.raises(ConfigurationError, match="exploration"):
+            KnapsackLBConfig.from_dict({"explorations": {}})
+
+    def test_invalid_value_error_carries_section(self):
+        with pytest.raises(ConfigurationError, match=r"config\.ilp"):
+            KnapsackLBConfig.from_dict({"ilp": {"weights_per_dip": 1}})
+
+    def test_section_must_be_mapping(self):
+        with pytest.raises(ConfigurationError, match="config.curve"):
+            KnapsackLBConfig.from_dict({"curve": 3})

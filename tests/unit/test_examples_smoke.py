@@ -1,0 +1,47 @@
+"""Every example under examples/ must execute end to end.
+
+The examples are the library's shop window and they all go through the
+declarative :mod:`repro.api` now — running them here keeps them from
+rotting as the API evolves.  ``REPRO_EXAMPLE_FAST=1`` shrinks the request
+budgets so the whole set stays test-suite friendly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """New examples must be picked up by the smoke runs below."""
+    assert EXAMPLES, "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script: str, tmp_path: Path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,  # artifacts the example writes land in tmp
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"
