@@ -3,40 +3,19 @@
 
 Reproduces the §2.1 / Fig. 14 situation: a 3-DIP pool where one DIP's
 capacity is squeezed by a cache-thrashing antagonist while the controller is
-running.  The pool and controller come from a declarative spec
-(``pool.kind = "three_dip"``); the squeeze itself is driven by hand, which
-is exactly what :func:`repro.api.build_cluster` is for — spec-built systems
-you perturb interactively.
+running — written as a *pure timeline*.  The squeeze and the later clear are
+declarative `EventSpec`s on the spec itself, so the identical experiment
+runs on the request-level engine by flipping ``runner="request"``, and the
+result carries the full windowed trajectory instead of only end-of-run
+numbers.
 
 Run with:  python examples/dynamic_capacity.py
 """
 
 from __future__ import annotations
 
-from repro import KnapsackLBController, api
+from repro import api
 from repro.analysis import format_table
-from repro.sim import FluidCluster
-
-
-def describe(cluster: FluidCluster, controller: KnapsackLBController, title: str) -> None:
-    state = cluster.state()
-    weights = controller.last_assignment.weights if controller.last_assignment else {}
-    rows = [
-        [
-            dip,
-            f"{server.capacity_rps:.0f}",
-            f"{weights.get(dip, 0.0):.3f}",
-            f"{state.utilization[dip] * 100:.0f}%",
-            f"{state.mean_latency_ms[dip]:.2f}",
-        ]
-        for dip, server in cluster.dips.items()
-    ]
-    print(
-        format_table(
-            ["DIP", "capacity (rps)", "weight", "CPU", "latency (ms)"], rows, title=title
-        )
-    )
-    print()
 
 
 def main() -> None:
@@ -44,24 +23,54 @@ def main() -> None:
         name="noisy-neighbour",
         runner="fluid",
         pool=api.PoolSpec(kind="three_dip", vm=api.VmSpec(vcpus=2)),
-        workload=api.WorkloadSpec(load_fraction=0.70),
+        workload=api.WorkloadSpec(load_fraction=0.60),
+        timeline=api.TimelineSpec(
+            events=(
+                # An antagonist starts on DIP-LC: capacity drops to 60 %...
+                api.EventSpec(
+                    time_s=15.0, kind="capacity_ratio", dip="DIP-LC", value=0.60
+                ),
+                # ... and stops again a minute later.
+                api.EventSpec(
+                    time_s=75.0, kind="capacity_ratio", dip="DIP-LC", value=1.0
+                ),
+            ),
+            window_s=5.0,
+            horizon_s=110.0,
+        ),
         seed=11,
     )
-    cluster = api.build_cluster(spec)
 
-    controller = KnapsackLBController("vip-noisy", cluster)
-    controller.converge()
-    describe(cluster, controller, "Before the noisy neighbour (all DIPs at full capacity)")
+    # Observers stream the run while it executes: every applied event and
+    # every 5 s telemetry window prints as it happens (same as `run --watch`).
+    result = api.run(spec, observers=[api.PrintingObserver()])
 
-    print("An antagonist starts on DIP-LC: capacity drops to 60 %...\n")
-    cluster.set_capacity_ratio("DIP-LC", 0.60)
-
-    for step in range(1, 5):
-        report = controller.control_step()
-        events = ", ".join(e.kind.value for e in report.events) or "none"
-        print(f"control step {step}: events = {events}, reprogrammed = {report.reprogrammed}")
+    rows = [
+        [
+            f"[{window.start_s:.0f}, {window.end_s:.0f})",
+            f"{window.metrics['mean_latency_ms']:.2f}",
+            f"{window.metrics['max_utilization'] * 100:.0f}%",
+            f"{window.dip_share.get('DIP-LC', 0.0) * 100:.0f}%",
+            "yes" if window.metrics.get("reprogrammed") else "",
+            "; ".join(window.events),
+        ]
+        for window in result.windows
+    ]
     print()
-    describe(cluster, controller, "After adaptation (weights shifted away from DIP-LC)")
+    print(
+        format_table(
+            ["window (s)", "latency (ms)", "max CPU", "DIP-LC share", "reprog", "events"],
+            rows,
+            title="The squeeze and the controller's recovery, window by window",
+        )
+    )
+    print()
+    print(
+        "end of run:"
+        f" run-average latency {result.metrics['mean_latency_ms']:.2f} ms,"
+        f" final window {result.metrics['final_latency_ms']:.2f} ms,"
+        f" max utilization {result.metrics['max_utilization'] * 100:.0f}%"
+    )
 
 
 if __name__ == "__main__":

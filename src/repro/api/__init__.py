@@ -24,7 +24,7 @@ the shell.
 """
 
 from repro.api.registry import get_spec, list_specs, register_spec
-from repro.api.result import Provenance, RunResult
+from repro.api.result import Provenance, RunResult, RunWindow
 from repro.api.runners import (
     FleetRunner,
     FluidRunner,
@@ -36,31 +36,50 @@ from repro.api.runners import (
     runner_for,
 )
 from repro.api.spec import (
+    EVENT_KINDS,
     RUNNER_KINDS,
     ControllerSpec,
+    EventSpec,
     ExperimentSpec,
     FleetSpec,
     PolicySpec,
     PoolSpec,
+    TimelineSpec,
     VmSpec,
     WorkloadSpec,
 )
 from repro.api.sweep import ComparisonReport, Sweep, SweepAxis, compare
+from repro.api.timeline import (
+    BaseObserver,
+    Observer,
+    ObserverSet,
+    PrintingObserver,
+    WindowedMetricsObserver,
+)
 
 #: The canonical entry point: run a spec on the substrate it names.
 run = execute
 
 __all__ = [
+    "EVENT_KINDS",
     "RUNNER_KINDS",
     "ControllerSpec",
+    "EventSpec",
     "ExperimentSpec",
     "FleetSpec",
     "PolicySpec",
     "PoolSpec",
+    "TimelineSpec",
     "VmSpec",
     "WorkloadSpec",
     "Provenance",
     "RunResult",
+    "RunWindow",
+    "BaseObserver",
+    "Observer",
+    "ObserverSet",
+    "PrintingObserver",
+    "WindowedMetricsObserver",
     "Runner",
     "FluidRunner",
     "RequestRunner",

@@ -1,17 +1,22 @@
 """The ``python -m repro`` command line.
 
-Five verbs over the declarative API, all round-tripping through files:
+Six verbs over the declarative API, all round-tripping through files:
 
 * ``list`` — registered specs (scenario bridges + built-ins);
 * ``show NAME|FILE`` — the fully-resolved spec as JSON;
-* ``run NAME|FILE [--set path=value ...] [--runner R] [-o out.json]``;
+* ``validate NAME|FILE`` — eager-validate a spec (timeline included) and
+  exit non-zero with the dotted-path error, without running anything;
+* ``run NAME|FILE [--set path=value ...] [--runner R] [--watch] [-o out.json]``;
 * ``sweep NAME|FILE --axis path=v1,v2 [...] [-j N] [-o dir]``;
-* ``compare a.json b.json [...]`` — align saved result artifacts.
+* ``compare a.json b.json [--windows] [--window-metric M]`` — align saved
+  result artifacts; ``--windows`` adds the window-by-window trajectory
+  table.
 
 ``--set`` values are parsed as JSON first (so ``--set seed=3`` is an int
 and ``--set policy.name=lc`` a string); dotted paths address nested spec
 fields, and bare keys on scenario-backed specs address scenario
-parameters.
+parameters.  ``run --watch`` streams progress lines (applied timeline
+events, per-window headline metrics) to stderr while the run executes.
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ from repro.api.registry import get_spec, list_specs
 from repro.api.result import RunResult
 from repro.api.runners import execute
 from repro.api.spec import ExperimentSpec
-from repro.api.sweep import Sweep, SweepAxis, compare
+from repro.api.sweep import Sweep, SweepAxis, compare, window_table
+from repro.api.timeline import PrintingObserver
 from repro.exceptions import ReproError
 
 
@@ -84,9 +90,25 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)  # raises ReproError with the dotted path
+    timeline = spec.timeline
+    shape = (
+        "no timeline"
+        if timeline.empty
+        else (
+            f"{len(timeline.events)} timeline event(s) over "
+            f"{timeline.duration_s():g}s in {timeline.window_s:g}s windows"
+        )
+    )
+    print(f"spec {spec.name!r} is valid: runner={spec.runner}, {shape}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
-    result = execute(spec)
+    observers = (PrintingObserver(),) if args.watch else ()
+    result = execute(spec, observers=observers)
     print(_metrics_table(result))
     if args.output:
         path = result.save(args.output)
@@ -131,6 +153,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = [RunResult.load(path) for path in args.results]
     report = compare(results)
     print(report.render())
+    if args.windows:
+        print()
+        print(window_table(results, metric=args.window_metric))
     if args.output:
         Path(args.output).write_text(
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
@@ -173,9 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(show)
     show.set_defaults(handler=_cmd_show)
 
+    validate = commands.add_parser(
+        "validate",
+        help="eagerly validate a spec (timeline included) without running it",
+    )
+    _add_spec_arguments(validate)
+    validate.set_defaults(handler=_cmd_validate)
+
     run = commands.add_parser("run", help="execute a spec")
     _add_spec_arguments(run)
     run.add_argument("-o", "--output", help="write the RunResult JSON here")
+    run.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream timeline events and per-window progress to stderr",
+    )
     run.set_defaults(handler=_cmd_run)
 
     sweep = commands.add_parser("sweep", help="expand and run a parameter sweep")
@@ -200,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="compare saved result artifacts"
     )
     cmp_parser.add_argument("results", nargs="+", help="RunResult JSON files")
+    cmp_parser.add_argument(
+        "--windows",
+        action="store_true",
+        help="also print the window-by-window trajectory table",
+    )
+    cmp_parser.add_argument(
+        "--window-metric",
+        default="mean_latency_ms",
+        metavar="METRIC",
+        help="metric the --windows table shows (default: mean_latency_ms)",
+    )
     cmp_parser.add_argument("-o", "--output", help="write the comparison JSON here")
     cmp_parser.set_defaults(handler=_cmd_compare)
     return parser

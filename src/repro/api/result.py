@@ -37,6 +37,45 @@ class Provenance:
 
 
 @dataclass(frozen=True)
+class RunWindow:
+    """One telemetry window of a timed run (a row of the time-series).
+
+    Windows turn a result from an end-of-run aggregate into a replayable
+    trajectory: per-window headline metrics, the per-DIP request/rate share,
+    and the labels of the timeline events applied during the window, in
+    application order.  Times are seconds from the start of the timed phase
+    (the same clock :class:`~repro.api.spec.EventSpec` times use).
+    """
+
+    start_s: float
+    end_s: float
+    metrics: dict[str, float]
+    dip_share: dict[str, float] = field(default_factory=dict)
+    events: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "metrics": dict(self.metrics),
+            "dip_share": dict(self.dip_share),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunWindow":
+        return cls(
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            dip_share={
+                k: float(v) for k, v in data.get("dip_share", {}).items()
+            },
+            events=tuple(str(e) for e in data.get("events", ())),
+        )
+
+
+@dataclass(frozen=True)
 class RunResult:
     """Outcome of executing one :class:`ExperimentSpec`."""
 
@@ -46,6 +85,8 @@ class RunResult:
     metrics: dict[str, float]
     dip_summaries: dict[str, dict[str, float]]
     provenance: Provenance
+    #: windowed time-series of the timed phase (empty without a timeline).
+    windows: tuple[RunWindow, ...] = ()
     #: rich in-memory detail (assignments, states); never serialized.
     detail: Any = field(default=None, compare=False, repr=False)
 
@@ -61,6 +102,7 @@ class RunResult:
             "dip_summaries": {
                 dip: dict(row) for dip, row in self.dip_summaries.items()
             },
+            "windows": [window.to_dict() for window in self.windows],
             "provenance": {
                 "started_at": self.provenance.started_at,
                 "wall_clock_s": self.provenance.wall_clock_s,
@@ -102,6 +144,9 @@ class RunResult:
                 dip: {k: float(v) for k, v in row.items()}
                 for dip, row in data.get("dip_summaries", {}).items()
             },
+            windows=tuple(
+                RunWindow.from_dict(row) for row in data.get("windows", ())
+            ),
             provenance=Provenance(
                 started_at=str(prov.get("started_at", "")),
                 wall_clock_s=float(prov.get("wall_clock_s", 0.0)),
@@ -121,6 +166,10 @@ class RunResult:
                 f"result file {str(path)!r} is not valid JSON: {error}"
             ) from None
         return cls.from_dict(data)
+
+    def window_series(self, metric: str) -> tuple[float, ...]:
+        """One metric as a time-series across the windows (NaN where absent)."""
+        return tuple(w.metrics.get(metric, float("nan")) for w in self.windows)
 
     # -- comparison ------------------------------------------------------------
 

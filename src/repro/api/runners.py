@@ -16,16 +16,34 @@ The same spec executes on fluid, request and fleet unchanged — only the
 provenance, never its metrics, so a re-run from a saved spec reproduces
 the metrics dict exactly (fluid is analytic; the request engine is
 deterministic per seed).
+
+When the spec carries a non-empty :class:`~repro.api.spec.TimelineSpec`,
+every runner executes the timed phase after convergence through the shared
+application layer in :mod:`repro.api.timeline`: events fire at their
+declared times on each substrate's clock, callers can stream telemetry by
+passing :class:`~repro.api.timeline.Observer` hooks to :func:`execute`, and
+the built-in windowed recorder fills :attr:`RunResult.windows` with the
+run's time-series.
 """
 
 from __future__ import annotations
 
 import time
 from datetime import datetime, timezone
-from typing import Any, Mapping, Protocol
+from typing import Any, Iterable, Mapping, Protocol
 
-from repro.api.result import Provenance, RunResult
+from repro.api.result import Provenance, RunResult, RunWindow
 from repro.api.spec import ExperimentSpec, PoolSpec
+from repro.api.timeline import (
+    Observer,
+    ObserverSet,
+    check_timeline_supported,
+    request_windows,
+    run_fleet_timeline,
+    run_fluid_timeline,
+    schedule_request_progress,
+    schedule_request_timeline,
+)
 from repro.core import FleetController, KnapsackLBController
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
@@ -42,9 +60,13 @@ class Runner(Protocol):
 
     kind: str
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
+    def run(
+        self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    ) -> RunResult:
         """Execute ``spec`` and return its result artifact."""
         ...
+
+
 
 
 def _pool_from_spec(pool: PoolSpec, seed: int) -> dict[DipId, Any]:
@@ -83,6 +105,7 @@ def _finish(
     dip_summaries: Mapping[str, Mapping[str, float]],
     started_at: str,
     started_clock: float,
+    windows: tuple[RunWindow, ...] = (),
     detail: Any = None,
 ) -> RunResult:
     return RunResult(
@@ -94,6 +117,7 @@ def _finish(
             dip: {k: float(v) for k, v in row.items()}
             for dip, row in dip_summaries.items()
         },
+        windows=windows,
         provenance=Provenance(
             started_at=started_at,
             wall_clock_s=time.perf_counter() - started_clock,
@@ -106,16 +130,49 @@ def _now_iso() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
+def _timeline_latency_metrics(windows: tuple[RunWindow, ...]) -> dict[str, float]:
+    """Headline latency metrics of a timed phase, comparable across substrates.
+
+    ``mean_latency_ms`` is the run average over the whole timed phase
+    (rate·time-weighted across windows, so it matches the request engine's
+    completed-request average in meaning), ``final_latency_ms`` the last
+    window's value — end state and trajectory average stay distinct.
+    """
+    weighted = 0.0
+    weight = 0.0
+    for window in windows:
+        mean = window.metrics.get("mean_latency_ms", float("nan"))
+        if mean != mean:
+            continue
+        rate = window.metrics.get("total_rate_rps", 1.0)
+        share = rate * (window.end_s - window.start_s)
+        weighted += mean * share
+        weight += share
+    return {
+        "mean_latency_ms": weighted / weight if weight else float("nan"),
+        "final_latency_ms": windows[-1].metrics.get(
+            "mean_latency_ms", float("nan")
+        ),
+    }
+
+
 class FluidRunner:
     """Analytic fluid-model execution (optionally KnapsackLB-converged)."""
 
     kind = "fluid"
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
+    def run(
+        self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    ) -> RunResult:
         started_at, started = _now_iso(), time.perf_counter()
         cluster = build_cluster(spec)
+        if not spec.timeline.empty:
+            check_timeline_supported(
+                spec.timeline, self.kind, dips=cluster.dips
+            )
         metrics: dict[str, float] = {}
         detail = None
+        controller: KnapsackLBController | None = None
         if spec.controller.enabled:
             controller = KnapsackLBController(
                 f"vip-{spec.name}", cluster, config=spec.controller.config
@@ -134,8 +191,22 @@ class FluidRunner:
             cluster.set_weights(dict(assignment.weights))
             metrics["equal_split_latency_ms"] = equal_latency
             metrics["latency_gain"] = equal_latency / klb_latency
+        windows: tuple[RunWindow, ...] = ()
+        if not spec.timeline.empty:
+            # The timed phase starts from the converged steady state; events
+            # fire between fixed-point rounds at their declared times.
+            windows = run_fluid_timeline(
+                cluster, spec.timeline, ObserverSet(observers), controller=controller
+            )
+            metrics["timeline_events"] = float(len(spec.timeline.events))
         state = cluster.state()
-        metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
+        if windows:
+            # Trajectory-derived aggregates (a still-failed DIP's rate-0 /
+            # latency-inf pair cannot poison them, and they mean the same
+            # thing on every substrate).
+            metrics.update(_timeline_latency_metrics(windows))
+        else:
+            metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
         metrics["max_utilization"] = max(state.utilization.values())
         metrics["total_rate_rps"] = cluster.total_rate_rps
         return _finish(
@@ -144,6 +215,7 @@ class FluidRunner:
             dip_summaries=state.dip_summaries(),
             started_at=started_at,
             started_clock=started,
+            windows=windows,
             detail=detail,
         )
 
@@ -153,9 +225,13 @@ class RequestRunner:
 
     kind = "request"
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
+    def run(
+        self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    ) -> RunResult:
         started_at, started = _now_iso(), time.perf_counter()
         dips = _pool_from_spec(spec.pool, spec.seed)
+        if not spec.timeline.empty:
+            check_timeline_supported(spec.timeline, self.kind, dips=dips)
         total_capacity = sum(d.capacity_rps for d in dips.values())
         rate = spec.workload.load_fraction * total_capacity
 
@@ -182,10 +258,44 @@ class RequestRunner:
         cluster = RequestCluster(dips, policy, rate_rps=rate, seed=spec.seed)
         if weights is not None:
             cluster.set_weights(weights)
-        run = cluster.run(
-            num_requests=spec.workload.num_requests,
-            warmup_s=spec.workload.warmup_s,
-        )
+        windows: tuple[RunWindow, ...] = ()
+        if spec.timeline.empty:
+            run = cluster.run(
+                num_requests=spec.workload.num_requests,
+                warmup_s=spec.workload.warmup_s,
+            )
+        else:
+            # A timeline defines the measured phase: the run lasts exactly
+            # the timeline's horizon (``workload.num_requests`` does not
+            # apply), so the trajectory covers the same windows on every
+            # substrate.  Events fire on the engine clock (offset past
+            # warm-up) via cancellable handles, and the window time-series
+            # folds out of the columnar metrics after the run.
+            timeline = spec.timeline
+            warmup = spec.workload.warmup_s
+            duration = timeline.duration_s()
+            observer = ObserverSet(observers)
+            handles = schedule_request_timeline(
+                cluster, timeline, observer, offset_s=warmup
+            )
+            if observer.observers:
+                schedule_request_progress(
+                    cluster,
+                    observer,
+                    window_s=timeline.window_s,
+                    horizon_s=duration,
+                    offset_s=warmup,
+                )
+            run = cluster.run(duration_s=duration, warmup_s=warmup)
+            for handle in handles:
+                handle.cancel()  # no-op for handles that already fired
+            windows = request_windows(
+                cluster,
+                timeline,
+                observer,
+                duration_s=duration,
+                offset_s=warmup,
+            )
         metrics = {
             "mean_latency_ms": run.metrics.mean_latency_ms(),
             "p50_latency_ms": run.metrics.percentile_latency_ms(50),
@@ -194,6 +304,14 @@ class RequestRunner:
             "requests_submitted": float(run.requests_submitted),
             "duration_s": run.duration_s,
         }
+        if windows:
+            metrics["timeline_events"] = float(len(spec.timeline.events))
+            # ``mean_latency_ms`` is already the whole-run completed-request
+            # average; surface the end state separately, as the other
+            # substrates do.
+            metrics["final_latency_ms"] = windows[-1].metrics.get(
+                "mean_latency_ms", float("nan")
+            )
         summaries = {
             dip: {
                 "requests": float(row.requests),
@@ -210,6 +328,7 @@ class RequestRunner:
             dip_summaries=summaries,
             started_at=started_at,
             started_clock=started,
+            windows=windows,
             detail=run,
         )
 
@@ -219,7 +338,9 @@ class FleetRunner:
 
     kind = "fleet"
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
+    def run(
+        self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    ) -> RunResult:
         started_at, started = _now_iso(), time.perf_counter()
         # The *same* pool spec the other runners execute, windowed across
         # the VIPs — so a testbed or three_dip spec stays that pool here.
@@ -230,12 +351,30 @@ class FleetRunner:
             load_fraction=spec.workload.load_fraction,
             policy_name=spec.policy.name,
         )
+        if not spec.timeline.empty:
+            check_timeline_supported(
+                spec.timeline,
+                self.kind,
+                dips=fleet.dips,
+                vips=fleet.vips,
+                controller_enabled=spec.controller.enabled,
+            )
+        # VIPs a timeline onboards later stay out of the initial convergence
+        # (their traffic still flows at the builder's capacity-proportional
+        # weights — the staggered-onboarding shape).
+        deferred = {
+            event.vip
+            for event in spec.timeline.events
+            if event.kind == "vip_onboard"
+        }
         metrics: dict[str, float] = {}
         detail: Any = None
+        plane: FleetController | None = None
         if spec.controller.enabled:
             plane = FleetController(fleet, config=spec.controller.config)
             for vip_id in fleet.vips:
-                plane.onboard_vip(vip_id)
+                if vip_id not in deferred:
+                    plane.onboard_vip(vip_id)
             assignments = plane.converge_all(
                 settle_steps=spec.controller.settle_steps
             )
@@ -244,8 +383,17 @@ class FleetRunner:
             metrics["vips_with_assignment"] = float(len(assignments))
             metrics["measurement_rounds"] = float(len(plane.round_log))
             detail = {"assignments": assignments, "plane": plane}
+        windows: tuple[RunWindow, ...] = ()
+        if not spec.timeline.empty:
+            windows = run_fleet_timeline(
+                fleet, spec.timeline, ObserverSet(observers), plane=plane
+            )
+            metrics["timeline_events"] = float(len(spec.timeline.events))
         state = fleet.state()
-        metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
+        if windows:
+            metrics.update(_timeline_latency_metrics(windows))
+        else:
+            metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
         metrics["max_utilization"] = max(state.utilization.values())
         metrics["num_vips"] = float(len(fleet.vips))
         metrics["shared_dips"] = float(len(fleet.shared_dip_ids()))
@@ -255,6 +403,7 @@ class FleetRunner:
             dip_summaries=state.dip_summaries(),
             started_at=started_at,
             started_clock=started,
+            windows=windows,
             detail=detail,
         )
 
@@ -264,8 +413,10 @@ class ScenarioRunner:
 
     kind = "scenario"
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
-        from repro.experiments.scenarios import get_scenario
+    def run(
+        self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    ) -> RunResult:
+        from repro.experiments.scenarios import get_scenario, observing
 
         started_at, started = _now_iso(), time.perf_counter()
         assert spec.scenario is not None  # enforced by ExperimentSpec
@@ -273,13 +424,17 @@ class ScenarioRunner:
         params = dict(spec.params)
         if "seed" in scenario.defaults:
             params.setdefault("seed", spec.seed)
-        outcome = scenario.run(**params)
+        # Timeline scenarios execute an inner spec; route the caller's
+        # observers (e.g. ``run <scenario> --watch``) through to it.
+        with observing(tuple(observers)):
+            outcome = scenario.run(**params)
         return _finish(
             spec,
             metrics=outcome.metrics,
             dip_summaries={},
             started_at=started_at,
             started_clock=started,
+            windows=getattr(outcome, "windows", ()) or (),
             detail=outcome,
         )
 
@@ -300,6 +455,13 @@ def runner_for(kind: str) -> Runner:
         ) from None
 
 
-def execute(spec: ExperimentSpec) -> RunResult:
-    """Run ``spec`` on the substrate its ``runner`` field names."""
-    return runner_for(spec.runner).run(spec)
+def execute(
+    spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+) -> RunResult:
+    """Run ``spec`` on the substrate its ``runner`` field names.
+
+    ``observers`` stream the run while it executes (timeline events as they
+    apply, per-window progress, completed window rows); the recorded
+    time-series always lands in the result's ``windows`` regardless.
+    """
+    return runner_for(spec.runner).run(spec, observers=observers)

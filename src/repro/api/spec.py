@@ -34,6 +34,175 @@ from repro.workloads import POOL_KINDS
 #: :mod:`repro.experiments.scenarios`.
 RUNNER_KINDS: tuple[str, ...] = ("fluid", "request", "fleet", "scenario")
 
+#: Timed mid-run perturbations a timeline can declare (see :class:`EventSpec`).
+EVENT_KINDS: tuple[str, ...] = (
+    "dip_fail",
+    "dip_recover",
+    "capacity_ratio",
+    "arrival_scale",
+    "vip_onboard",
+    "vip_offboard",
+    "antagonist_phase",
+)
+
+#: Event kinds that only make sense on the multi-VIP fleet substrate.
+FLEET_ONLY_EVENT_KINDS: frozenset[str] = frozenset(
+    {"vip_onboard", "vip_offboard"}
+)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One timed perturbation of a running experiment.
+
+    ``time_s`` is measured from the start of the timeline phase (after the
+    controller has converged, and after warm-up on the request substrate),
+    so the same event fires at the same point of every substrate's clock.
+
+    Kinds and their fields:
+
+    * ``dip_fail`` / ``dip_recover`` — ``dip`` goes down / comes back;
+    * ``capacity_ratio`` — pin ``dip``'s capacity to ``value`` (in (0, 1])
+      of its base value (the §2.1 antagonist squeeze);
+    * ``antagonist_phase`` — run ``value`` antagonist copies on ``dip``
+      (0 clears them; diminishing-returns capacity loss per copy);
+    * ``arrival_scale`` — scale offered traffic to ``value`` × the *base*
+      rate (surges and diurnal ramps; ``vip`` scopes it to one fleet
+      tenant, otherwise every VIP scales);
+    * ``vip_onboard`` / ``vip_offboard`` — ``vip`` joins the control plane
+      of a live fleet / leaves the fleet (fleet substrate only).
+    """
+
+    time_s: float
+    kind: str
+    dip: str | None = None
+    vip: str | None = None
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigurationError("event time_s must be >= 0")
+        if self.kind not in EVENT_KINDS:
+            kinds = ", ".join(EVENT_KINDS)
+            raise ConfigurationError(
+                f"event kind must be one of: {kinds}; got {self.kind!r}"
+            )
+        needs_dip = self.kind in (
+            "dip_fail",
+            "dip_recover",
+            "capacity_ratio",
+            "antagonist_phase",
+        )
+        if needs_dip and not self.dip:
+            raise ConfigurationError(f"event {self.kind!r} needs the dip field")
+        if not needs_dip and self.dip is not None:
+            raise ConfigurationError(
+                f"event {self.kind!r} does not take a dip field"
+            )
+        if self.kind in FLEET_ONLY_EVENT_KINDS and not self.vip:
+            raise ConfigurationError(f"event {self.kind!r} needs the vip field")
+        if self.vip is not None and self.kind not in (
+            "vip_onboard",
+            "vip_offboard",
+            "arrival_scale",
+        ):
+            raise ConfigurationError(
+                f"event {self.kind!r} does not take a vip field"
+            )
+        if self.kind == "capacity_ratio":
+            if self.value is None or not 0 < self.value <= 1:
+                raise ConfigurationError(
+                    "event 'capacity_ratio' needs value in (0, 1]"
+                )
+        elif self.kind == "arrival_scale":
+            if self.value is None or self.value <= 0:
+                raise ConfigurationError(
+                    "event 'arrival_scale' needs a positive value"
+                )
+        elif self.kind == "antagonist_phase":
+            if self.value is None or self.value < 0 or self.value != int(self.value):
+                raise ConfigurationError(
+                    "event 'antagonist_phase' needs a non-negative integer "
+                    "value (antagonist copies)"
+                )
+        elif self.value is not None:
+            raise ConfigurationError(
+                f"event {self.kind!r} does not take a value field"
+            )
+
+    def label(self) -> str:
+        """Compact human-readable form (``t=30s dip_fail DIP-3``)."""
+        parts = [f"t={self.time_s:g}s", self.kind]
+        if self.dip is not None:
+            parts.append(self.dip)
+        if self.vip is not None:
+            parts.append(self.vip)
+        if self.value is not None:
+            parts.append(f"{self.value:g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """The timed phase of an experiment: ordered events plus telemetry shape.
+
+    Events apply in ``(time_s, declaration order)`` order on every substrate:
+    the fluid and fleet runners apply due events between fixed-point rounds
+    (one round per ``window_s``), the request runner schedules them as
+    cancellable engine events on the shared heap.  ``window_s`` is also the
+    granularity of the windowed time-series recorded into the result.
+
+    ``horizon_s`` ends the timed phase; when omitted it extends
+    ``TAIL_WINDOWS`` windows past the last event so the system's reaction is
+    visible in the telemetry.
+    """
+
+    #: windows simulated past the last event when horizon_s is omitted.
+    TAIL_WINDOWS = 5
+
+    events: tuple[EventSpec, ...] = ()
+    window_s: float = 5.0
+    horizon_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigurationError("timeline.window_s must be positive")
+        events = tuple(
+            event
+            if isinstance(event, EventSpec)
+            else dataclass_from_dict(EventSpec, event, path="timeline.events")
+            for event in self.events
+        )
+        object.__setattr__(self, "events", events)
+        if self.horizon_s is not None:
+            if self.horizon_s <= 0:
+                raise ConfigurationError(
+                    "timeline.horizon_s must be positive or null"
+                )
+            late = [e for e in events if e.time_s >= self.horizon_s]
+            if late:
+                raise ConfigurationError(
+                    f"timeline.horizon_s = {self.horizon_s:g} does not cover "
+                    f"the event at t={late[0].time_s:g}s"
+                )
+
+    @property
+    def empty(self) -> bool:
+        """No events and no explicit horizon: the run has no timed phase."""
+        return not self.events and self.horizon_s is None
+
+    def duration_s(self) -> float:
+        """The resolved end of the timed phase."""
+        if self.horizon_s is not None:
+            return self.horizon_s
+        last = max((e.time_s for e in self.events), default=0.0)
+        return last + self.TAIL_WINDOWS * self.window_s
+
+    def ordered_events(self) -> tuple[EventSpec, ...]:
+        """Events in application order: time first, declaration order on ties."""
+        # sorted() is stable, so equal-time events keep declaration order.
+        return tuple(sorted(self.events, key=lambda e: e.time_s))
+
 
 @dataclass(frozen=True)
 class VmSpec:
@@ -168,6 +337,7 @@ class ExperimentSpec:
     policy: PolicySpec = PolicySpec()
     controller: ControllerSpec = ControllerSpec()
     fleet: FleetSpec = FleetSpec()
+    timeline: TimelineSpec = TimelineSpec()
     seed: int = 0
     #: registered scenario to delegate to (runner == "scenario" only).
     scenario: str | None = None
@@ -190,6 +360,11 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"scenario {self.scenario!r} requires runner 'scenario', "
                 f"got {self.runner!r}"
+            )
+        if self.runner == "scenario" and not self.timeline.empty:
+            raise ConfigurationError(
+                "runner 'scenario' cannot carry a timeline; scenarios build "
+                "their own timed specs (use runner fluid/request/fleet)"
             )
         if (
             self.controller.enabled

@@ -207,6 +207,64 @@ class ComparisonReport:
         )
 
 
+def window_table(
+    results: Sequence[RunResult], *, metric: str = "mean_latency_ms"
+) -> str:
+    """Align the results' window time-series into one window-by-run table.
+
+    One row per telemetry window: the window bounds (from the first result
+    that recorded windows), ``metric``'s value per run (``-`` where a run
+    has no such window), and the timeline events applied in that window
+    (union across runs, deduplicated in order).  This is what makes two
+    timed runs comparable *trajectory against trajectory* — e.g. a
+    failure-injection run against its no-fault twin.
+    """
+    from repro.analysis import format_table
+
+    if not results:
+        raise ConfigurationError("window_table needs at least one result")
+    depth = max(len(r.windows) for r in results)
+    if depth == 0:
+        raise ConfigurationError(
+            "none of the results carry windows (no timeline ran); "
+            "re-run with a spec that has a timeline"
+        )
+    reference = next(r for r in results if r.windows)
+    labels = [
+        f"{r.spec.name} [{r.runner}]"
+        if [x.spec.name for x in results].count(r.spec.name) > 1
+        else r.spec.name
+        for r in results
+    ]
+    rows = []
+    for index in range(depth):
+        bounds = (
+            f"[{reference.windows[index].start_s:g}, "
+            f"{reference.windows[index].end_s:g})"
+            if index < len(reference.windows)
+            else f"#{index}"
+        )
+        values = []
+        for result in results:
+            if index < len(result.windows):
+                value = result.windows[index].metrics.get(metric, float("nan"))
+                values.append(f"{value:.4g}" if value == value else "-")
+            else:
+                values.append("-")
+        seen: list[str] = []
+        for result in results:
+            if index < len(result.windows):
+                for label in result.windows[index].events:
+                    if label not in seen:
+                        seen.append(label)
+        rows.append([bounds, *values, "; ".join(seen)])
+    return format_table(
+        ["window (s)", *labels, "events"],
+        rows,
+        title=f"{metric} per window",
+    )
+
+
 def compare(results: Sequence[RunResult]) -> ComparisonReport:
     """Align ``results`` into one comparison (first result = baseline)."""
     if not results:

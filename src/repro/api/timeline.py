@@ -1,0 +1,558 @@
+"""The timeline application layer and run-observation hooks.
+
+This module makes *time* a first-class citizen of the declarative API: a
+:class:`~repro.api.spec.TimelineSpec` declares what happens mid-run (DIP
+failures and recoveries, capacity squeezes, traffic surges, VIPs joining or
+leaving a fleet) and this layer executes those events identically on all
+three substrates:
+
+* **fluid / fleet** — :func:`run_fluid_timeline` / :func:`run_fleet_timeline`
+  drive the analytic substrates window by window, applying due events
+  *between* fixed-point rounds at their exact declared times (windows are
+  split into sub-segments at event boundaries) and running one controller
+  tick per window;
+* **request** — :func:`schedule_request_timeline` injects every event into
+  the discrete-event engine via ``schedule_cancellable``, so events fire at
+  their exact simulated times interleaved with arrivals and completions;
+  arrival surges rescale the streaming Poisson stream without breaking its
+  sorted-order invariant (see :meth:`RequestCluster.scale_arrivals`).
+
+Runs become observable while they execute through the :class:`Observer`
+protocol: ``on_event`` fires as each timeline event is applied, ``on_round``
+after every telemetry window with headline metrics (the CLI's ``--watch``
+progress lines), and ``on_window`` with the completed
+:class:`~repro.api.result.RunWindow` row that also lands in the result's
+time-series.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, TextIO
+
+from repro.api.result import RunWindow
+from repro.api.spec import FLEET_ONLY_EVENT_KINDS, EventSpec, TimelineSpec
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import KnapsackLBController
+    from repro.core.fleet_controller import FleetController
+    from repro.sim.cluster import RequestCluster
+    from repro.sim.engine import EventHandle
+    from repro.sim.fleet import Fleet
+    from repro.sim.fluid import FluidCluster
+
+_EPS = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# observers
+# ---------------------------------------------------------------------------
+
+
+class Observer(Protocol):
+    """Streaming run telemetry: implement any subset of these hooks."""
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        """A timeline event was just applied at simulated ``time_s``."""
+        ...
+
+    def on_round(self, time_s: float, metrics: Mapping[str, float]) -> None:
+        """A telemetry window ended; ``metrics`` are its headline numbers."""
+        ...
+
+    def on_window(self, window: RunWindow) -> None:
+        """The completed time-series row for the window that just ended."""
+        ...
+
+
+class BaseObserver:
+    """No-op base so observers only override the hooks they care about."""
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        pass
+
+    def on_round(self, time_s: float, metrics: Mapping[str, float]) -> None:
+        pass
+
+    def on_window(self, window: RunWindow) -> None:
+        pass
+
+
+class ObserverSet(BaseObserver):
+    """Fan one stream of notifications out to several observers."""
+
+    def __init__(self, observers: Iterable[Observer] = ()) -> None:
+        self.observers: tuple[Observer, ...] = tuple(observers)
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        for observer in self.observers:
+            observer.on_event(time_s, event)
+
+    def on_round(self, time_s: float, metrics: Mapping[str, float]) -> None:
+        for observer in self.observers:
+            observer.on_round(time_s, metrics)
+
+    def on_window(self, window: RunWindow) -> None:
+        for observer in self.observers:
+            observer.on_window(window)
+
+
+class WindowedMetricsObserver(BaseObserver):
+    """The built-in telemetry recorder: collects the run's window rows.
+
+    Every runner attaches one of these; its ``windows`` become the
+    :attr:`RunResult.windows` time-series, so results carry the trajectory
+    (per-window latency, share, drops, applied events), not just end-of-run
+    aggregates.
+    """
+
+    def __init__(self) -> None:
+        self.windows: list[RunWindow] = []
+        self.applied_events: list[tuple[float, EventSpec]] = []
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        self.applied_events.append((time_s, event))
+
+    def on_window(self, window: RunWindow) -> None:
+        self.windows.append(window)
+
+
+class PrintingObserver(BaseObserver):
+    """Human-readable progress lines (the CLI's ``run --watch`` output)."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        print(f"[t={time_s:7.1f}s] event   {event.label()}", file=self._stream)
+
+    def on_round(self, time_s: float, metrics: Mapping[str, float]) -> None:
+        rendered = "  ".join(
+            f"{key}={value:.4g}" for key, value in sorted(metrics.items())
+        )
+        print(f"[t={time_s:7.1f}s] window  {rendered}", file=self._stream)
+
+
+# ---------------------------------------------------------------------------
+# upfront validation (fail before simulating, with names)
+# ---------------------------------------------------------------------------
+
+
+def check_timeline_supported(
+    timeline: TimelineSpec,
+    runner_kind: str,
+    *,
+    dips: Iterable[str],
+    vips: Iterable[str] = (),
+    controller_enabled: bool = True,
+) -> None:
+    """Reject events the target substrate cannot execute, before running.
+
+    Names the offending event and the valid choices, mirroring the spec
+    layer's eager-validation style: a single-VIP substrate rejects
+    ``vip_onboard``/``vip_offboard``, and every dip/vip reference must name
+    a member of the built system.
+    """
+    dip_set = set(dips)
+    vip_set = set(vips)
+    for event in timeline.events:
+        if event.kind in FLEET_ONLY_EVENT_KINDS and runner_kind != "fleet":
+            raise ConfigurationError(
+                f"timeline event [{event.label()}] needs the fleet runner; "
+                f"this spec runs on {runner_kind!r}"
+            )
+        if event.kind == "vip_onboard" and not controller_enabled:
+            raise ConfigurationError(
+                f"timeline event [{event.label()}] needs controller.enabled "
+                "= true (onboarding attaches a KnapsackLB controller)"
+            )
+        if event.dip is not None and event.dip not in dip_set:
+            known = ", ".join(sorted(dip_set))
+            raise ConfigurationError(
+                f"timeline event [{event.label()}] names unknown DIP "
+                f"{event.dip!r}; pool DIPs: {known}"
+            )
+        if event.vip is not None and runner_kind == "fleet" and event.vip not in vip_set:
+            known = ", ".join(sorted(vip_set))
+            raise ConfigurationError(
+                f"timeline event [{event.label()}] names unknown VIP "
+                f"{event.vip!r}; fleet VIPs: {known}"
+            )
+        if event.kind == "arrival_scale" and event.vip is not None and runner_kind != "fleet":
+            raise ConfigurationError(
+                f"timeline event [{event.label()}] scopes arrival_scale to a "
+                "VIP, which needs the fleet runner"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the shared window/segment loop (fluid + fleet)
+# ---------------------------------------------------------------------------
+
+
+def _run_windows(
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    advance: Callable[[float], None],
+    tick: Callable[[], dict[str, float]],
+    snapshot: Callable[[], tuple[dict[str, float], dict[str, float]]],
+    apply_event: Callable[[EventSpec], None],
+) -> tuple[RunWindow, ...]:
+    """Drive an analytic substrate through the timed phase, window by window.
+
+    Events apply *between* fixed-point rounds at their exact declared times:
+    each window is split into sub-segments at event boundaries, so an event
+    at t=12.5s with 5s windows fires after exactly 12.5 simulated seconds on
+    the fluid substrates — the same instant the request engine fires it.
+    One controller tick runs per window (after the window's time has fully
+    elapsed), then the window row snapshots the substrate.
+    """
+    events = timeline.ordered_events()
+    horizon = timeline.duration_s()
+    window_s = timeline.window_s
+    pointer = 0
+    start = 0.0
+    windows: list[RunWindow] = []
+    while start < horizon - _EPS:
+        end = min(start + window_s, horizon)
+        applied: list[str] = []
+        cursor = start
+        while cursor < end - _EPS:
+            while pointer < len(events) and events[pointer].time_s <= cursor + _EPS:
+                event = events[pointer]
+                pointer += 1
+                apply_event(event)
+                observer.on_event(cursor, event)
+                applied.append(event.label())
+            boundary = (
+                min(end, events[pointer].time_s) if pointer < len(events) else end
+            )
+            advance(boundary - cursor)
+            cursor = boundary
+        metrics, share = snapshot()
+        metrics.update(tick())
+        window = RunWindow(
+            start_s=start,
+            end_s=end,
+            metrics=metrics,
+            dip_share=share,
+            events=tuple(applied),
+        )
+        observer.on_window(window)
+        observer.on_round(end, metrics)
+        windows.append(window)
+        start = end
+    return tuple(windows)
+
+
+def _share(rates: Mapping[str, float]) -> dict[str, float]:
+    total = sum(rates.values())
+    if total <= 0:
+        return {}
+    return {dip: rate / total for dip, rate in rates.items() if rate > 0}
+
+
+def _live_mean_latency_ms(
+    rates: Mapping[str, float], latency: Mapping[str, float]
+) -> float:
+    """Rate-weighted mean over DIPs actually carrying traffic.
+
+    Failed DIPs report infinite latency at zero rate; naively summing
+    ``rate * latency`` would turn that into ``0 * inf = nan``, so the mean
+    is taken over live (positive-rate, finite-latency) DIPs only.
+    """
+    live = [
+        (rate, latency[dip])
+        for dip, rate in rates.items()
+        if rate > 0 and math.isfinite(latency[dip])
+    ]
+    total = sum(rate for rate, _ in live)
+    if total <= 0:
+        return float("nan")
+    return sum(rate * lat for rate, lat in live) / total
+
+
+# ---------------------------------------------------------------------------
+# fluid substrate
+# ---------------------------------------------------------------------------
+
+
+def run_fluid_timeline(
+    cluster: "FluidCluster",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    controller: "KnapsackLBController | None" = None,
+) -> tuple[RunWindow, ...]:
+    """Execute the timed phase on a (converged) fluid cluster."""
+    base_rate = cluster.total_rate_rps
+
+    def apply_event(event: EventSpec) -> None:
+        kind = event.kind
+        if kind == "dip_fail":
+            cluster.fail_dip(event.dip)
+        elif kind == "dip_recover":
+            cluster.recover_dip(event.dip)
+            if controller is not None and controller.restore_dip(event.dip):
+                # Re-include the recovered DIP right away (restored curve);
+                # later ticks rescale it if the capacity changed meanwhile.
+                controller.program_assignment(
+                    controller.compute_weights().assignment
+                )
+        elif kind == "capacity_ratio":
+            cluster.set_capacity_ratio(event.dip, event.value)
+        elif kind == "antagonist_phase":
+            cluster.set_antagonist_copies(event.dip, int(event.value))
+        elif kind == "arrival_scale":
+            cluster.set_total_rate(base_rate * event.value)
+        else:  # pragma: no cover - caught by check_timeline_supported
+            raise ConfigurationError(
+                f"event {kind!r} is not executable on the fluid substrate"
+            )
+
+    def tick() -> dict[str, float]:
+        if controller is None:
+            return {}
+        controller.time = cluster.time
+        report = controller.control_step(advance=False)
+        return {
+            "controller_events": float(len(report.events)),
+            "reprogrammed": 1.0 if report.reprogrammed else 0.0,
+        }
+
+    def snapshot() -> tuple[dict[str, float], dict[str, float]]:
+        state = cluster.state()
+        metrics = {
+            "mean_latency_ms": _live_mean_latency_ms(
+                state.rates_rps, state.mean_latency_ms
+            ),
+            "max_utilization": max(state.utilization.values()),
+            "total_rate_rps": cluster.total_rate_rps,
+        }
+        return metrics, _share(state.rates_rps)
+
+    return _run_windows(
+        timeline,
+        observer,
+        advance=lambda dt: cluster.advance(dt) if dt > 0 else None,
+        tick=tick,
+        snapshot=snapshot,
+        apply_event=apply_event,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fleet substrate
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_timeline(
+    fleet: "Fleet",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    plane: "FleetController | None" = None,
+) -> tuple[RunWindow, ...]:
+    """Execute the timed phase on a (converged) multi-VIP fleet.
+
+    ``vip_onboard`` runs the full staggered-onboarding path: the VIP joins
+    the control plane, its interleaved measurement rounds run with
+    ``steady_control=True`` (the already-steady VIPs keep reacting while
+    the newcomer explores — that measurement consumes fleet-clock time in
+    addition to the timeline's windows), and its weights are computed and
+    programmed.  ``vip_offboard`` retires the tenant and its traffic.
+    """
+    base_rates = {
+        vip_id: vip.total_rate_rps for vip_id, vip in fleet.vips.items()
+    }
+
+    def apply_event(event: EventSpec) -> None:
+        kind = event.kind
+        if kind == "dip_fail":
+            fleet.fail_dip(event.dip)
+        elif kind == "dip_recover":
+            fleet.recover_dip(event.dip)
+            if plane is not None:
+                for controller in plane.controllers.values():
+                    if event.dip in controller.deployment.dips:
+                        if controller.restore_dip(event.dip):
+                            controller.program_assignment(
+                                controller.compute_weights().assignment
+                            )
+        elif kind == "capacity_ratio":
+            fleet.set_capacity_ratio(event.dip, event.value)
+        elif kind == "antagonist_phase":
+            fleet.set_antagonist_copies(event.dip, int(event.value))
+        elif kind == "arrival_scale":
+            targets = [event.vip] if event.vip is not None else list(base_rates)
+            for vip_id in targets:
+                fleet.set_total_rate(vip_id, base_rates[vip_id] * event.value)
+        elif kind == "vip_onboard":
+            assert plane is not None  # enforced by check_timeline_supported
+            plane.onboard_vip(event.vip)
+            plane.run_measurement_phase(steady_control=True)
+            plane.compute_all_weights()
+        elif kind == "vip_offboard":
+            if plane is not None and event.vip in plane.controllers:
+                plane.offboard_vip(event.vip)
+            else:
+                fleet.remove_vip(event.vip)
+            base_rates.pop(event.vip, None)
+
+    def tick() -> dict[str, float]:
+        if plane is None:
+            return {}
+        reports = plane.control_step(duration_s=0.0)
+        return {
+            "controller_events": float(
+                sum(len(r.events) for r in reports.values())
+            ),
+            "reprogrammed": float(
+                sum(1 for r in reports.values() if r.reprogrammed)
+            ),
+            "steady_vips": float(len(plane.steady_vips())),
+        }
+
+    def snapshot() -> tuple[dict[str, float], dict[str, float]]:
+        state = fleet.state()
+        metrics = {
+            "mean_latency_ms": _live_mean_latency_ms(
+                state.total_rates_rps, state.mean_latency_ms
+            ),
+            "max_utilization": max(state.utilization.values()),
+            "total_rate_rps": sum(state.total_rates_rps.values()),
+            "num_vips": float(len(fleet.vips)),
+        }
+        return metrics, _share(state.total_rates_rps)
+
+    return _run_windows(
+        timeline,
+        observer,
+        advance=lambda dt: fleet.advance(dt) if dt > 0 else None,
+        tick=tick,
+        snapshot=snapshot,
+        apply_event=apply_event,
+    )
+
+
+# ---------------------------------------------------------------------------
+# request substrate
+# ---------------------------------------------------------------------------
+
+
+def apply_request_event(cluster: "RequestCluster", event: EventSpec) -> None:
+    """Apply one timeline event to a live request-level cluster."""
+    kind = event.kind
+    if kind == "dip_fail":
+        cluster.fail_dip(event.dip)
+    elif kind == "dip_recover":
+        cluster.recover_dip(event.dip)
+    elif kind == "capacity_ratio":
+        cluster.set_capacity_ratio(event.dip, event.value)
+    elif kind == "antagonist_phase":
+        cluster.set_antagonist_copies(event.dip, int(event.value))
+    elif kind == "arrival_scale":
+        cluster.scale_arrivals(event.value)
+    else:  # pragma: no cover - caught by check_timeline_supported
+        raise ConfigurationError(
+            f"event {kind!r} is not executable on the request substrate"
+        )
+
+
+def schedule_request_timeline(
+    cluster: "RequestCluster",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    offset_s: float = 0.0,
+) -> "list[EventHandle]":
+    """Inject the timeline into the engine as cancellable events.
+
+    Event times are measured from the start of the measured phase, so each
+    fires at ``offset_s + time_s`` on the engine clock (``offset_s`` is the
+    warm-up).  The returned handles let the runner cancel events that
+    outlive the run's horizon (they sit in the completion drain tail).
+    """
+    handles = []
+    for event in timeline.ordered_events():
+
+        def fire(event: EventSpec = event) -> None:
+            apply_request_event(cluster, event)
+            observer.on_event(event.time_s, event)
+
+        handles.append(
+            cluster.scheduler.schedule_cancellable_at(
+                offset_s + event.time_s, fire
+            )
+        )
+    return handles
+
+
+def schedule_request_progress(
+    cluster: "RequestCluster",
+    observer: Observer,
+    *,
+    window_s: float,
+    horizon_s: float,
+    offset_s: float = 0.0,
+) -> None:
+    """Self-rescheduling ``on_round`` progress beacon for the request engine."""
+
+    def emit() -> None:
+        now = cluster.scheduler.now - offset_s
+        observer.on_round(
+            now,
+            {
+                "requests_recorded": float(cluster.metrics.total_requests),
+                "pending_events": float(cluster.scheduler.pending_events),
+            },
+        )
+        next_time = now + window_s
+        if next_time < horizon_s + _EPS:
+            cluster.scheduler.schedule_at(offset_s + next_time, emit)
+
+    cluster.scheduler.schedule_at(offset_s + window_s, emit)
+
+
+def request_windows(
+    cluster: "RequestCluster",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    duration_s: float,
+    offset_s: float = 0.0,
+) -> tuple[RunWindow, ...]:
+    """Fold the request run's columnar metrics into the window time-series.
+
+    Computed after the run from the collector's timestamp column (windows
+    reflect the requests that *completed* in them), with each window tagged
+    by the timeline events whose declared times fall inside it.
+    """
+    events = timeline.ordered_events()
+    rows = cluster.metrics.window_rows(
+        window_s=timeline.window_s,
+        start_s=offset_s,
+        end_s=offset_s + duration_s,
+    )
+    windows: list[RunWindow] = []
+    for row in rows:
+        start = row["start_s"] - offset_s
+        end = row["end_s"] - offset_s
+        labels = tuple(
+            event.label()
+            for event in events
+            if start - _EPS <= event.time_s < end - _EPS
+        )
+        window = RunWindow(
+            start_s=start,
+            end_s=end,
+            metrics=dict(row["metrics"]),
+            dip_share=dict(row["dip_share"]),
+            events=labels,
+        )
+        observer.on_window(window)
+        windows.append(window)
+    return tuple(windows)

@@ -94,7 +94,20 @@ def dataclass_from_dict(cls: type[_D], data: Any, *, path: str = "") -> _D:
         elif dataclasses.is_dataclass(annotation):
             kwargs[name] = dataclass_from_dict(annotation, value, path=sub_path)
         elif typing.get_origin(annotation) is tuple and isinstance(value, list):
-            kwargs[name] = tuple(value)
+            args = typing.get_args(annotation)
+            element = args[0] if args else Any
+            if dataclasses.is_dataclass(element):
+                # Homogeneous dataclass tuples (e.g. timeline events): each
+                # element validates under its indexed path, so a bad key in
+                # the third event reads "timeline.events[2].kindz".
+                kwargs[name] = tuple(
+                    dataclass_from_dict(
+                        element, item, path=f"{sub_path}[{index}]"
+                    )
+                    for index, item in enumerate(value)
+                )
+            else:
+                kwargs[name] = tuple(value)
         else:
             kwargs[name] = value
     try:

@@ -138,6 +138,8 @@ class KnapsackLBController:
         self._explore_proposals: dict[DipId, int] = {}
         self._explore_rounds: int = 0
         self.curves: dict[DipId, WeightLatencyCurve] = {}
+        #: curves of failed DIPs, kept so a recovery can restore them.
+        self.retired_curves: dict[DipId, WeightLatencyCurve] = {}
         self.failed_dips: set[DipId] = set()
         self.current_weights: dict[DipId, float] = {}
         self.last_assignment: WeightAssignment | None = None
@@ -494,7 +496,9 @@ class KnapsackLBController:
         if newly_failed:
             for dip in newly_failed:
                 self.failed_dips.add(dip)
-                self.curves.pop(dip, None)
+                curve = self.curves.pop(dip, None)
+                if curve is not None:
+                    self.retired_curves[dip] = curve
             report.failed_dips = tuple(newly_failed)
             report.events.append(
                 DynamicsEvent(
@@ -546,6 +550,24 @@ class KnapsackLBController:
         self.failed_dips.discard(dip)
         self.klm.consecutive_failures[dip] = 0
         self.explorations.pop(dip, None)
+
+    def restore_dip(self, dip: DipId) -> bool:
+        """Fold a recovered DIP back into the weight computation cheaply.
+
+        The strict §4.5 path re-explores a recovered DIP from scratch;
+        mid-run (a timeline ``dip_recover`` event) that would stall every
+        other tenant, so instead the curve retired at failure time is
+        restored and the ILP immediately re-includes the DIP — the ongoing
+        control ticks' curve-rescaling feedback then corrects the curve if
+        the DIP came back with different capacity.  Returns whether a
+        retired curve existed to restore (callers reprogram only then).
+        """
+        self.recover_dip(dip)
+        curve = self.retired_curves.pop(dip, None)
+        if curve is None:
+            return False
+        self.curves[dip] = curve
+        return True
 
     # ------------------------------------------------------------ reporting
 

@@ -131,6 +131,20 @@ class FleetController:
         self.phases[vip_id] = VipPhase.MEASURING
         self._sync_clocks()
 
+    def offboard_vip(self, vip_id: VipId) -> None:
+        """Retire a VIP: drop its controller and remove it from the fleet.
+
+        The inverse of staggered onboarding — the tenant's traffic leaves
+        the shared DIPs (the joint evaluation re-runs immediately), and the
+        remaining VIPs' §4.5 detectors see the contention drop on their next
+        control tick.  Its KLM samples stay in the shared store for
+        post-hoc analysis.
+        """
+        self._controller(vip_id)  # raises if never onboarded
+        del self.controllers[vip_id]
+        del self.phases[vip_id]
+        self.fleet.remove_vip(vip_id)
+
     def measuring_vips(self) -> tuple[VipId, ...]:
         return tuple(
             v for v, phase in self.phases.items() if phase is VipPhase.MEASURING
@@ -221,14 +235,20 @@ class FleetController:
             outcomes[vip_id] = outcome
         return outcomes
 
-    def control_step(self) -> dict[VipId, ControlStepReport]:
+    def control_step(
+        self, *, duration_s: float | None = None
+    ) -> dict[VipId, ControlStepReport]:
         """One fleet-wide control tick: advance once, then every steady VIP.
 
         Mirrors the paper's 5-second loop with the fleet clock advanced a
         single time — each VIP then probes its own DIPs (whose load includes
-        every other tenant) and reacts independently.
+        every other tenant) and reacts independently.  ``duration_s``
+        overrides the configured control interval; the timeline layer uses
+        it to align control ticks with telemetry windows.
         """
-        self.fleet.advance(self.config.control_interval_s)
+        self.fleet.advance(
+            self.config.control_interval_s if duration_s is None else duration_s
+        )
         self._sync_clocks()
         return {
             vip_id: self.controllers[vip_id].control_step(advance=False)

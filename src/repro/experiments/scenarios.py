@@ -10,15 +10,34 @@ Built-in scenarios cover the single-VIP paths (as one-VIP fleets) plus the
 multi-VIP shapes the :class:`~repro.core.fleet_controller.FleetController`
 enables: shared-DIP contention, staggered VIP onboarding and heterogeneous
 per-VIP traffic mixes.
+
+The time-varying scenarios (shared-DIP antagonist squeeze, staggered
+onboarding, DIP outage/recovery, diurnal surges) are *pure timelines*: each
+one builds a declarative :class:`~repro.api.spec.ExperimentSpec` whose
+:class:`~repro.api.spec.TimelineSpec` declares the mid-run events, executes
+it through :func:`repro.api.execute`, and derives its headline metrics from
+the result's windowed time-series — no hand-driven perturbation loops.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
+from repro.api.result import RunWindow
+from repro.api.runners import execute
+from repro.api.spec import (
+    ControllerSpec,
+    EventSpec,
+    ExperimentSpec,
+    FleetSpec,
+    PoolSpec,
+    TimelineSpec,
+    WorkloadSpec,
+)
 from repro.backends import custom_vm_type
 from repro.core import FleetController, KnapsackLBController
 from repro.exceptions import ConfigurationError
@@ -26,12 +45,42 @@ from repro.lb import make_policy
 from repro.sim import FluidCluster, RequestCluster
 from repro.sim.fleet import Fleet
 from repro.workloads import (
+    build_pool,
     build_shared_dip_fleet,
     build_testbed_cluster,
     build_uniform_pool,
+    fleet_from_pool,
 )
 
 ScenarioRunner = Callable[..., "ScenarioResult"]
+
+#: observers the surrounding ScenarioRunner asked to stream this run to.
+_ACTIVE_OBSERVERS: tuple = ()
+
+
+@contextlib.contextmanager
+def observing(observers: tuple = ()) -> Iterator[None]:
+    """Route the inner ``execute`` of timeline scenarios to ``observers``.
+
+    The scenario registry predates the observer protocol, so scenario
+    runners keep their plain ``(**params)`` signatures; the bridging
+    :class:`repro.api.runners.ScenarioRunner` wraps ``scenario.run`` in this
+    context instead, and timeline scenarios execute their inner specs via
+    :func:`_execute` — which is how ``python -m repro run <scenario>
+    --watch`` streams telemetry from the spec the scenario builds.
+    """
+    global _ACTIVE_OBSERVERS
+    previous = _ACTIVE_OBSERVERS
+    _ACTIVE_OBSERVERS = tuple(observers)
+    try:
+        yield
+    finally:
+        _ACTIVE_OBSERVERS = previous
+
+
+def _execute(spec: ExperimentSpec):
+    """Run an inner spec, forwarding any observers of the outer scenario run."""
+    return execute(spec, observers=_ACTIVE_OBSERVERS)
 
 
 @dataclass
@@ -41,6 +90,8 @@ class ScenarioResult:
     name: str
     params: dict[str, Any]
     metrics: dict[str, float]
+    #: windowed time-series when the scenario ran a timeline.
+    windows: tuple[RunWindow, ...] = ()
     detail: Any = None
 
 
@@ -145,9 +196,22 @@ def run_single_vip_testbed(*, load_fraction: float, seed: int) -> ScenarioResult
 # ---------------------------------------------------------------------------
 
 
+def _shared_dip_for(
+    *, num_vips: int, num_dips: int, load_fraction: float, seed: int
+) -> str:
+    """A DIP served by more than one VIP under the deterministic windowing."""
+    probe = fleet_from_pool(
+        build_pool("mixed_core", num_dips=num_dips, seed=seed),
+        num_vips=num_vips,
+        load_fraction=load_fraction,
+    )
+    shared = probe.shared_dip_ids()
+    return shared[0] if shared else next(iter(probe.dips))
+
+
 @scenario(
     "multi_vip_shared_dips",
-    "N VIPs contending for a shared DIP fleet, converged and perturbed",
+    "N VIPs contending for a shared DIP fleet, squeezed by a timeline event",
     num_vips=8,
     num_dips=32,
     load_fraction=0.55,
@@ -168,46 +232,54 @@ def run_multi_vip_shared_dips(
 ) -> ScenarioResult:
     """Shared-DIP contention end to end: measurement → ILP → dynamics.
 
-    After convergence, one shared DIP's capacity is squeezed to exercise the
-    §4.5 detection path under contention: every VIP sharing that DIP sees
-    the latency rise and reacts independently.
+    A pure timeline over the declarative API: the fleet converges, then a
+    ``capacity_ratio`` event squeezes one *shared* DIP mid-run to exercise
+    the §4.5 detection path under contention — every VIP sharing that DIP
+    sees the latency rise and reacts independently, window by window, for
+    ``control_steps`` windows after the squeeze.
     """
-    fleet = build_shared_dip_fleet(
+    window_s = 5.0  # one control tick per window (the paper's 5 s loop)
+    squeeze_at = 2 * window_s
+    squeezed = _shared_dip_for(
         num_vips=num_vips,
         num_dips=num_dips,
         load_fraction=load_fraction,
         seed=seed,
     )
-    plane = FleetController(fleet)
-    started = time.perf_counter()
-    for vip_id in fleet.vips:
-        plane.onboard_vip(vip_id)
-    measurement = plane.run_measurement_phase()
-    outcomes = plane.compute_all_weights()
-    # Joint programming changes every shared DIP's contention at once; the
-    # §4.5 curve-rescaling feedback needs a few ticks to absorb it, exactly
-    # like the single-VIP converge() settle phase.
-    for _ in range(max(0, settle_steps)):
-        reports = plane.control_step()
-        if not any(r.events for r in reports.values()):
-            break
-    converge_wall_s = time.perf_counter() - started
-
-    state = fleet.state()
-    converged_latency = state.overall_mean_latency_ms()
-    converged_util = max(state.utilization.values())
-
-    shared = fleet.shared_dip_ids()
-    squeezed = shared[0] if shared else next(iter(fleet.dips))
-    fleet.set_capacity_ratio(squeezed, capacity_squeeze)
-    reprogrammed = 0
-    events = 0
-    for _ in range(max(1, control_steps)):
-        reports = plane.control_step()
-        reprogrammed += sum(1 for r in reports.values() if r.reprogrammed)
-        events += sum(len(r.events) for r in reports.values())
-
-    final_state = fleet.state()
+    spec = ExperimentSpec(
+        name="multi_vip_shared_dips",
+        runner="fleet",
+        pool=PoolSpec(kind="mixed_core", num_dips=num_dips),
+        workload=WorkloadSpec(load_fraction=load_fraction),
+        controller=ControllerSpec(enabled=True, settle_steps=settle_steps),
+        fleet=FleetSpec(num_vips=num_vips),
+        timeline=TimelineSpec(
+            events=(
+                EventSpec(
+                    time_s=squeeze_at,
+                    kind="capacity_ratio",
+                    dip=squeezed,
+                    value=capacity_squeeze,
+                ),
+            ),
+            window_s=window_s,
+            horizon_s=squeeze_at + max(1, control_steps) * window_s,
+        ),
+        seed=seed,
+    )
+    result = _execute(spec)
+    plane = result.detail["plane"]
+    shared_now = plane.fleet.shared_dip_ids()
+    if shared_now and squeezed not in shared_now:
+        # The probe build in _shared_dip_for must stay bit-identical to the
+        # FleetRunner's; fail loudly if the two ever diverge instead of
+        # silently squeezing a non-shared DIP.
+        raise ConfigurationError(
+            f"squeezed DIP {squeezed!r} is not shared in the runner-built "
+            "fleet; _shared_dip_for diverged from FleetRunner"
+        )
+    pre = [w for w in result.windows if w.end_s <= squeeze_at]
+    post = [w for w in result.windows if w.start_s >= squeeze_at]
     return ScenarioResult(
         name="multi_vip_shared_dips",
         params={
@@ -219,22 +291,30 @@ def run_multi_vip_shared_dips(
             "seed": seed,
         },
         metrics={
-            "measurement_rounds": float(measurement.rounds),
-            "interleaved_rounds": float(measurement.interleaved_rounds),
-            "vips_with_assignment": float(len(outcomes)),
-            "shared_dips": float(len(shared)),
-            "converged_latency_ms": converged_latency,
-            "converged_max_utilization": converged_util,
-            "post_squeeze_events": float(events),
-            "post_squeeze_reprograms": float(reprogrammed),
-            "final_max_utilization": max(final_state.utilization.values()),
-            "converge_wall_s": converge_wall_s,
+            "measurement_rounds": result.metrics["measurement_rounds"],
+            "interleaved_rounds": float(
+                sum(1 for r in plane.round_log if len(r.measured) > 1)
+            ),
+            "vips_with_assignment": result.metrics["vips_with_assignment"],
+            "shared_dips": result.metrics["shared_dips"],
+            "converged_latency_ms": pre[-1].metrics["mean_latency_ms"],
+            "converged_max_utilization": pre[-1].metrics["max_utilization"],
+            "post_squeeze_events": sum(
+                w.metrics.get("controller_events", 0.0) for w in post
+            ),
+            "post_squeeze_reprograms": sum(
+                w.metrics.get("reprogrammed", 0.0) for w in post
+            ),
+            "final_max_utilization": result.windows[-1].metrics[
+                "max_utilization"
+            ],
+            "converge_wall_s": result.provenance.wall_clock_s,
         },
+        windows=result.windows,
         detail={
-            "measurement": measurement,
-            "outcomes": outcomes,
+            "result": result,
+            "plane": plane,
             "squeezed_dip": squeezed,
-            "final_state": final_state,
         },
     )
 
@@ -264,31 +344,35 @@ def run_staggered_vip_onboarding(
     """
     if not 1 <= initial_vips <= num_vips:
         raise ConfigurationError("initial_vips must be in [1, num_vips]")
-    fleet = build_shared_dip_fleet(
-        num_vips=num_vips,
-        num_dips=num_dips,
-        load_fraction=load_fraction,
+    # A pure timeline: the first wave converges inside the fleet runner,
+    # each later VIP arrives as a `vip_onboard` event (one per window pair),
+    # and three tail windows settle the fleet afterwards.
+    window_s = 10.0
+    events = tuple(
+        EventSpec(
+            time_s=(wave + 1) * 2 * window_s,
+            kind="vip_onboard",
+            vip=f"VIP-{initial_vips + wave + 1}",
+        )
+        for wave in range(num_vips - initial_vips)
+    )
+    last_event = events[-1].time_s if events else 0.0
+    spec = ExperimentSpec(
+        name="staggered_vip_onboarding",
+        runner="fleet",
+        pool=PoolSpec(kind="mixed_core", num_dips=num_dips),
+        workload=WorkloadSpec(load_fraction=load_fraction),
+        controller=ControllerSpec(enabled=True, settle_steps=3),
+        fleet=FleetSpec(num_vips=num_vips),
+        timeline=TimelineSpec(
+            events=events,
+            window_s=window_s,
+            horizon_s=last_event + 3 * window_s,
+        ),
         seed=seed,
     )
-    plane = FleetController(fleet)
-    vip_ids = list(fleet.vips)
-
-    for vip_id in vip_ids[:initial_vips]:
-        plane.onboard_vip(vip_id)
-    first_wave = plane.run_measurement_phase()
-    plane.compute_all_weights()
-    latency_before = fleet.state().overall_mean_latency_ms()
-
-    steady_events = 0
-    for vip_id in vip_ids[initial_vips:]:
-        plane.onboard_vip(vip_id)
-        plane.run_measurement_phase(steady_control=True)
-        plane.compute_all_weights()
-    for _ in range(3):
-        reports = plane.control_step()
-        steady_events += sum(len(r.events) for r in reports.values())
-
-    state = fleet.state()
+    result = _execute(spec)
+    plane = result.detail["plane"]
     return ScenarioResult(
         name="staggered_vip_onboarding",
         params={
@@ -299,15 +383,18 @@ def run_staggered_vip_onboarding(
             "seed": seed,
         },
         metrics={
-            "first_wave_rounds": float(first_wave.rounds),
+            "first_wave_rounds": result.metrics["measurement_rounds"],
             "total_rounds": float(len(plane.round_log)),
-            "latency_before_ms": latency_before,
-            "latency_after_ms": state.overall_mean_latency_ms(),
-            "settle_events": float(steady_events),
-            "max_utilization": max(state.utilization.values()),
+            "latency_before_ms": result.windows[0].metrics["mean_latency_ms"],
+            "latency_after_ms": result.windows[-1].metrics["mean_latency_ms"],
+            "settle_events": sum(
+                w.metrics.get("controller_events", 0.0) for w in result.windows
+            ),
+            "max_utilization": result.windows[-1].metrics["max_utilization"],
             "steady_vips": float(len(plane.steady_vips())),
         },
-        detail={"round_log": plane.round_log},
+        windows=result.windows,
+        detail={"result": result, "round_log": plane.round_log},
     )
 
 
@@ -525,6 +612,198 @@ def run_request_vs_fluid_crosscheck(
             "wall_s": wall_s,
         },
         detail={"fluid_state": fluid_state, "run_result": result},
+    )
+
+
+# ---------------------------------------------------------------------------
+# timeline scenarios (declarative mid-run events on any substrate)
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    "dip_outage_recovery",
+    "A DIP fails mid-run and recovers later; the trajectory shows both",
+    num_dips=8,
+    load_fraction=0.6,
+    fail_at_s=20.0,
+    outage_s=40.0,
+    substrate="fluid",
+    inject_fault=True,
+    seed=29,
+)
+def run_dip_outage_recovery(
+    *,
+    num_dips: int,
+    load_fraction: float,
+    fail_at_s: float,
+    outage_s: float,
+    substrate: str,
+    inject_fault: bool,
+    seed: int,
+) -> ScenarioResult:
+    """Failure injection as a pure timeline, on any substrate.
+
+    ``dip_fail`` takes one DIP down at ``fail_at_s``; ``dip_recover``
+    brings it back ``outage_s`` later.  On the fluid/fleet substrates the
+    KnapsackLB controller detects the failure through probing and
+    reprograms; on the request substrate the LB health check stops routing
+    to it.  ``inject_fault=False`` runs the identical horizon with no
+    events — the no-fault twin a failure run is compared against.
+    """
+    window_s = 5.0
+    # At least one full pre-fault window must exist for the baseline.
+    if fail_at_s < window_s:
+        raise ConfigurationError(
+            f"fail_at_s must be >= the {window_s:g}s telemetry window"
+        )
+    if outage_s <= 0:
+        raise ConfigurationError("outage_s must be positive")
+    recover_at = fail_at_s + outage_s
+    events = (
+        (
+            EventSpec(time_s=fail_at_s, kind="dip_fail", dip="DIP-1"),
+            EventSpec(time_s=recover_at, kind="dip_recover", dip="DIP-1"),
+        )
+        if inject_fault
+        else ()
+    )
+    spec = ExperimentSpec(
+        name="dip_outage_recovery",
+        runner=substrate,
+        pool=PoolSpec(kind="uniform", num_dips=num_dips),
+        workload=WorkloadSpec(load_fraction=load_fraction),
+        timeline=TimelineSpec(
+            events=events,
+            window_s=window_s,
+            horizon_s=recover_at + 6 * window_s,
+        ),
+        seed=seed,
+    )
+    result = _execute(spec)
+    baseline = [w for w in result.windows if w.end_s <= fail_at_s]
+    outage = [
+        w for w in result.windows if fail_at_s <= w.start_s < recover_at
+    ]
+    recovered = result.windows[-1]
+    baseline_ms = baseline[-1].metrics["mean_latency_ms"]
+    outage_peak_ms = max(
+        (w.metrics["mean_latency_ms"] for w in outage), default=baseline_ms
+    )
+    recovered_ms = recovered.metrics["mean_latency_ms"]
+    return ScenarioResult(
+        name="dip_outage_recovery",
+        params={
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "fail_at_s": fail_at_s,
+            "outage_s": outage_s,
+            "substrate": substrate,
+            "inject_fault": inject_fault,
+            "seed": seed,
+        },
+        metrics={
+            "baseline_latency_ms": baseline_ms,
+            "outage_peak_latency_ms": outage_peak_ms,
+            "recovered_latency_ms": recovered_ms,
+            "outage_degradation": outage_peak_ms / baseline_ms,
+            "recovery_ratio": recovered_ms / baseline_ms,
+            "controller_events": sum(
+                w.metrics.get("controller_events", 0.0) for w in result.windows
+            ),
+            # Request-substrate windows track drops instead of utilization.
+            "final_max_utilization": recovered.metrics.get(
+                "max_utilization", float("nan")
+            ),
+        },
+        windows=result.windows,
+        detail={"result": result},
+    )
+
+
+@scenario(
+    "diurnal_surge",
+    "Traffic ramps up to a peak and back down through arrival_scale events",
+    num_dips=8,
+    load_fraction=0.45,
+    peak_scale=1.8,
+    ramp_steps=3,
+    step_s=15.0,
+    substrate="fluid",
+    seed=31,
+)
+def run_diurnal_surge(
+    *,
+    num_dips: int,
+    load_fraction: float,
+    peak_scale: float,
+    ramp_steps: int,
+    step_s: float,
+    substrate: str,
+    seed: int,
+) -> ScenarioResult:
+    """A diurnal traffic ramp as a pure timeline, on any substrate.
+
+    ``arrival_scale`` events step the offered rate from the baseline up to
+    ``peak_scale`` × and back down (each factor is relative to the *base*
+    rate, so the same spec reads as the day curve it models).  On the
+    request substrate each step rescales the streaming Poisson arrivals
+    mid-run without breaking the sorted-stream invariant.
+    """
+    if peak_scale <= 1.0:
+        raise ConfigurationError("peak_scale must exceed 1")
+    if ramp_steps < 1 or step_s <= 0:
+        raise ConfigurationError("ramp_steps and step_s must be positive")
+    window_s = 5.0
+    factors = [
+        1.0 + (peak_scale - 1.0) * step / ramp_steps
+        for step in range(1, ramp_steps + 1)
+    ]
+    ramp = factors + factors[-2::-1] + [1.0]  # up, down, back to baseline
+    events = tuple(
+        EventSpec(
+            time_s=(index + 1) * step_s, kind="arrival_scale", value=factor
+        )
+        for index, factor in enumerate(ramp)
+    )
+    spec = ExperimentSpec(
+        name="diurnal_surge",
+        runner=substrate,
+        pool=PoolSpec(kind="uniform", num_dips=num_dips),
+        workload=WorkloadSpec(load_fraction=load_fraction),
+        timeline=TimelineSpec(
+            events=events,
+            window_s=window_s,
+            horizon_s=events[-1].time_s + 3 * window_s,
+        ),
+        seed=seed,
+    )
+    result = _execute(spec)
+    series = result.window_series("mean_latency_ms")
+    peak_index = max(range(len(series)), key=lambda i: series[i])
+    return ScenarioResult(
+        name="diurnal_surge",
+        params={
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "peak_scale": peak_scale,
+            "ramp_steps": ramp_steps,
+            "step_s": step_s,
+            "substrate": substrate,
+            "seed": seed,
+        },
+        metrics={
+            "baseline_latency_ms": series[0],
+            "peak_latency_ms": series[peak_index],
+            "final_latency_ms": series[-1],
+            "surge_degradation": series[peak_index] / series[0],
+            # Request-substrate windows track drops instead of utilization.
+            "peak_utilization": max(
+                w.metrics.get("max_utilization", 0.0) for w in result.windows
+            ),
+            "peak_rate_scale": peak_scale,
+        },
+        windows=result.windows,
+        detail={"result": result},
     )
 
 

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.backends.dip import DipServer
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
@@ -85,6 +87,8 @@ class RequestCluster:
         self.policy = policy
         self.scheduler = EventScheduler()
         self.workload = WorkloadGenerator(rate_rps, clients=clients, seed=seed)
+        #: the construction-time rate `scale_arrivals` factors are relative to.
+        self._base_rate_rps = float(rate_rps)
         self.metrics = MetricsCollector()
         self._stations: dict[DipId, DipStation] = {
             dip_id: DipStation(
@@ -134,6 +138,62 @@ class RequestCluster:
             self.policy.program_weights(weights, at_time=self.scheduler.now)
         else:
             self.policy.set_weights(weights)
+
+    # -- mid-run perturbations (the timeline-facing interface) -------------------
+    #
+    # These may fire while the simulation is running (scheduled as engine
+    # events), so each one keeps the streaming invariants intact: stations
+    # pick up capacity changes through the antagonist-history token, the
+    # policy's health caches invalidate on set_healthy, and arrival
+    # rescaling never reorders the sorted arrival stream.
+
+    def fail_dip(self, dip_id: DipId) -> None:
+        """Take a DIP down: in-flight requests fail, the LB stops routing it."""
+        self.dips[dip_id].fail()
+        # Health checks converge fast next to the simulated timescales, so
+        # the LB-side health flip is modelled as immediate.
+        self.policy.set_healthy(dip_id, False)
+
+    def recover_dip(self, dip_id: DipId) -> None:
+        self.dips[dip_id].recover()
+        self.policy.set_healthy(dip_id, True)
+
+    def set_capacity_ratio(self, dip_id: DipId, ratio: float) -> None:
+        """Pin a DIP's capacity mid-run; future service draws use the new mean."""
+        self.dips[dip_id].set_capacity_ratio(ratio, at_time=self.scheduler.now)
+
+    def set_antagonist_copies(self, dip_id: DipId, copies: int) -> None:
+        self.dips[dip_id].antagonist.set_copies(
+            copies, at_time=self.scheduler.now
+        )
+
+    def scale_arrivals(self, factor: float) -> None:
+        """Scale offered traffic to ``factor`` × the construction-time rate.
+
+        Safe mid-run: pre-drawn future arrivals are rescaled around the
+        already-latched next arrival (``run_stream`` holds its timestamp in
+        a local), mapping each later time ``t`` to ``anchor + (t - anchor) /
+        g`` where ``g`` is the relative rate change.  The transform is
+        monotone, so the sorted-stream invariant survives, and rescaling a
+        Poisson process this way yields exactly a Poisson process at the new
+        rate — determinism per seed is preserved because the underlying
+        exponential draws are untouched.
+        """
+        if factor <= 0:
+            raise ConfigurationError("arrival scale factor must be positive")
+        new_rate = self._base_rate_rps * factor
+        old_rate = self.workload.rate_rps
+        if new_rate == old_rate:
+            return
+        g = new_rate / old_rate
+        times = self._arrival_times
+        if times:
+            # times is reversed (times[-1] is the next arrival, the anchor).
+            anchor = times[-1]
+            later = np.asarray(times[:-1], dtype=np.float64)
+            times[:-1] = (anchor + (later - anchor) / g).tolist()
+            self._arrival_clock = anchor + (self._arrival_clock - anchor) / g
+        self.workload.set_rate(new_rate)
 
     # -- internals -----------------------------------------------------------------
 

@@ -124,6 +124,15 @@ class EventScheduler:
         """Schedule ``callback`` at absolute simulated ``time``."""
         self.schedule(max(0.0, time - self._now), callback)
 
+    def schedule_cancellable_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Like :meth:`schedule_at` but returns a cancellable handle.
+
+        Used for externally injected events (timeline perturbations) whose
+        absolute firing times are known upfront but which must be revocable
+        once the run's horizon passes.
+        """
+        return self.schedule_cancellable(max(0.0, time - self._now), callback)
+
     def run_until(self, end_time: float, *, max_events: int | None = None) -> int:
         """Run events with timestamps <= ``end_time``; returns events executed.
 

@@ -255,6 +255,11 @@ class Fleet:
         self.dips[dip].set_capacity_ratio(ratio, at_time=self.time)
         self.apply()
 
+    def set_antagonist_copies(self, dip: DipId, copies: int) -> None:
+        """Run ``copies`` antagonist processes on ``dip`` (0 clears them)."""
+        self.dips[dip].antagonist.set_copies(copies, at_time=self.time)
+        self.apply()
+
     # -- joint evaluation ----------------------------------------------------------
 
     def apply(self) -> FleetState:

@@ -481,6 +481,9 @@ class FluidCluster:
     def set_capacity_ratio(self, dip: DipId, ratio: float) -> None:
         self._fleet.set_capacity_ratio(dip, ratio)
 
+    def set_antagonist_copies(self, dip: DipId, copies: int) -> None:
+        self._fleet.set_antagonist_copies(dip, copies)
+
     # -- dynamics ----------------------------------------------------------------
 
     def apply(self) -> FluidClusterState:

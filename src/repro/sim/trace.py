@@ -25,6 +25,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
 
 #: staged records per bulk conversion into the numpy columns.
 _CHUNK = 8192
@@ -244,6 +245,76 @@ class MetricsCollector:
     def summaries(self) -> dict[DipId, DipSummary]:
         dips = set(self._dip_ids) | set(self._utilization)
         return {dip: self.dip_summary(dip) for dip in sorted(dips)}
+
+    def window_rows(
+        self, *, window_s: float, start_s: float, end_s: float
+    ) -> list[dict]:
+        """Windowed time-series over ``[start_s, end_s)`` by record timestamp.
+
+        One vectorized pass buckets every record into ``window_s``-wide
+        windows (timestamps are completion times, so a window reflects the
+        requests that *finished* in it); each row carries the window bounds,
+        headline metrics (request count, latency mean/p50/p99 of completed
+        requests, drop fraction) and the per-DIP request share.  Rows for
+        empty windows are emitted too — a total outage should show as a
+        flat-zero window, not a missing one.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if end_s <= start_s:
+            return []
+        self._flush()
+        n = self._n
+        num_windows = int(np.ceil((end_s - start_s) / window_s - 1e-9))
+        ts = self._ts[:n]
+        in_range = (ts >= start_s) & (ts < end_s)
+        # One sort groups every record by window; per-window slices then
+        # come from searchsorted boundaries instead of a full-array mask
+        # per window (O(records · windows) would bite at 1M requests).
+        index = np.floor((ts[in_range] - start_s) / window_s).astype(np.int64)
+        order = np.argsort(index, kind="stable")
+        index = index[order]
+        lat = self._lat[:n][in_range][order]
+        done = self._done[:n][in_range][order]
+        code = self._code[:n][in_range][order]
+        bounds = np.searchsorted(index, np.arange(num_windows + 1))
+        rows: list[dict] = []
+        for w in range(num_windows):
+            window = slice(bounds[w], bounds[w + 1])
+            total = int(bounds[w + 1] - bounds[w])
+            window_done = done[window]
+            completed_lat = lat[window][window_done]
+            if completed_lat.size:
+                mean = float(completed_lat.mean())
+                p50, p99 = (
+                    float(v) for v in np.percentile(completed_lat, [50, 99])
+                )
+            else:
+                mean = p50 = p99 = _NAN
+            drops = total - int(window_done.sum())
+            share: dict[DipId, float] = {}
+            if total:
+                counts = np.bincount(code[window], minlength=len(self._dip_ids))
+                share = {
+                    dip: counts[c] / total
+                    for c, dip in enumerate(self._dip_ids)
+                    if counts[c]
+                }
+            rows.append(
+                {
+                    "start_s": start_s + w * window_s,
+                    "end_s": min(start_s + (w + 1) * window_s, end_s),
+                    "metrics": {
+                        "requests": float(total),
+                        "mean_latency_ms": mean,
+                        "p50_latency_ms": p50,
+                        "p99_latency_ms": p99,
+                        "drop_fraction": drops / total if total else 0.0,
+                    },
+                    "dip_share": share,
+                }
+            )
+        return rows
 
     # -- comparisons ------------------------------------------------------------
 

@@ -7,6 +7,7 @@ from repro.workloads.generators import (
     TestbedLayout,
     build_graded_three_dip_pool,
     build_heterogeneous_pair,
+    build_mixed_core_pool,
     build_pool,
     build_shared_dip_fleet,
     build_testbed_cluster,
@@ -25,6 +26,7 @@ __all__ = [
     "TestbedLayout",
     "build_graded_three_dip_pool",
     "build_heterogeneous_pair",
+    "build_mixed_core_pool",
     "build_pool",
     "build_shared_dip_fleet",
     "build_testbed_cluster",

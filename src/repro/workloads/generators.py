@@ -179,6 +179,38 @@ def build_uniform_pool(
     }
 
 
+def build_mixed_core_pool(
+    num_dips: int,
+    *,
+    core_choices: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int | None = 21,
+) -> dict[DipId, DipServer]:
+    """``num_dips`` DIPs with randomly mixed core counts (the fleet shape).
+
+    Each DIP draws one of ``core_choices`` (400 rps per core, 2.5 ms idle
+    latency), reproducing the heterogeneous pool
+    :func:`build_shared_dip_fleet` windows its VIPs over — now addressable
+    from declarative specs as ``pool.kind = "mixed_core"``.
+    """
+    if num_dips < 1:
+        raise ConfigurationError("num_dips must be >= 1")
+    rng = np.random.default_rng(seed)
+    dips: dict[DipId, DipServer] = {}
+    for index in range(num_dips):
+        cores = int(core_choices[int(rng.integers(len(core_choices)))])
+        vm = custom_vm_type(
+            f"fleet-{cores}core",
+            vcpus=cores,
+            capacity_rps=400.0 * cores,
+            idle_latency_ms=1000.0 / 400.0,
+        )
+        dip_id = f"DIP-{index + 1}"
+        dips[dip_id] = DipServer(
+            dip_id, vm, seed=None if seed is None else seed + index
+        )
+    return dips
+
+
 #: Pool shapes :func:`build_pool` can produce (the spec-facing vocabulary).
 POOL_KINDS: tuple[str, ...] = (
     "uniform",
@@ -186,6 +218,7 @@ POOL_KINDS: tuple[str, ...] = (
     "three_dip",
     "graded_three_dip",
     "heterogeneous_pair",
+    "mixed_core",
 )
 
 
@@ -226,6 +259,8 @@ def build_pool(
         return build_graded_three_dip_pool(seed=seed)
     if kind == "heterogeneous_pair":
         return build_heterogeneous_pair(seed=seed)
+    if kind == "mixed_core":
+        return build_mixed_core_pool(num_dips, seed=seed)
     known = ", ".join(POOL_KINDS)
     raise ConfigurationError(f"unknown pool kind {kind!r}; known kinds: {known}")
 
@@ -306,22 +341,7 @@ def build_shared_dip_fleet(
     Builds a random mixed-core pool (one of ``core_choices`` per DIP) and
     windows the VIPs over it with :func:`fleet_from_pool`.
     """
-    if num_dips < 1:
-        raise ConfigurationError("num_dips must be >= 1")
-    rng = np.random.default_rng(seed)
-    dips: dict[DipId, DipServer] = {}
-    for index in range(num_dips):
-        cores = int(core_choices[int(rng.integers(len(core_choices)))])
-        vm = custom_vm_type(
-            f"fleet-{cores}core",
-            vcpus=cores,
-            capacity_rps=400.0 * cores,
-            idle_latency_ms=1000.0 / 400.0,
-        )
-        dip_id = f"DIP-{index + 1}"
-        dips[dip_id] = DipServer(
-            dip_id, vm, seed=None if seed is None else seed + index
-        )
+    dips = build_mixed_core_pool(num_dips, core_choices=core_choices, seed=seed)
     return fleet_from_pool(
         dips,
         num_vips=num_vips,

@@ -74,10 +74,19 @@ class TestMultiVipSharedDips:
         assert metrics["interleaved_rounds"] >= metrics["measurement_rounds"] * 0.5
 
     def test_no_dip_measured_twice_per_round(self, shared_dip_result):
-        measurement = shared_dip_result.detail["measurement"]
-        for entry in measurement.round_log:
+        plane = shared_dip_result.detail["plane"]
+        assert plane.round_log
+        for entry in plane.round_log:
             measured = entry.measured_dips()
             assert len(measured) == len(set(measured))
+
+    def test_squeeze_arrives_as_timeline_event(self, shared_dip_result):
+        """The antagonist squeeze is a declarative timeline event now."""
+        squeezed = shared_dip_result.detail["squeezed_dip"]
+        labels = [
+            label for window in shared_dip_result.windows for label in window.events
+        ]
+        assert any("capacity_ratio" in label and squeezed in label for label in labels)
 
     def test_converged_fleet_is_healthy(self, shared_dip_result):
         metrics = shared_dip_result.metrics

@@ -85,6 +85,65 @@ class TestRun:
         assert result.metrics["latency_gain"] > 1.0
 
 
+class TestValidate:
+    def test_valid_spec_file_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "timed",
+            "timeline": {
+                "window_s": 5.0,
+                "events": [
+                    {"time_s": 10.0, "kind": "dip_fail", "dip": "DIP-1"},
+                ],
+            },
+        }))
+        out = run_cli(capsys, "validate", str(path))
+        assert "is valid" in out
+        assert "1 timeline event(s)" in out
+
+    def test_invalid_timeline_exits_nonzero_with_dotted_path(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "name": "timed",
+            "timeline": {
+                "events": [
+                    {"time_s": 10.0, "kind": "dip_fail", "dipz": "DIP-1"},
+                ],
+            },
+        }))
+        code = main(["validate", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "timeline.events[0].dipz" in captured.err
+
+    def test_validate_never_runs_anything(self, capsys):
+        # The biggest registered scenario validates in well under a run.
+        out = run_cli(capsys, "validate", "multi_vip_shared_dips")
+        assert "no timeline" in out
+
+
+class TestRunWatch:
+    def test_watch_streams_events_and_windows_to_stderr(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "timed",
+            "controller": {"enabled": False},
+            "pool": {"num_dips": 4},
+            "timeline": {
+                "window_s": 5.0,
+                "horizon_s": 20.0,
+                "events": [
+                    {"time_s": 10.0, "kind": "arrival_scale", "value": 1.5},
+                ],
+            },
+        }))
+        code = main(["run", str(path), "--watch"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "event   t=10s arrival_scale 1.5" in captured.err
+        assert captured.err.count("window") == 4
+
+
 class TestSweepAndCompare:
     def test_sweep_writes_artifacts_and_comparison(self, capsys, tmp_path):
         out_dir = tmp_path / "sweep"
@@ -112,6 +171,39 @@ class TestSweepAndCompare:
                       str(tmp_path / "cmp.json"))
         assert "mean_latency_ms" in out
         assert (tmp_path / "cmp.json").exists()
+
+    def test_compare_windows_renders_trajectories(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "timed",
+            "controller": {"enabled": False},
+            "pool": {"num_dips": 4},
+            "timeline": {
+                "window_s": 5.0,
+                "horizon_s": 15.0,
+                "events": [
+                    {"time_s": 5.0, "kind": "capacity_ratio",
+                     "dip": "DIP-1", "value": 0.5},
+                ],
+            },
+        }))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli(capsys, "run", str(spec), "-o", str(a))
+        run_cli(capsys, "run", str(spec),
+                "--set", "timeline.events=[]", "-o", str(b))
+        out = run_cli(capsys, "compare", str(a), str(b), "--windows")
+        assert "mean_latency_ms per window" in out
+        assert "[5, 10)" in out
+        assert "capacity_ratio DIP-1" in out
+
+    def test_compare_windows_without_windows_is_an_error(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        run_cli(capsys, "run", "fluid_uniform_pool",
+                "--set", "controller.enabled=false", "-o", str(a))
+        code = main(["compare", str(a), "--windows"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no timeline ran" in captured.err
 
 
 class TestErrors:

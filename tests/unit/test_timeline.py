@@ -1,0 +1,480 @@
+"""The timeline & observer layer: spec validation, application, determinism.
+
+Covers the tentpole guarantees of the timeline redesign:
+
+* `EventSpec` / `TimelineSpec` validate eagerly with per-kind rules and
+  round-trip through JSON inside `ExperimentSpec` and `RunResult`;
+* the same timeline executes on all three substrates by flipping
+  ``spec.runner`` only, with events applied at their declared times in the
+  same order everywhere;
+* per-substrate determinism: same spec + seed → bit-identical metrics and
+  windows on re-run;
+* the vectorized fluid path rebuilds `PoolArrays` after a mid-run
+  `capacity_ratio` event (the stale-capacity regression);
+* the request engine's arrival rescaling preserves the sorted-stream
+  invariant, and observers stream events/rounds/windows live.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import api
+from repro.api.spec import EventSpec, TimelineSpec
+from repro.api.timeline import (
+    BaseObserver,
+    WindowedMetricsObserver,
+    check_timeline_supported,
+)
+from repro.exceptions import ConfigurationError
+
+
+def timeline_spec(runner: str = "fluid", **overrides) -> api.ExperimentSpec:
+    """A small uniform-pool spec with a fault + surge + recovery timeline."""
+    base = dict(
+        name="timeline-test",
+        runner=runner,
+        pool=api.PoolSpec(kind="uniform", num_dips=6),
+        workload=api.WorkloadSpec(load_fraction=0.6, num_requests=8_000),
+        timeline=api.TimelineSpec(
+            events=(
+                api.EventSpec(time_s=10.0, kind="dip_fail", dip="DIP-2"),
+                api.EventSpec(time_s=20.0, kind="arrival_scale", value=1.2),
+                api.EventSpec(time_s=30.0, kind="dip_recover", dip="DIP-2"),
+            ),
+            window_s=5.0,
+            horizon_s=45.0,
+        ),
+        seed=11,
+    )
+    base.update(overrides)
+    return api.ExperimentSpec(**base)
+
+
+class TestEventSpecValidation:
+    def test_kinds_are_validated(self):
+        with pytest.raises(ConfigurationError, match="kind must be one of"):
+            EventSpec(time_s=1.0, kind="explode")
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(kind="dip_fail"), "needs the dip field"),
+            (dict(kind="dip_fail", dip="D", value=2.0), "does not take a value"),
+            (dict(kind="capacity_ratio", dip="D"), "value in \\(0, 1\\]"),
+            (dict(kind="capacity_ratio", dip="D", value=1.5), "value in \\(0, 1\\]"),
+            (dict(kind="arrival_scale", value=-1.0), "positive value"),
+            (dict(kind="arrival_scale", dip="D", value=1.1), "does not take a dip"),
+            (dict(kind="vip_onboard"), "needs the vip field"),
+            (dict(kind="dip_recover", dip="D", vip="V"), "does not take a vip"),
+            (dict(kind="antagonist_phase", dip="D", value=1.5), "integer"),
+        ],
+    )
+    def test_per_kind_field_rules(self, kwargs, message):
+        with pytest.raises(ConfigurationError, match=message):
+            EventSpec(time_s=1.0, **kwargs)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match="time_s"):
+            EventSpec(time_s=-1.0, kind="dip_fail", dip="D")
+
+    def test_label_is_compact(self):
+        event = EventSpec(time_s=30.0, kind="capacity_ratio", dip="DIP-3", value=0.5)
+        assert event.label() == "t=30s capacity_ratio DIP-3 0.5"
+
+
+class TestTimelineSpec:
+    def test_horizon_must_cover_events(self):
+        with pytest.raises(ConfigurationError, match="does not cover"):
+            TimelineSpec(
+                events=(EventSpec(time_s=50.0, kind="dip_fail", dip="D"),),
+                horizon_s=40.0,
+            )
+
+    def test_derived_horizon_extends_past_last_event(self):
+        timeline = TimelineSpec(
+            events=(EventSpec(time_s=12.0, kind="dip_fail", dip="D"),),
+            window_s=4.0,
+        )
+        assert timeline.duration_s() == 12.0 + TimelineSpec.TAIL_WINDOWS * 4.0
+
+    def test_ordered_events_stable_on_ties(self):
+        events = (
+            EventSpec(time_s=5.0, kind="dip_fail", dip="B"),
+            EventSpec(time_s=1.0, kind="dip_fail", dip="C"),
+            EventSpec(time_s=5.0, kind="dip_fail", dip="A"),
+        )
+        ordered = TimelineSpec(events=events).ordered_events()
+        assert [e.dip for e in ordered] == ["C", "B", "A"]
+
+    def test_mapping_events_coerce_to_eventspec(self):
+        timeline = TimelineSpec(
+            events=({"time_s": 3.0, "kind": "dip_fail", "dip": "D"},)
+        )
+        assert isinstance(timeline.events[0], EventSpec)
+
+    def test_empty_means_no_timed_phase(self):
+        assert TimelineSpec().empty
+        assert not TimelineSpec(horizon_s=10.0).empty
+
+    def test_unknown_event_key_names_indexed_path(self):
+        with pytest.raises(ConfigurationError, match=r"timeline\.events\[0\]"):
+            api.ExperimentSpec.from_dict(
+                {
+                    "name": "x",
+                    "timeline": {
+                        "events": [{"time_s": 1.0, "kind": "dip_fail", "dipz": "D"}]
+                    },
+                }
+            )
+
+    def test_scenario_runner_rejects_timelines(self):
+        with pytest.raises(ConfigurationError, match="cannot carry a timeline"):
+            api.ExperimentSpec(
+                name="x",
+                runner="scenario",
+                scenario="single_vip_testbed",
+                timeline=TimelineSpec(horizon_s=10.0),
+            )
+
+
+class TestProvenanceRoundTrip:
+    def test_spec_round_trips_timeline_through_json(self):
+        spec = timeline_spec()
+        restored = api.ExperimentSpec.from_dict(json.loads(spec.to_json()))
+        assert restored == spec
+        assert restored.timeline.events == spec.timeline.events
+
+    def test_run_result_round_trips_windows_and_timeline(self, tmp_path):
+        result = api.execute(timeline_spec())
+        path = result.save(tmp_path / "result.json")
+        restored = api.RunResult.load(path)
+        assert restored.spec.timeline == result.spec.timeline
+        assert restored.windows == result.windows
+        assert restored.metrics_equal(result)
+        # A reloaded artifact re-runs to the same trajectory.
+        rerun = api.execute(restored.spec)
+        assert rerun.windows == result.windows
+
+
+class TestCrossSubstrateTimeline:
+    @pytest.mark.parametrize("runner", ["fluid", "request", "fleet"])
+    def test_events_fire_at_declared_times(self, runner):
+        result = api.execute(timeline_spec(runner))
+        by_window = {w.start_s: w.events for w in result.windows if w.events}
+        assert set(by_window) == {10.0, 20.0, 30.0}
+        assert by_window[10.0] == ("t=10s dip_fail DIP-2",)
+        assert by_window[20.0] == ("t=20s arrival_scale 1.2",)
+        assert by_window[30.0] == ("t=30s dip_recover DIP-2",)
+
+    @pytest.mark.parametrize("runner", ["fluid", "request", "fleet"])
+    def test_rerun_is_bit_identical(self, runner):
+        first = api.execute(timeline_spec(runner))
+        second = api.execute(timeline_spec(runner))
+        assert first.metrics == second.metrics
+        assert first.windows == second.windows
+
+    def test_application_order_identical_across_substrates(self):
+        orders = []
+        for runner in ("fluid", "request", "fleet"):
+            result = api.execute(timeline_spec(runner))
+            orders.append(
+                [label for w in result.windows for label in w.events]
+            )
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_fault_and_recovery_visible_in_trajectory(self):
+        result = api.execute(timeline_spec("request"))
+        share = [w.dip_share.get("DIP-2", 0.0) for w in result.windows]
+        # DIP-2 serves traffic before the fault, none during the outage
+        # windows, and serves again after recovery.
+        assert share[1] > 0.0
+        assert share[4] == 0.0 and share[5] == 0.0
+        assert share[-1] > 0.0
+
+    def test_fluid_controller_reacts_to_outage(self):
+        result = api.execute(timeline_spec("fluid"))
+        events = sum(w.metrics["controller_events"] for w in result.windows)
+        assert events >= 1.0
+        fault_window = next(w for w in result.windows if w.start_s == 10.0)
+        assert "DIP-2" not in {d for d, s in fault_window.dip_share.items() if s > 0}
+
+    def test_recovered_dip_gets_traffic_back_under_controller(self):
+        """dip_recover restores the retired curve and reprograms (§4.5)."""
+        result = api.execute(timeline_spec("fluid"))
+        outage_window = next(w for w in result.windows if w.start_s == 25.0)
+        recovered_window = result.windows[-1]
+        assert outage_window.dip_share.get("DIP-2", 0.0) == 0.0
+        assert recovered_window.dip_share.get("DIP-2", 0.0) > 0.0
+
+    def test_same_window_grid_on_every_substrate(self):
+        counts = {
+            runner: len(api.execute(timeline_spec(runner)).windows)
+            for runner in ("fluid", "request", "fleet")
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_timeline_metrics_report_run_average_and_final(self):
+        result = api.execute(timeline_spec("fluid"))
+        series = [v for v in result.window_series("mean_latency_ms") if v == v]
+        assert min(series) <= result.metrics["mean_latency_ms"] <= max(series)
+        assert result.metrics["final_latency_ms"] == series[-1]
+
+
+class TestStaleCapacityRegression:
+    """`PoolArrays` must be rebuilt after mid-run capacity changes."""
+
+    def test_fluid_state_reflects_squeezed_capacity(self):
+        spec = timeline_spec(
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(
+                        time_s=5.0, kind="capacity_ratio", dip="DIP-1", value=0.5
+                    ),
+                ),
+                window_s=5.0,
+                horizon_s=15.0,
+            ),
+            controller=api.ControllerSpec(enabled=False),
+        )
+        cluster = api.build_cluster(spec)
+        per_dip_rate = cluster.total_rate_rps / len(cluster.dips)
+        before = cluster.state().utilization["DIP-1"]
+        assert before == pytest.approx(
+            per_dip_rate / cluster.dips["DIP-1"].capacity_rps
+        )
+        result = api.execute(spec)
+        squeezed = result.windows[-1]
+        # Same rate over half the capacity: utilization doubles.  A stale
+        # PoolArrays would keep reporting the pre-squeeze value.
+        base_capacity = cluster.dips["DIP-1"].base_capacity_rps
+        expected = min(1.0, per_dip_rate / (0.5 * base_capacity))
+        assert result.dip_summaries["DIP-1"]["utilization"] == pytest.approx(
+            expected
+        )
+        assert squeezed.metrics["mean_latency_ms"] > result.windows[0].metrics[
+            "mean_latency_ms"
+        ]
+
+    def test_antagonist_phase_event_squeezes_and_clears(self):
+        spec = timeline_spec(
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(
+                        time_s=5.0, kind="antagonist_phase", dip="DIP-1", value=4
+                    ),
+                    api.EventSpec(
+                        time_s=15.0, kind="antagonist_phase", dip="DIP-1", value=0
+                    ),
+                ),
+                window_s=5.0,
+                horizon_s=25.0,
+            ),
+            controller=api.ControllerSpec(enabled=False),
+        )
+        result = api.execute(spec)
+        series = result.window_series("mean_latency_ms")
+        assert series[1] > series[0]  # squeeze raises latency
+        assert series[-1] == pytest.approx(series[0])  # clearing restores it
+
+
+class TestRequestSubstrate:
+    def test_arrival_scale_changes_throughput(self):
+        calm = timeline_spec(
+            "request",
+            timeline=api.TimelineSpec(window_s=5.0, horizon_s=40.0),
+            controller=api.ControllerSpec(enabled=False),
+        )
+        surged = timeline_spec(
+            "request",
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(time_s=20.0, kind="arrival_scale", value=2.0),
+                ),
+                window_s=5.0,
+                horizon_s=40.0,
+            ),
+            controller=api.ControllerSpec(enabled=False),
+        )
+        base = api.execute(calm)
+        surge = api.execute(surged)
+        base_reqs = base.window_series("requests")
+        surge_reqs = surge.window_series("requests")
+        # Before the surge the two runs are the same draw stream ...
+        assert surge_reqs[0] == base_reqs[0]
+        # ... after it, roughly twice the arrivals land per window.
+        tail_ratio = sum(surge_reqs[-3:]) / sum(base_reqs[-3:])
+        assert 1.6 < tail_ratio < 2.4
+
+    def test_windows_cover_whole_measured_phase(self):
+        result = api.execute(timeline_spec("request"))
+        assert result.windows[0].start_s == 0.0
+        assert result.windows[-1].end_s == pytest.approx(45.0)
+        starts = [w.start_s for w in result.windows]
+        assert starts == sorted(starts)
+
+    def test_no_timeline_run_unchanged(self):
+        """Empty timelines keep the request path on its original code."""
+        spec = timeline_spec("request", timeline=api.TimelineSpec())
+        result = api.execute(spec)
+        assert result.windows == ()
+        assert "timeline_events" not in result.metrics
+
+
+class TestFleetSubstrate:
+    def test_vip_onboard_and_offboard_via_timeline(self):
+        spec = api.ExperimentSpec(
+            name="fleet-join-leave",
+            runner="fleet",
+            pool=api.PoolSpec(kind="mixed_core", num_dips=12),
+            workload=api.WorkloadSpec(load_fraction=0.5),
+            fleet=api.FleetSpec(num_vips=4),
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(time_s=10.0, kind="vip_onboard", vip="VIP-4"),
+                    api.EventSpec(time_s=30.0, kind="vip_offboard", vip="VIP-1"),
+                ),
+                window_s=10.0,
+                horizon_s=50.0,
+            ),
+            seed=23,
+        )
+        result = api.execute(spec)
+        plane = result.detail["plane"]
+        # VIP-4 was deferred out of initial convergence, then onboarded.
+        assert result.metrics["vips_with_assignment"] == 3.0
+        assert "VIP-4" in plane.steady_vips()
+        # VIP-1 left: the fleet and the plane both forgot it.
+        assert "VIP-1" not in plane.controllers
+        assert result.metrics["num_vips"] == 3.0
+        vips_series = result.window_series("num_vips")
+        assert vips_series[0] == 4.0 and vips_series[-1] == 3.0
+
+    def test_vip_events_rejected_on_single_vip_substrates(self):
+        spec = timeline_spec(
+            "fluid",
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(time_s=5.0, kind="vip_onboard", vip="VIP-2"),
+                )
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="needs the fleet runner"):
+            api.execute(spec)
+
+    def test_unknown_dip_named_before_running(self):
+        spec = timeline_spec(
+            "fluid",
+            timeline=api.TimelineSpec(
+                events=(
+                    api.EventSpec(time_s=5.0, kind="dip_fail", dip="DIP-99"),
+                )
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="unknown DIP 'DIP-99'"):
+            api.execute(spec)
+
+    def test_onboard_needs_controller(self):
+        timeline = api.TimelineSpec(
+            events=(api.EventSpec(time_s=5.0, kind="vip_onboard", vip="V"),)
+        )
+        with pytest.raises(ConfigurationError, match="controller.enabled"):
+            check_timeline_supported(
+                timeline,
+                "fleet",
+                dips=["D"],
+                vips=["V"],
+                controller_enabled=False,
+            )
+
+
+class TestObservers:
+    def test_observers_stream_events_rounds_and_windows(self):
+        recorder = WindowedMetricsObserver()
+
+        class Rounds(BaseObserver):
+            def __init__(self):
+                self.times = []
+
+            def on_round(self, time_s, metrics):
+                self.times.append(time_s)
+
+        rounds = Rounds()
+        result = api.execute(
+            timeline_spec(controller=api.ControllerSpec(enabled=False)),
+            observers=[recorder, rounds],
+        )
+        assert [w for w in recorder.windows] == list(result.windows)
+        assert [t for t, _ in recorder.applied_events] == [10.0, 20.0, 30.0]
+        assert rounds.times == [w.end_s for w in result.windows]
+
+    def test_request_runner_notifies_live_events(self):
+        fired = []
+
+        class Events(BaseObserver):
+            def on_event(self, time_s, event):
+                fired.append((time_s, event.kind))
+
+        api.execute(timeline_spec("request"), observers=[Events()])
+        assert fired == [
+            (10.0, "dip_fail"),
+            (20.0, "arrival_scale"),
+            (30.0, "dip_recover"),
+        ]
+
+
+class TestScenarioTimelines:
+    def test_outage_scenario_shows_fault_and_recovery(self):
+        from repro.experiments.scenarios import run_scenario
+
+        result = run_scenario("dip_outage_recovery", num_dips=6)
+        assert result.metrics["outage_degradation"] > 1.0
+        assert result.metrics["recovery_ratio"] < result.metrics[
+            "outage_degradation"
+        ]
+        assert result.windows  # the trajectory rides along
+
+    def test_no_fault_twin_is_flat(self):
+        from repro.experiments.scenarios import run_scenario
+
+        result = run_scenario(
+            "dip_outage_recovery", num_dips=6, inject_fault=False
+        )
+        assert result.metrics["outage_degradation"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_diurnal_surge_peaks_and_returns(self):
+        from repro.experiments.scenarios import run_scenario
+
+        result = run_scenario("diurnal_surge", num_dips=6)
+        assert result.metrics["surge_degradation"] > 1.0
+        assert result.metrics["final_latency_ms"] == pytest.approx(
+            result.metrics["baseline_latency_ms"], rel=0.25
+        )
+
+    def test_diurnal_surge_runs_on_request_engine(self):
+        from repro.experiments.scenarios import run_scenario
+
+        result = run_scenario(
+            "diurnal_surge", num_dips=4, substrate="request", step_s=10.0
+        )
+        assert result.metrics["surge_degradation"] > 1.0
+
+
+def test_window_rows_bucket_and_share():
+    from repro.sim.trace import MetricsCollector
+
+    collector = MetricsCollector()
+    collector.record_request("A", 10.0, True, 0.5)
+    collector.record_request("B", 20.0, True, 1.5)
+    collector.record_request("A", None, False, 1.7)
+    rows = collector.window_rows(window_s=1.0, start_s=0.0, end_s=3.0)
+    assert len(rows) == 3
+    assert rows[0]["metrics"]["requests"] == 1.0
+    assert rows[1]["metrics"]["requests"] == 2.0
+    assert rows[1]["metrics"]["drop_fraction"] == pytest.approx(0.5)
+    assert rows[1]["dip_share"] == {"A": 0.5, "B": 0.5}
+    assert rows[2]["metrics"]["requests"] == 0.0
+    assert math.isnan(rows[2]["metrics"]["mean_latency_ms"])
