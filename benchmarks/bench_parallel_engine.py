@@ -1,0 +1,283 @@
+"""Parallel execution layer: shard-count scaling and sweep throughput.
+
+The PR 2 streaming engine saturates one core; this bench measures what the
+parallel layer adds on top, on the same 64-DIP / 2M-request workload:
+
+* **kernel scaling** — sharded runs at 1/2/4 shards with ``workers=1``
+  (every shard in-process).  The per-DIP M/M/c/K recursion is the
+  single-core win: it needs no event heap, no callbacks and no per-request
+  objects, so even one shard on one core beats the serial DES;
+* **process fan-out** — 4 shards across 4 worker processes with the
+  shared-memory columnar merge.  This is the multi-core win; its speedup
+  over ``workers=1`` is reported separately and the ≥2.5x floor is
+  enforced only when the machine actually has ≥4 usable cores (CI does);
+* **sweep throughput** — a 6-point request-level sweep through the warm
+  :class:`~repro.parallel.pool.WorkerPool` vs the serial path.
+
+Emits ``BENCH_parallel_engine.json``.  The acceptance floor is ≥3x
+requests/s at 4 shards against the serial engine (kernel + whatever
+fan-out the hardware offers), plus bit-identical merged metrics across
+repeats for the fixed seed and shard count.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_parallel_engine.py``)
+or under pytest-benchmark.  ``BENCH_PARALLEL_ENGINE_REQUESTS`` overrides
+the request count for quick local runs; recorded JSON should come from the
+full 2M-request setting.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import save_json, save_report
+
+from repro.api.runners import execute
+from repro.api.spec import (
+    ControllerSpec,
+    ExperimentSpec,
+    PolicySpec,
+    PoolSpec,
+    VmSpec,
+    WorkloadSpec,
+)
+from repro.api.sweep import Sweep
+from repro.parallel import ShardPlan, plan_shards, run_request_sharded
+from repro.parallel.pool import WorkerPool
+from repro.workloads import split_dip_ids
+
+NUM_DIPS = 64
+NUM_REQUESTS = int(os.environ.get("BENCH_PARALLEL_ENGINE_REQUESTS", 2_000_000))
+LOAD_FRACTION = 0.7
+SPEEDUP_FLOOR = 3.0
+WORKER_SCALING_FLOOR = 2.5
+SWEEP_POINTS = 6
+
+
+def bench_spec(num_requests: int = NUM_REQUESTS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bench-parallel-engine",
+        runner="request",
+        pool=PoolSpec(
+            kind="uniform",
+            num_dips=NUM_DIPS,
+            vm=VmSpec(name="bench-4core", vcpus=4, capacity_rps=1600.0),
+        ),
+        workload=WorkloadSpec(
+            load_fraction=LOAD_FRACTION, num_requests=num_requests, warmup_s=1.0
+        ),
+        policy=PolicySpec(name="rr"),
+        controller=ControllerSpec(enabled=False),
+        seed=7,
+    )
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed(func, *, repeats: int = 2):
+    """Best-of-N wall time (same treatment for every configuration)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _one_shard_plan(spec: ExperimentSpec) -> ShardPlan:
+    """A degenerate single-shard plan (the kernel with no fan-out at all).
+
+    ``plan_shards`` maps ``shards=1`` to the serial engine by design — one
+    shard is not a parallel run — so the kernel-only baseline builds its
+    plan directly.
+    """
+    reference = plan_shards(spec, shards=2)
+    assert reference.shardable, reference.fallback_reason
+    dip_ids = tuple(d for s in reference.dip_slices for d in s)
+    return ShardPlan(
+        shards=1,
+        shardable=True,
+        routing=reference.routing,
+        dip_slices=split_dip_ids(dip_ids, 1),
+    )
+
+
+def run_parallel_engine_bench(*, num_requests: int = NUM_REQUESTS) -> dict:
+    spec = bench_spec(num_requests)
+    usable_cpus = _usable_cpus()
+
+    # -- serial baseline: the PR 2 streaming DES ----------------------------------
+    serial_result, serial_wall = _timed(lambda: execute(spec))
+    serial_rps = serial_result.metrics["requests_submitted"] / serial_wall
+
+    # -- kernel scaling: shards in-process (workers=1) ----------------------------
+    sharded: dict[str, dict] = {}
+    results = {}
+    for shards in (1, 2, 4):
+        plan = (
+            _one_shard_plan(spec)
+            if shards == 1
+            else plan_shards(spec, shards=shards)
+        )
+        result, wall = _timed(
+            lambda plan=plan: run_request_sharded(spec, plan, workers=1)
+        )
+        results[shards] = result
+        sharded[str(shards)] = {
+            "wall_s": wall,
+            "requests_per_s": result.metrics["requests_submitted"] / wall,
+            "mean_latency_ms": result.metrics["mean_latency_ms"],
+            "p99_latency_ms": result.metrics["p99_latency_ms"],
+        }
+
+    # -- determinism: fixed seed + shard count => bit-identical metrics -----------
+    repeat = run_request_sharded(spec, plan_shards(spec, shards=4), workers=1)
+    bit_identical = (
+        repeat.metrics == results[4].metrics
+        and repeat.dip_summaries == results[4].dip_summaries
+    )
+
+    # -- process fan-out: 4 shards across 4 workers (shared-memory merge) ---------
+    plan4 = plan_shards(spec, shards=4)
+    fanout_result, fanout_wall = _timed(
+        lambda: run_request_sharded(spec, plan4, workers=4)
+    )
+    fanout_rps = fanout_result.metrics["requests_submitted"] / fanout_wall
+    fanout_identical = fanout_result.metrics == results[4].metrics
+    worker_scaling = fanout_rps / sharded["4"]["requests_per_s"]
+    enforce_worker_floor = usable_cpus >= 4
+
+    # -- sweep throughput through the warm pool -----------------------------------
+    sweep_spec = bench_spec(max(20_000, num_requests // 40))
+    sweep = Sweep.from_axes(
+        sweep_spec,
+        {"workload.load_fraction": [0.4 + 0.06 * i for i in range(SWEEP_POINTS)]},
+    )
+    _, sweep_serial_wall = _timed(lambda: sweep.run(), repeats=1)
+    sweep_workers = min(4, usable_cpus) if usable_cpus > 1 else 2
+    with WorkerPool(max_workers=sweep_workers) as pool:
+        pool.map(len, [[0]] * sweep_workers)  # warm the interpreters
+        _, sweep_pool_wall = _timed(lambda: sweep.run(pool=pool), repeats=1)
+
+    best_shards4_rps = max(sharded["4"]["requests_per_s"], fanout_rps)
+    speedup = best_shards4_rps / serial_rps
+    latency_rel_diff = abs(
+        results[4].metrics["mean_latency_ms"]
+        - serial_result.metrics["mean_latency_ms"]
+    ) / max(serial_result.metrics["mean_latency_ms"], 1e-9)
+
+    return {
+        "scale": {
+            "num_dips": NUM_DIPS,
+            "num_requests": num_requests,
+            "load_fraction": LOAD_FRACTION,
+            "usable_cpus": usable_cpus,
+        },
+        "serial_engine": {
+            "wall_s": serial_wall,
+            "requests_per_s": serial_rps,
+            "mean_latency_ms": serial_result.metrics["mean_latency_ms"],
+            "p99_latency_ms": serial_result.metrics["p99_latency_ms"],
+        },
+        "sharded_workers_1": sharded,
+        "process_fanout": {
+            "shards": 4,
+            "workers": 4,
+            "wall_s": fanout_wall,
+            "requests_per_s": fanout_rps,
+            "scaling_vs_1_worker": worker_scaling,
+            "scaling_floor": WORKER_SCALING_FLOOR,
+            "floor_enforced": enforce_worker_floor,
+            "metrics_identical_to_inline": fanout_identical,
+        },
+        "sweep": {
+            "points": SWEEP_POINTS,
+            "requests_per_point": sweep_spec.workload.num_requests,
+            "serial_wall_s": sweep_serial_wall,
+            "pool_wall_s": sweep_pool_wall,
+            "pool_workers": sweep_workers,
+            "serial_specs_per_s": SWEEP_POINTS / sweep_serial_wall,
+            "pool_specs_per_s": SWEEP_POINTS / sweep_pool_wall,
+        },
+        "speedup_4shards_vs_serial": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "latency_rel_diff": latency_rel_diff,
+        "bit_identical_repeat": bit_identical,
+    }
+
+
+def _render(results: dict) -> str:
+    scale = results["scale"]
+    serial = results["serial_engine"]
+    fanout = results["process_fanout"]
+    lines = [
+        f"scale                      : {scale['num_dips']} DIPs, "
+        f"{scale['num_requests']:,} requests @ {scale['load_fraction']:.0%} load "
+        f"({scale['usable_cpus']} usable cpus)",
+        f"serial engine (PR 2 DES)   : {serial['wall_s']:.2f} s "
+        f"({serial['requests_per_s']:,.0f} req/s)",
+    ]
+    for shards, row in results["sharded_workers_1"].items():
+        lines.append(
+            f"sharded x{shards} (in-process)  : {row['wall_s']:.2f} s "
+            f"({row['requests_per_s']:,.0f} req/s)"
+        )
+    lines += [
+        f"4 shards x 4 workers       : {fanout['wall_s']:.2f} s "
+        f"({fanout['requests_per_s']:,.0f} req/s, "
+        f"{fanout['scaling_vs_1_worker']:.2f}x vs 1 worker, floor "
+        f"{fanout['scaling_floor']}x "
+        f"{'enforced' if fanout['floor_enforced'] else 'not enforced (<4 cpus)'})",
+        f"sweep ({results['sweep']['points']} pts)             : "
+        f"{results['sweep']['serial_specs_per_s']:.2f} specs/s serial vs "
+        f"{results['sweep']['pool_specs_per_s']:.2f} specs/s with "
+        f"{results['sweep']['pool_workers']} pooled workers",
+        f"speedup (4 shards)         : {results['speedup_4shards_vs_serial']:.1f}x "
+        f"(floor {results['speedup_floor']:.0f}x)",
+        f"mean latency               : serial {serial['mean_latency_ms']:.3f} ms vs "
+        f"sharded {results['sharded_workers_1']['4']['mean_latency_ms']:.3f} ms "
+        f"({results['latency_rel_diff']:.2%} apart)",
+        f"bit-identical repeat       : {results['bit_identical_repeat']}",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> None:
+    assert results["speedup_4shards_vs_serial"] >= results["speedup_floor"], (
+        f"parallel-engine speedup {results['speedup_4shards_vs_serial']:.2f}x "
+        f"below floor {results['speedup_floor']}x"
+    )
+    # Both paths estimate the same M/M/c/K system; means must agree closely.
+    assert results["latency_rel_diff"] < 0.05
+    # Fixed seed + shard count must reproduce the merged metrics exactly,
+    # and the shared-memory process path must match the in-process path.
+    assert results["bit_identical_repeat"]
+    assert results["process_fanout"]["metrics_identical_to_inline"]
+    fanout = results["process_fanout"]
+    if fanout["floor_enforced"]:
+        assert fanout["scaling_vs_1_worker"] >= fanout["scaling_floor"], (
+            f"4-worker scaling {fanout['scaling_vs_1_worker']:.2f}x below "
+            f"floor {fanout['scaling_floor']}x on "
+            f"{results['scale']['usable_cpus']} cpus"
+        )
+
+
+def test_parallel_engine_speedup(benchmark):
+    results = benchmark.pedantic(run_parallel_engine_bench, rounds=1, iterations=1)
+    save_report("parallel_engine", _render(results))
+    save_json("BENCH_parallel_engine", results)
+    _check(results)
+
+
+if __name__ == "__main__":
+    bench_results = run_parallel_engine_bench()
+    save_report("parallel_engine", _render(bench_results))
+    save_json("BENCH_parallel_engine", bench_results)
+    _check(bench_results)
+    print("ok")

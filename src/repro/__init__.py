@@ -8,8 +8,10 @@ models (:mod:`repro.backends`), layer-4 load-balancer policies and facades
 (:mod:`repro.lb`), cluster simulators (:mod:`repro.sim`), KLM probing and
 the latency store (:mod:`repro.probing`), an agent-based baseline
 (:mod:`repro.agents`), analysis helpers (:mod:`repro.analysis`), workload
-builders (:mod:`repro.workloads`) and per-figure/table experiment drivers
-(:mod:`repro.experiments`).
+builders (:mod:`repro.workloads`), per-figure/table experiment drivers
+(:mod:`repro.experiments`) and the multi-core execution layer
+(:mod:`repro.parallel`: sharded request runs, shared-memory metric merges
+and the persistent worker pool behind sweeps).
 
 The declarative front door is :mod:`repro.api` (also on the command line as
 ``python -m repro``): describe a run as an :class:`~repro.api.ExperimentSpec`

@@ -6,8 +6,12 @@ Six verbs over the declarative API, all round-tripping through files:
 * ``show NAME|FILE`` — the fully-resolved spec as JSON;
 * ``validate NAME|FILE`` — eager-validate a spec (timeline included) and
   exit non-zero with the dotted-path error, without running anything;
-* ``run NAME|FILE [--set path=value ...] [--runner R] [--watch] [-o out.json]``;
-* ``sweep NAME|FILE --axis path=v1,v2 [...] [-j N] [-o dir]``;
+* ``run NAME|FILE [--set path=value ...] [--runner R] [--watch]
+  [--shards N] [--workers N] [-o out.json]`` — ``--shards`` fans a
+  request-level run across the parallel layer (serial fallback, with the
+  reason logged, when the workload cannot shard);
+* ``sweep NAME|FILE --axis path=v1,v2 [...] [-j/--workers N] [-o dir]`` —
+  the expansion runs through one warm worker pool;
 * ``compare a.json b.json [--windows] [--window-metric M]`` — align saved
   result artifacts; ``--windows`` adds the window-by-window trajectory
   table.
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Any, Sequence
@@ -108,7 +113,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
     observers = (PrintingObserver(),) if args.watch else ()
-    result = execute(spec, observers=observers)
+    sharding = args.shards is not None and args.shards > 1
+    if args.workers and not sharding:
+        print(
+            "warning: --workers only applies to sharded runs; "
+            "pass --shards N to fan out (running serially)",
+            file=sys.stderr,
+        )
+    # Surface the planner's serial-fallback reason: it is emitted on the
+    # "repro.parallel" logger, which has no handler in a bare CLI process.
+    handler: logging.Handler | None = None
+    parallel_logger = logging.getLogger("repro.parallel")
+    if sharding and not parallel_logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("note: %(message)s"))
+        parallel_logger.addHandler(handler)
+        if parallel_logger.level > logging.INFO or parallel_logger.level == 0:
+            parallel_logger.setLevel(logging.INFO)
+    try:
+        result = execute(
+            spec, observers=observers, shards=args.shards, workers=args.workers
+        )
+    finally:
+        if handler is not None:
+            parallel_logger.removeHandler(handler)
     print(_metrics_table(result))
     if args.output:
         path = result.save(args.output)
@@ -213,6 +241,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream timeline events and per-window progress to stderr",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="split a request-level run into N statistically-exact shards "
+        "(falls back to serial, with a logged reason, when the workload "
+        "cannot shard)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes for a sharded run (default: min(shards, cores); "
+        "1 runs every shard in-process)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     sweep = commands.add_parser("sweep", help="expand and run a parameter sweep")
@@ -228,7 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("grid", "zip"), default="grid", help="axis combination"
     )
     sweep.add_argument(
-        "-j", "--jobs", type=int, default=1, help="process-parallel workers"
+        "-j",
+        "--jobs",
+        "--workers",
+        dest="jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (a warm pool reused across "
+        "the whole expansion; 1 = run inline)",
     )
     sweep.add_argument("-o", "--output", help="directory for result artifacts")
     sweep.set_defaults(handler=_cmd_sweep)

@@ -29,11 +29,20 @@ RESULT_SCHEMA = "repro.api.run_result/v1"
 
 @dataclass(frozen=True)
 class Provenance:
-    """Where and when a result came from (excluded from metric comparison)."""
+    """Where and when a result came from (excluded from metric comparison).
+
+    ``shards``/``workers`` record how a request-level run was executed by
+    the parallel layer (1/1 for serial runs).  Execution shape lives here —
+    not in ``metrics`` — because a sharded run's merged metrics are
+    bit-identical for a fixed seed regardless of how many processes
+    produced them.
+    """
 
     started_at: str
     wall_clock_s: float
     version: str = __version__
+    shards: int = 1
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -107,6 +116,8 @@ class RunResult:
                 "started_at": self.provenance.started_at,
                 "wall_clock_s": self.provenance.wall_clock_s,
                 "version": self.provenance.version,
+                "shards": self.provenance.shards,
+                "workers": self.provenance.workers,
             },
         }
 
@@ -151,6 +162,8 @@ class RunResult:
                 started_at=str(prov.get("started_at", "")),
                 wall_clock_s=float(prov.get("wall_clock_s", 0.0)),
                 version=str(prov.get("version", "")),
+                shards=int(prov.get("shards", 1)),
+                workers=int(prov.get("workers", 1)),
             ),
         )
 

@@ -69,7 +69,7 @@ class Runner(Protocol):
 
 
 
-def _pool_from_spec(pool: PoolSpec, seed: int) -> dict[DipId, Any]:
+def pool_from_spec(pool: PoolSpec, seed: int) -> dict[DipId, Any]:
     return build_pool(
         pool.kind,
         num_dips=pool.num_dips,
@@ -89,7 +89,7 @@ def build_cluster(spec: ExperimentSpec) -> FluidCluster:
     spec-built system but drive perturbations (capacity squeezes, failures)
     by hand.
     """
-    dips = _pool_from_spec(spec.pool, spec.seed)
+    dips = pool_from_spec(spec.pool, spec.seed)
     total_capacity = sum(d.capacity_rps for d in dips.values())
     return FluidCluster(
         dips=dips,
@@ -126,7 +126,7 @@ def _finish(
     )
 
 
-def _now_iso() -> str:
+def now_iso() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
@@ -164,7 +164,7 @@ class FluidRunner:
     def run(
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
-        started_at, started = _now_iso(), time.perf_counter()
+        started_at, started = now_iso(), time.perf_counter()
         cluster = build_cluster(spec)
         if not spec.timeline.empty:
             check_timeline_supported(
@@ -220,6 +220,28 @@ class FluidRunner:
         )
 
 
+def replay_controller_weights(spec: ExperimentSpec) -> dict[DipId, float] | None:
+    """KnapsackLB weights for a request-level run, or ``None`` when disabled.
+
+    Computes the weights on an analytic fluid twin of the pool so they can
+    be replayed through the request engine — the Fig. 12 "weights computed
+    once, traffic replayed" methodology.  The spec guarantees the policy is
+    weighted (ExperimentSpec validation), so the weights actually take
+    effect; the sharded executor uses the same weights as its per-DIP
+    thinning probabilities.
+    """
+    if not spec.controller.enabled:
+        return None
+    twin = build_cluster(spec)
+    controller = KnapsackLBController(
+        f"vip-{spec.name}", twin, config=spec.controller.config
+    )
+    controller.converge(settle_steps=spec.controller.settle_steps)
+    for _ in range(spec.controller.control_steps):
+        controller.control_step()
+    return dict(controller.current_weights)
+
+
 class RequestRunner:
     """Request-level discrete-event execution of the same spec."""
 
@@ -228,28 +250,14 @@ class RequestRunner:
     def run(
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
-        started_at, started = _now_iso(), time.perf_counter()
-        dips = _pool_from_spec(spec.pool, spec.seed)
+        started_at, started = now_iso(), time.perf_counter()
+        dips = pool_from_spec(spec.pool, spec.seed)
         if not spec.timeline.empty:
             check_timeline_supported(spec.timeline, self.kind, dips=dips)
         total_capacity = sum(d.capacity_rps for d in dips.values())
         rate = spec.workload.load_fraction * total_capacity
 
-        weights: dict[DipId, float] | None = None
-        if spec.controller.enabled:
-            # Compute KnapsackLB weights on an analytic twin of the pool,
-            # then replay them through the request engine — the Fig. 12
-            # "weights computed once, traffic replayed" methodology.  The
-            # spec guarantees the policy is weighted (ExperimentSpec
-            # validation), so the weights actually take effect.
-            twin = build_cluster(spec)
-            controller = KnapsackLBController(
-                f"vip-{spec.name}", twin, config=spec.controller.config
-            )
-            controller.converge(settle_steps=spec.controller.settle_steps)
-            for _ in range(spec.controller.control_steps):
-                controller.control_step()
-            weights = dict(controller.current_weights)
+        weights = replay_controller_weights(spec)
 
         policy_kwargs = (
             {"seed": spec.seed} if spec.policy.name in _SEEDED_POLICIES else {}
@@ -341,11 +349,11 @@ class FleetRunner:
     def run(
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
-        started_at, started = _now_iso(), time.perf_counter()
+        started_at, started = now_iso(), time.perf_counter()
         # The *same* pool spec the other runners execute, windowed across
         # the VIPs — so a testbed or three_dip spec stays that pool here.
         fleet = fleet_from_pool(
-            _pool_from_spec(spec.pool, spec.seed),
+            pool_from_spec(spec.pool, spec.seed),
             num_vips=spec.fleet.num_vips,
             pool_size=spec.fleet.pool_size,
             load_fraction=spec.workload.load_fraction,
@@ -418,7 +426,7 @@ class ScenarioRunner:
     ) -> RunResult:
         from repro.experiments.scenarios import get_scenario, observing
 
-        started_at, started = _now_iso(), time.perf_counter()
+        started_at, started = now_iso(), time.perf_counter()
         assert spec.scenario is not None  # enforced by ExperimentSpec
         scenario = get_scenario(spec.scenario)
         params = dict(spec.params)
@@ -456,12 +464,42 @@ def runner_for(kind: str) -> Runner:
 
 
 def execute(
-    spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
+    spec: ExperimentSpec,
+    *,
+    observers: Iterable[Observer] = (),
+    shards: int | None = None,
+    workers: int | None = None,
+    pool: Any = None,
 ) -> RunResult:
     """Run ``spec`` on the substrate its ``runner`` field names.
 
     ``observers`` stream the run while it executes (timeline events as they
     apply, per-window progress, completed window rows); the recorded
     time-series always lands in the result's ``windows`` regardless.
+
+    ``shards > 1`` asks for a sharded request-level run: the planner in
+    :mod:`repro.parallel` splits the arrival process into per-DIP
+    sub-streams when the workload allows it, fanning shards across
+    ``workers`` processes (a :class:`~repro.parallel.pool.WorkerPool` via
+    ``pool`` is reused warm).  Workloads the planner cannot shard — stateful
+    policies, timelines, non-request substrates — fall back to the serial
+    path with the reason logged under ``repro.parallel``.
     """
+    if shards is not None and shards > 1:
+        from repro.parallel import plan_shards, run_request_sharded
+        from repro.parallel.planner import spec_fallback_reason
+
+        # Screen the pool-independent conditions first (runner, timeline,
+        # policy) so a serial fallback never pays for pool construction;
+        # a shardable run builds the pool once, shared with the executor.
+        dips = None
+        if spec_fallback_reason(spec) is None:
+            dips = pool_from_spec(spec.pool, spec.seed)
+        plan = plan_shards(
+            spec, shards=shards, dip_ids=tuple(dips) if dips else None
+        )
+        if plan.shardable:
+            return run_request_sharded(
+                spec, plan, workers=workers, pool=pool, dips=dips
+            )
     return runner_for(spec.runner).run(spec, observers=observers)

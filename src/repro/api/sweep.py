@@ -4,9 +4,11 @@ A :class:`Sweep` holds a base :class:`ExperimentSpec` plus one axis per
 swept dotted path (``workload.load_fraction = [0.4, 0.6, 0.8]``).  ``grid``
 mode expands the cartesian product, ``zip`` mode pairs the axes
 element-wise.  Expansion is pure (specs out, nothing run), so the same
-sweep can be inspected, saved, or executed — serially or across a
-``concurrent.futures`` process pool; either path produces the same results
-because every expanded spec carries its own seed.
+sweep can be inspected, saved, or executed — serially or across a warm
+:class:`~repro.parallel.pool.WorkerPool`; either path produces the same
+results because every expanded spec carries its own seed.  Parallel runs
+serialize the *base* spec once and ship only per-point overrides; a sweep
+that expands to one spec runs inline with no pool at all.
 
 ``compare`` lines up any set of results (swept or hand-picked) into one
 report: a metric-by-run table plus per-metric deltas against the first
@@ -16,14 +18,16 @@ result as baseline.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.api.result import RunResult
 from repro.api.runners import execute
 from repro.api.spec import ExperimentSpec
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.pool import WorkerPool
 
 #: Metrics shown first (when present) in comparison reports.
 _HEADLINE_METRICS = (
@@ -49,11 +53,6 @@ class SweepAxis:
             raise ConfigurationError(
                 f"sweep axis {self.path!r} needs at least one value"
             )
-
-
-def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
-    """Process-pool worker: dicts in, dicts out (picklable both ways)."""
-    return execute(ExperimentSpec.from_dict(payload)).to_dict()
 
 
 @dataclass(frozen=True)
@@ -105,15 +104,21 @@ class Sweep:
 
     # -- expansion -------------------------------------------------------------
 
-    def expand(self) -> tuple[ExperimentSpec, ...]:
-        """Every spec of the sweep, named ``<base>/<path>=<value>/...``."""
+    def expanded_overrides(self) -> tuple[dict[str, Any], ...]:
+        """One overrides dict per sweep point (axis values + derived name).
+
+        This is what actually crosses the process boundary on a parallel
+        run: workers hold the parsed base spec in a per-process cache and
+        apply only these overrides, instead of re-validating a full spec
+        payload per point.
+        """
         if self.mode == "zip":
             combos: Iterable[tuple[Any, ...]] = zip(
                 *(axis.values for axis in self.axes)
             )
         else:
             combos = itertools.product(*(axis.values for axis in self.axes))
-        specs = []
+        expanded = []
         for combo in combos:
             overrides = {
                 axis.path: value for axis, value in zip(self.axes, combo)
@@ -122,30 +127,55 @@ class Sweep:
                 f"{axis.path.rpartition('.')[2]}={value}"
                 for axis, value in zip(self.axes, combo)
             )
-            spec = self.base.with_overrides(overrides)
-            specs.append(
-                spec.with_overrides({"name": f"{self.base.name}/{suffix}"})
-            )
-        return tuple(specs)
+            overrides["name"] = f"{self.base.name}/{suffix}"
+            expanded.append(overrides)
+        return tuple(expanded)
+
+    def expand(self) -> tuple[ExperimentSpec, ...]:
+        """Every spec of the sweep, named ``<base>/<path>=<value>/...``."""
+        return tuple(
+            self.base.with_overrides(overrides)
+            for overrides in self.expanded_overrides()
+        )
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, *, max_workers: int | None = None) -> tuple[RunResult, ...]:
-        """Execute the expansion; ``max_workers > 1`` uses a process pool.
+    def run(
+        self,
+        *,
+        max_workers: int | None = None,
+        pool: "WorkerPool | None" = None,
+    ) -> tuple[RunResult, ...]:
+        """Execute the expansion; ``max_workers > 1`` uses a worker pool.
 
         Results come back in expansion order regardless of which process
-        finished first, so a sweep's output is stable run to run.
+        finished first, so a sweep's output is stable run to run.  A
+        caller-provided :class:`~repro.parallel.pool.WorkerPool` is reused
+        warm (and left open); otherwise a pool is created for the call.  A
+        sweep that expands to a single spec always runs inline — spinning
+        up a process to run one spec would pay serialization and fork
+        overhead for nothing.
         """
-        specs = self.expand()
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
-        workers = min(max_workers or 1, len(specs))
-        if workers <= 1:
-            return tuple(execute(spec) for spec in specs)
-        payloads = [spec.to_dict() for spec in specs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_run_spec_payload, payloads))
-        return tuple(RunResult.from_dict(data) for data in raw)
+        overrides = self.expanded_overrides()
+        workers = min(
+            max_workers if max_workers is not None else (pool.max_workers if pool else 1),
+            len(overrides),
+        )
+        if len(overrides) == 1 or (workers <= 1 and pool is None):
+            return tuple(
+                execute(self.base.with_overrides(o)) for o in overrides
+            )
+        from repro.parallel.pool import WorkerPool
+
+        own_pool = pool is None
+        pool = pool or WorkerPool(max_workers=workers)
+        try:
+            return tuple(pool.run_specs(self.base, overrides))
+        finally:
+            if own_pool:
+                pool.close()
 
 
 @dataclass(frozen=True)

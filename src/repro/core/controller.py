@@ -48,6 +48,7 @@ from repro.core.types import (
 from repro.exceptions import ConfigurationError, CurveFitError
 from repro.probing.klm import KLM
 from repro.probing.latency_store import LatencyStore
+from repro.solver import SolveCache
 
 
 class Deployment(Protocol):
@@ -114,11 +115,15 @@ class KnapsackLBController:
         *,
         store: LatencyStore | None = None,
         config: KnapsackLBConfig | None = None,
+        solve_cache: SolveCache | None = None,
     ) -> None:
         self.vip = vip
         self.deployment = deployment
         self.config = config or KnapsackLBConfig()
         self.store = store or LatencyStore()
+        #: warm-start memo for ILP solves; the fleet control plane shares
+        #: one cache across its VIPs so unchanged problems skip re-solving.
+        self.solve_cache = solve_cache
         self.klm = KLM(
             vip=vip,
             dips=deployment.dips,
@@ -427,7 +432,11 @@ class KnapsackLBController:
                 f"VIP {self.vip}: no fitted curves; run the measurement phase first"
             )
         outcome = compute_weights_multistep(
-            self.vip, curves, config=self.config.ilp, force_multistep=force_multistep
+            self.vip,
+            curves,
+            config=self.config.ilp,
+            force_multistep=force_multistep,
+            cache=self.solve_cache,
         )
         self.ilp_history.append(outcome)
         self.last_assignment = outcome.assignment

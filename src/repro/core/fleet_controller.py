@@ -37,6 +37,7 @@ from repro.core.types import DipId, VipId, WeightAssignment
 from repro.exceptions import ConfigurationError
 from repro.probing.latency_store import LatencyStore
 from repro.sim.fleet import Fleet
+from repro.solver import SolveCache
 
 
 class VipPhase(enum.Enum):
@@ -81,10 +82,17 @@ class FleetController:
         *,
         config: KnapsackLBConfig | None = None,
         store: LatencyStore | None = None,
+        solve_cache: SolveCache | None = None,
     ) -> None:
         self.fleet = fleet
         self.config = config or KnapsackLBConfig()
         self.store = store or LatencyStore()
+        #: one warm-start memo shared by every VIP's ILP (the in-process
+        #: analogue of the shared LatencyStore): consecutive control rounds
+        #: re-solve only the VIPs whose measured curves actually moved —
+        #: an unchanged VIP's candidate grid hits the cache and its
+        #: previous assignment is reused for free.
+        self.solve_cache = solve_cache or SolveCache()
         self.controllers: dict[VipId, KnapsackLBController] = {}
         self.phases: dict[VipId, VipPhase] = {}
         self.round_log: list[FleetRound] = []
@@ -116,6 +124,7 @@ class FleetController:
             self.fleet.view(vip_id),
             store=self.store,
             config=config or self.config,
+            solve_cache=self.solve_cache,
         )
         controller.time = self.fleet.time
         self.controllers[vip_id] = controller

@@ -23,7 +23,14 @@ from repro.exceptions import (
     InfeasibleError,
     SolverTimeoutError,
 )
-from repro.solver import AssignmentProblem, DipCandidates, SolveResult, SolveStatus, solve
+from repro.solver import (
+    AssignmentProblem,
+    DipCandidates,
+    SolveCache,
+    SolveResult,
+    SolveStatus,
+    solve,
+)
 
 
 @dataclass(frozen=True)
@@ -135,8 +142,12 @@ def solve_assignment(
     config: IlpConfig | None = None,
     normalize: bool = True,
     raise_on_overload: bool = False,
+    cache: SolveCache | None = None,
 ) -> IlpOutcome:
     """Solve one ILP step and wrap the result.
+
+    ``cache`` warm-starts the solver on problems seen before (unchanged
+    curves between control rounds produce identical candidate grids).
 
     Raises
     ------
@@ -149,7 +160,12 @@ def solve_assignment(
         (the paper's "DO" outcome in Fig. 8).
     """
     config = config or IlpConfig()
-    result = solve(problem, backend=config.backend, time_limit_s=config.time_limit_s)
+    result = solve(
+        problem,
+        backend=config.backend,
+        time_limit_s=config.time_limit_s,
+        cache=cache,
+    )
 
     if result.status is SolveStatus.TIMEOUT:
         raise SolverTimeoutError(
@@ -188,10 +204,11 @@ def compute_weights(
     *,
     config: IlpConfig | None = None,
     total_weight: float = 1.0,
+    cache: SolveCache | None = None,
 ) -> IlpOutcome:
     """Single-step ILP: build the problem from curves and solve it."""
     config = config or IlpConfig()
     problem = build_assignment_problem(
         curves, config=config, total_weight=total_weight
     )
-    return solve_assignment(vip, problem, config=config)
+    return solve_assignment(vip, problem, config=config, cache=cache)

@@ -25,6 +25,7 @@ from repro.core.curve import WeightLatencyCurve
 from repro.core.ilp import IlpOutcome, build_assignment_problem, solve_assignment
 from repro.core.types import DipId, VipId, WeightAssignment
 from repro.exceptions import InfeasibleError
+from repro.solver import SolveCache
 
 
 @dataclass(frozen=True)
@@ -69,18 +70,21 @@ def compute_weights_multistep(
     config: IlpConfig | None = None,
     total_weight: float = 1.0,
     force_multistep: bool | None = None,
+    cache: SolveCache | None = None,
 ) -> MultiStepOutcome:
     """Run the coarse (and, for large pools, the refine) ILP steps.
 
     ``force_multistep`` overrides the pool-size heuristic: ``True`` always
     refines, ``False`` never does, ``None`` follows the config threshold.
+    ``cache`` memoizes both steps' solves across calls, so a controller
+    whose curves did not change between control rounds skips re-solving.
     """
     config = config or IlpConfig()
 
     coarse_problem = build_assignment_problem(
         curves, config=config, total_weight=total_weight
     )
-    coarse = solve_assignment(vip, coarse_problem, config=config)
+    coarse = solve_assignment(vip, coarse_problem, config=config, cache=cache)
     steps = [coarse]
 
     if force_multistep is None:
@@ -98,7 +102,7 @@ def compute_weights_multistep(
         curves, config=config, total_weight=total_weight, windows=windows
     )
     try:
-        refined = solve_assignment(vip, refine_problem, config=config)
+        refined = solve_assignment(vip, refine_problem, config=config, cache=cache)
     except InfeasibleError:
         # The refinement window can exclude every combination that sums to
         # the target; the coarse solution is then kept (it is feasible).

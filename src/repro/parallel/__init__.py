@@ -1,0 +1,38 @@
+"""Multi-core execution layer: sharded request runs and persistent pools.
+
+Three pieces, composable but independently usable:
+
+* :mod:`repro.parallel.planner` decides whether a request-level run can be
+  split into statistically-exact per-DIP shards (and says *why not* when it
+  cannot);
+* :mod:`repro.parallel.shard` executes a shard plan — in-process or across
+  worker processes with a shared-memory columnar merge — and folds the
+  shards back into one :class:`~repro.api.result.RunResult`;
+* :mod:`repro.parallel.pool` keeps a warm worker-process pool alive across
+  sweeps and sharded runs so consecutive dispatches skip interpreter
+  start-up and spec re-parsing.
+"""
+
+from repro.parallel.kernel import build_dip_arrival_streams, simulate_station
+from repro.parallel.planner import (
+    SHARDABLE_POLICIES,
+    ShardPlan,
+    plan_shards,
+    policy_fallback_reason,
+    spec_fallback_reason,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shard import merge_shard_outcomes, run_request_sharded
+
+__all__ = [
+    "SHARDABLE_POLICIES",
+    "ShardPlan",
+    "WorkerPool",
+    "build_dip_arrival_streams",
+    "merge_shard_outcomes",
+    "plan_shards",
+    "policy_fallback_reason",
+    "run_request_sharded",
+    "simulate_station",
+    "spec_fallback_reason",
+]

@@ -1,0 +1,234 @@
+"""The per-DIP simulation kernel behind sharded request-level runs.
+
+Once the shard planner has established that routing is queue- and
+flow-independent (see :mod:`repro.parallel.planner`), each DIP is an
+M/M/c/K station fed by its own arrival sub-stream, independent of every
+other DIP.  That unlocks two things the general event-loop engine cannot
+do:
+
+* **vectorized stream generation** — the VIP-wide Poisson arrival times
+  and the per-request DIP assignment are drawn in bulk numpy calls, then
+  sliced per DIP (``times[d::n]`` for round robin's cyclic law, boolean
+  masks for the i.i.d. laws);
+* **a tight per-station recursion** — FCFS service order equals arrival
+  order, so :func:`simulate_station` walks one DIP's arrivals with the
+  Kiefer-Wolfowitz recursion over a ``c``-entry server-free heap plus an
+  in-system heap for the finite-queue drop rule.  No event heap, no
+  callbacks, no per-request objects: the loop runs ~10x faster per request
+  than the streaming DES, *before* shards fan out across cores.
+
+Determinism: every stream hangs off :class:`numpy.random.SeedSequence`
+children keyed by the run seed and the DIP's **global** pool index — never
+its shard — so the merged run is bit-identical across repeats *and* across
+shard counts for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+# SeedSequence lanes for the independent substreams of one run.  The lane
+# markers are non-zero and every key ends in a non-zero word: SeedSequence
+# zero-pads its entropy pool, so ``[s]``, ``[s, 0]`` and ``[s, 0, 0]`` all
+# collide — a trailing-zero key would silently reuse another stream.
+_ARRIVAL_LANE = 0x5EED01
+_SERVICE_LANE = 0x5EED02
+
+_NAN = float("nan")
+
+
+def arrival_seed(seed: int) -> np.random.SeedSequence:
+    """Entropy for the VIP-wide arrival stream (+ per-request assignment)."""
+    return np.random.SeedSequence([int(seed) & 0xFFFFFFFF, _ARRIVAL_LANE])
+
+
+def service_seed(seed: int, dip_index: int) -> np.random.SeedSequence:
+    """Entropy for one DIP's service draws, keyed by its *global* index."""
+    return np.random.SeedSequence(
+        [int(seed) & 0xFFFFFFFF, _SERVICE_LANE, int(dip_index) + 1]
+    )
+
+
+def poisson_arrival_times(
+    rng: np.random.Generator, rate_rps: float, horizon_s: float
+) -> np.ndarray:
+    """Sorted Poisson arrival times over ``[0, horizon_s)``, drawn in bulk."""
+    if rate_rps <= 0:
+        raise ConfigurationError("rate_rps must be positive")
+    if horizon_s <= 0:
+        return np.empty(0, dtype=np.float64)
+    chunks: list[np.ndarray] = []
+    clock = 0.0
+    remaining = horizon_s
+    while True:
+        # Slight overdraw so one chunk usually suffices; the loop covers the
+        # Poisson tail where the draw falls short of the horizon.
+        size = max(1024, int(rate_rps * remaining * 1.02) + 64)
+        times = np.cumsum(rng.exponential(1.0 / rate_rps, size=size))
+        times += clock
+        chunks.append(times)
+        clock = float(times[-1])
+        if clock >= horizon_s:
+            break
+        remaining = horizon_s - clock
+    times = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    return times[: int(np.searchsorted(times, horizon_s, side="left"))]
+
+
+def assign_dips(
+    rng: np.random.Generator,
+    n_arrivals: int,
+    *,
+    routing: str,
+    probabilities: np.ndarray,
+) -> np.ndarray | None:
+    """Per-request DIP index for the i.i.d. routing laws (``None`` = cyclic).
+
+    The cyclic law needs no assignment array at all — DIP ``d``'s stream is
+    the slice ``times[d::n]`` — so it returns ``None`` and the caller
+    slices.  The i.i.d. laws draw one uniform per request and invert the
+    CDF with ``searchsorted`` (one vectorized call, not one
+    ``Generator.choice`` per request).
+    """
+    num_dips = probabilities.shape[0]
+    if routing == "cyclic":
+        return None
+    if routing == "iid-uniform":
+        return rng.integers(num_dips, size=n_arrivals, dtype=np.int32)
+    if routing == "iid-weighted":
+        cdf = np.cumsum(probabilities)
+        cdf[-1] = 1.0  # guard float drift so the last bucket is reachable
+        draws = rng.random(n_arrivals)
+        return np.searchsorted(cdf, draws, side="right").astype(np.int32)
+    raise ConfigurationError(f"unknown routing law {routing!r}")
+
+
+def build_dip_arrival_streams(
+    *,
+    seed: int,
+    rate_rps: float,
+    horizon_s: float,
+    num_dips: int,
+    routing: str,
+    probabilities: np.ndarray | None = None,
+    wanted: set[int] | None = None,
+) -> dict[int, np.ndarray]:
+    """Arrival-time arrays per global DIP index for one run.
+
+    Every worker regenerates the *same* VIP-wide stream (same seed, same
+    bulk draws) and keeps only the ``wanted`` indices — cheaper than
+    shipping arrays between processes, and trivially consistent.
+    """
+    if probabilities is None:
+        probabilities = np.full(num_dips, 1.0 / num_dips)
+    else:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        total = probabilities.sum()
+        if total <= 0:
+            probabilities = np.full(num_dips, 1.0 / num_dips)
+        else:
+            probabilities = probabilities / total
+    rng = np.random.default_rng(arrival_seed(seed))
+    times = poisson_arrival_times(rng, rate_rps, horizon_s)
+    assignment = assign_dips(
+        rng, times.size, routing=routing, probabilities=probabilities
+    )
+    indices = range(num_dips) if wanted is None else sorted(wanted)
+    if assignment is None:
+        return {d: times[d::num_dips] for d in indices}
+    return {d: times[assignment == d] for d in indices}
+
+
+@dataclass
+class StationOutcome:
+    """One DIP's simulated run: measured record columns plus counters.
+
+    The columns are arrival-ordered (the order is part of the determinism
+    contract — merged metrics must not depend on completion interleaving
+    across shards).  ``latency_ms`` is NaN for drops, whose timestamp is
+    their arrival time, exactly as the serial engine records them.
+    """
+
+    latency_ms: np.ndarray
+    completed: np.ndarray
+    timestamp: np.ndarray
+    submitted: int
+    dropped: int
+    busy_seconds: float
+
+    @property
+    def completions(self) -> int:
+        return self.submitted - self.dropped
+
+
+def simulate_station(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    *,
+    servers: int,
+    queue_capacity: int,
+    measure_from: float = 0.0,
+) -> StationOutcome:
+    """Simulate one M/M/c/K station over its arrival sub-stream.
+
+    ``services`` holds the (already scaled) service time of each arrival in
+    order; drops consume no draw's worth of work but keep the draw aligned
+    to the arrival index, matching how the stream was generated.  Requests
+    arriving before ``measure_from`` shape the queue but produce no record
+    (the serial engine's warm-up rule).
+    """
+    if servers < 1:
+        raise ConfigurationError("servers must be >= 1")
+    if queue_capacity < 0:
+        raise ConfigurationError("queue_capacity must be >= 0")
+    lat: list[float] = []
+    done: list[bool] = []
+    ts: list[float] = []
+    lat_append = lat.append
+    done_append = done.append
+    ts_append = ts.append
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heapreplace = heapq.heapreplace
+    free = [0.0] * servers
+    in_system: list[float] = []
+    capacity = servers + queue_capacity
+    busy = 0.0
+    dropped = 0
+    submitted = 0
+    for a, s in zip(arrivals.tolist(), services.tolist()):
+        while in_system and in_system[0] <= a:
+            heappop(in_system)
+        measured = a >= measure_from
+        if measured:
+            submitted += 1
+        if len(in_system) >= capacity:
+            if measured:
+                dropped += 1
+                lat_append(_NAN)
+                done_append(False)
+                ts_append(a)
+            continue
+        f = free[0]
+        start = a if a > f else f
+        dep = start + s
+        heapreplace(free, dep)
+        heappush(in_system, dep)
+        busy += s
+        if measured:
+            lat_append((dep - a) * 1000.0)
+            done_append(True)
+            ts_append(dep)
+    return StationOutcome(
+        latency_ms=np.asarray(lat, dtype=np.float64),
+        completed=np.asarray(done, dtype=bool),
+        timestamp=np.asarray(ts, dtype=np.float64),
+        submitted=submitted,
+        dropped=dropped,
+        busy_seconds=busy,
+    )

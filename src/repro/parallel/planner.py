@@ -1,0 +1,172 @@
+"""The shard planner: decide whether a request-level run can be sharded.
+
+A request-level simulation shards along the DIP axis.  For policies whose
+routing law is independent of queue state and flow contents, the VIP's
+Poisson arrival process decomposes *exactly* into per-DIP sub-streams:
+
+* ``rr`` — plain round robin sends request ``i`` to DIP ``i mod n``, so
+  DIP ``d``'s arrivals are the global stream sliced ``times[d::n]``
+  (Erlang-``n`` interarrivals, exactly the law the serial engine produces);
+* ``random`` / ``wrandom`` — each request draws its DIP i.i.d. from a fixed
+  categorical distribution, so per-DIP streams are independent thinned
+  Poisson processes (the classic thinning decomposition).
+
+Either way, disjoint DIP subsets evolve independently: a shard simulates
+its DIPs' M/M/c/K queues against their sub-streams and the union of shards
+is distributed exactly like the serial run.  Everything else falls back to
+the serial engine with a reason logged under ``repro.parallel``:
+
+============================  ==================================================
+condition                     why it cannot shard
+============================  ==================================================
+runner != "request"           fluid/fleet are analytic and already vectorized
+timeline events declared      mid-run perturbations couple every DIP's clock
+policy uses connection counts routing reads global queue state (lc, wlc, p2)
+policy inspects the flow      per-flow state spans shards (hash, dns)
+policy is a MuxPool           per-MUX weight staleness is shared dataplane state
+policy "wrr"                  the smooth-WRR interleave is one global sequence
+fewer than 2 DIPs             nothing to split
+============================  ==================================================
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+from repro.lb import make_policy, policy_registry
+from repro.lb.base import Policy
+from repro.lb.mux import MuxPool
+from repro.workloads import split_dip_ids
+
+logger = logging.getLogger("repro.parallel")
+
+#: Policies the planner can shard, mapped to their routing law.
+SHARDABLE_POLICIES: dict[str, str] = {
+    "rr": "cyclic",
+    "random": "iid-uniform",
+    "wrandom": "iid-weighted",
+}
+
+
+def policy_fallback_reason(policy: Policy | MuxPool | str) -> str | None:
+    """Why this policy cannot shard, or ``None`` when it can.
+
+    Accepts a registry name, a live :class:`Policy`, or a
+    :class:`~repro.lb.mux.MuxPool` (which wraps per-MUX policy replicas and
+    is inherently shared dataplane state).
+    """
+    if isinstance(policy, MuxPool):
+        return (
+            "MuxPool routing is shared dataplane state (per-MUX weight "
+            "staleness); shards cannot replicate it independently"
+        )
+    if isinstance(policy, str):
+        if policy not in policy_registry():
+            raise ConfigurationError(f"unknown policy {policy!r}")
+        if policy in SHARDABLE_POLICIES:
+            return None
+        # Instantiate a throwaway copy to read its routing declarations.
+        kwargs = {"seed": 0} if policy in ("random", "wrandom", "p2", "dns") else {}
+        policy = make_policy(policy, ["_probe"], **kwargs)
+    name = getattr(policy, "name", type(policy).__name__)
+    if name in SHARDABLE_POLICIES:
+        return None
+    if getattr(policy, "uses_connection_counts", True):
+        return (
+            f"policy {name!r} routes on global connection counts; "
+            "shards would each see only their own queues"
+        )
+    if getattr(policy, "uses_flow", True):
+        return (
+            f"policy {name!r} inspects the flow 5-tuple; per-flow routing "
+            "state cannot be split along the DIP axis"
+        )
+    return (
+        f"policy {name!r} routes through one global deterministic sequence "
+        "(not an independent per-DIP thinning)"
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The planner's verdict for one spec.
+
+    ``shardable`` plans carry the per-shard DIP id slices (contiguous, in
+    pool order — merged metrics are therefore independent of the shard
+    count) and the routing law the stream builder must reproduce.
+    Non-shardable plans carry the human-readable ``fallback_reason``.
+    """
+
+    shards: int
+    shardable: bool
+    routing: str | None = None
+    dip_slices: tuple[tuple[str, ...], ...] = ()
+    fallback_reason: str | None = None
+
+    @property
+    def num_dips(self) -> int:
+        return sum(len(s) for s in self.dip_slices)
+
+
+def _serial(reason: str, *, log: bool = True) -> ShardPlan:
+    if log:
+        logger.info("sharding disabled: %s", reason)
+    return ShardPlan(shards=1, shardable=False, fallback_reason=reason)
+
+
+def spec_fallback_reason(spec: ExperimentSpec) -> str | None:
+    """The pool-independent screens: why ``spec`` cannot shard, or ``None``.
+
+    These checks (substrate, timeline, policy) need nothing but the spec
+    itself, so callers can screen before paying for pool construction;
+    :func:`plan_shards` applies them first for the same reason.
+    """
+    if spec.runner != "request":
+        return (
+            f"runner {spec.runner!r} is not request-level (the fluid and "
+            "fleet substrates are analytic and already vectorized)"
+        )
+    if not spec.timeline.empty:
+        kinds = sorted({e.kind for e in spec.timeline.events}) or ["horizon"]
+        return (
+            "timeline events ({}) perturb shared state mid-run; shards "
+            "could not agree on a global clock".format(", ".join(kinds))
+        )
+    return policy_fallback_reason(spec.policy.name)
+
+
+def plan_shards(
+    spec: ExperimentSpec,
+    *,
+    shards: int,
+    dip_ids: tuple[str, ...] | None = None,
+) -> ShardPlan:
+    """Plan a sharded execution of ``spec``, or a serial fallback with reason.
+
+    ``dip_ids`` lets callers that already built the pool skip rebuilding it;
+    otherwise the planner derives the ids from the pool spec (cheap — the
+    pool builders are deterministic).
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if shards == 1:
+        return _serial("1 shard requested", log=False)
+    reason = spec_fallback_reason(spec)
+    if reason is not None:
+        return _serial(reason)
+    if dip_ids is None:
+        from repro.api.runners import pool_from_spec
+
+        dip_ids = tuple(pool_from_spec(spec.pool, spec.seed))
+    if len(dip_ids) < 2:
+        return _serial("pool has fewer than 2 DIPs; nothing to split")
+    shards = min(shards, len(dip_ids))
+    return ShardPlan(
+        shards=shards,
+        shardable=True,
+        routing=SHARDABLE_POLICIES[spec.policy.name],
+        dip_slices=split_dip_ids(dip_ids, shards),
+    )

@@ -1,0 +1,134 @@
+"""A persistent worker-process pool for sweeps and sharded runs.
+
+``concurrent.futures.ProcessPoolExecutor`` is a good engine but a poor
+lifecycle: the previous sweep path spun up a cold pool per call and paid a
+full spec→dict→JSON round-trip per task.  :class:`WorkerPool` keeps the
+interpreter pool warm across calls, serializes the sweep's *base* spec
+exactly once (workers cache the parsed tree by content key and apply only
+the per-task overrides), and dispatches in chunks so a thousand-spec sweep
+does not queue a thousand pickles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.result import RunResult
+    from repro.api.spec import ExperimentSpec
+
+#: parsed base specs cached per worker process, newest last.
+_BASE_SPECS: "OrderedDict[str, Any]" = OrderedDict()
+_BASE_CACHE_SIZE = 8
+
+
+def _sweep_worker(task: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one sweep point: cached base spec + overrides -> result dict."""
+    from repro.api.runners import execute
+    from repro.api.spec import ExperimentSpec
+
+    key = task["base_key"]
+    base = _BASE_SPECS.get(key)
+    hit = base is not None
+    if base is None:
+        base = ExperimentSpec.from_dict(json.loads(task["base"]))
+        _BASE_SPECS[key] = base
+        while len(_BASE_SPECS) > _BASE_CACHE_SIZE:
+            _BASE_SPECS.popitem(last=False)
+    else:
+        _BASE_SPECS.move_to_end(key)
+    spec = base.with_overrides(task["overrides"])
+    return {"result": execute(spec).to_dict(), "base_cache_hit": hit}
+
+
+class WorkerPool:
+    """A lazily-started, reusable process pool.
+
+    The underlying executor is created on first dispatch and survives until
+    :meth:`close` (or the context manager exits), so consecutive
+    ``Sweep.run`` calls and sharded runs reuse warm interpreters.  With
+    ``max_workers=1`` nothing is ever forked — every dispatch runs inline,
+    which keeps single-spec sweeps and tests process-free.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._executor: ProcessPoolExecutor | None = None
+        #: tasks dispatched over this pool's lifetime (observability).
+        self.tasks_dispatched = 0
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(
+        self,
+        func: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        """Apply ``func`` to every payload, preserving order.
+
+        Results come back in payload order regardless of completion order.
+        Inline (no processes) when the pool is single-worker or there is
+        only one payload — the serial fallback the sweep engine relies on.
+        """
+        payloads = list(payloads)
+        self.tasks_dispatched += len(payloads)
+        if not payloads:
+            return []
+        if self.max_workers <= 1 or len(payloads) == 1:
+            return [func(payload) for payload in payloads]
+        if chunksize is None:
+            chunksize = max(1, -(-len(payloads) // (self.max_workers * 4)))
+        executor = self._ensure()
+        return list(executor.map(func, payloads, chunksize=chunksize))
+
+    def run_specs(
+        self,
+        base: "ExperimentSpec",
+        overrides: Iterable[Mapping[str, Any]],
+    ) -> "list[RunResult]":
+        """Execute ``base`` once per overrides dict (the sweep fast path).
+
+        The base spec is serialized a single time; each task carries only
+        its overrides plus the base's content key, and workers re-parse the
+        base at most once per process.
+        """
+        from repro.api.result import RunResult
+
+        base_json = json.dumps(base.to_dict(), sort_keys=True)
+        base_key = hashlib.sha256(base_json.encode("utf-8")).hexdigest()
+        tasks = [
+            {"base": base_json, "base_key": base_key, "overrides": dict(o)}
+            for o in overrides
+        ]
+        raw = self.map(_sweep_worker, tasks)
+        return [RunResult.from_dict(item["result"]) for item in raw]
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); the pool can be restarted."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -93,6 +93,20 @@ class MetricsCollector:
 
     # -- ingestion -------------------------------------------------------------
 
+    def _grow(self, need: int) -> None:
+        """Ensure the committed columns can hold ``need`` records."""
+        capacity = self._lat.shape[0]
+        if need <= capacity:
+            return
+        n = self._n
+        while capacity < need:
+            capacity *= 2
+        for name in ("_lat", "_code", "_done", "_ts"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[:n] = old[:n]
+            setattr(self, name, new)
+
     def _flush(self) -> None:
         """Bulk-convert the staged records into the numpy columns."""
         staged = len(self._p_lat)
@@ -100,15 +114,7 @@ class MetricsCollector:
             return
         n = self._n
         need = n + staged
-        capacity = self._lat.shape[0]
-        if need > capacity:
-            while capacity < need:
-                capacity *= 2
-            for name in ("_lat", "_code", "_done", "_ts"):
-                old = getattr(self, name)
-                new = np.empty(capacity, dtype=old.dtype)
-                new[:n] = old[:n]
-                setattr(self, name, new)
+        self._grow(need)
         self._lat[n:need] = self._p_lat
         self._code[n:need] = self._p_code
         self._done[n:need] = self._p_done
@@ -141,6 +147,46 @@ class MetricsCollector:
 
     def record_utilization(self, utilization: Mapping[DipId, float]) -> None:
         self._utilization.update({d: float(u) for d, u in utilization.items()})
+
+    def extend_columns(
+        self,
+        dip: DipId,
+        latency_ms: np.ndarray,
+        completed: np.ndarray,
+        timestamp: np.ndarray,
+    ) -> None:
+        """Bulk-append one DIP's pre-built record columns.
+
+        This is the shard-merge ingestion path: a worker hands back whole
+        numpy columns (arrival-ordered, NaN latency for drops) and they land
+        in the committed storage with one vectorized assignment per column —
+        no per-request staging, no pickled record objects.  Append order is
+        the caller's contract: merging shards in global DIP order makes the
+        merged collector independent of the shard count.
+        """
+        count = len(latency_ms)
+        if not (count == len(completed) == len(timestamp)):
+            raise ConfigurationError("extend_columns needs equal-length columns")
+        if count == 0:
+            # Still intern the DIP so request_share/summaries know about it.
+            if dip not in self._dip_code:
+                self._dip_code[dip] = len(self._dip_ids)
+                self._dip_ids.append(dip)
+            return
+        self._flush()
+        code = self._dip_code.get(dip)
+        if code is None:
+            code = len(self._dip_ids)
+            self._dip_code[dip] = code
+            self._dip_ids.append(dip)
+        n = self._n
+        need = n + count
+        self._grow(need)
+        self._lat[n:need] = latency_ms
+        self._code[n:need] = code
+        self._done[n:need] = completed
+        self._ts[n:need] = timestamp
+        self._n = need
 
     # -- access ---------------------------------------------------------------
 

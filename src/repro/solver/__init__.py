@@ -25,13 +25,14 @@ from repro.solver.assignment import (
     uniform_candidates,
 )
 from repro.solver.branch_and_bound import solve_branch_and_bound
-from repro.solver.dp import solve_dp
+from repro.solver.dp import SolveCache, solve_dp
 from repro.solver.greedy import solve_greedy
 from repro.solver.result import SolveResult, SolveStatus
 
 __all__ = [
     "AssignmentProblem",
     "DipCandidates",
+    "SolveCache",
     "SolveResult",
     "SolveStatus",
     "available_backends",
@@ -76,25 +77,50 @@ def solve(
     *,
     backend: str = "auto",
     time_limit_s: float | None = None,
+    cache: SolveCache | None = None,
     **kwargs,
 ) -> SolveResult:
     """Solve ``problem`` with the requested backend.
 
     ``backend="auto"`` uses SciPy/HiGHS when present and otherwise falls
     back to the pure-Python branch-and-bound.
+
+    ``cache`` memoizes solved problems across calls (see
+    :class:`~repro.solver.dp.SolveCache`): every backend is deterministic
+    given the problem's candidate grid, so an unchanged problem — e.g. a
+    fleet VIP whose measured curves did not move between control rounds —
+    returns its previous assignment without re-solving.  The DP backend
+    additionally scopes entries by its grid resolution.
     """
     if backend == "auto":
         backend = "scipy" if _scipy_solver is not None else "branch_and_bound"
 
-    if backend == "scipy":
-        return solve_scipy(problem, time_limit_s=time_limit_s, **kwargs)
-    if backend == "branch_and_bound":
-        return solve_branch_and_bound(problem, time_limit_s=time_limit_s, **kwargs)
-    if backend == "greedy":
-        return solve_greedy(problem, time_limit_s=time_limit_s, **kwargs)
     if backend == "dp":
-        return solve_dp(problem, time_limit_s=time_limit_s, **kwargs)
-    raise ConfigurationError(
-        f"unknown solver backend {backend!r}; expected one of "
-        f"{('auto',) + available_backends()}"
-    )
+        return solve_dp(problem, time_limit_s=time_limit_s, cache=cache, **kwargs)
+    # The token carries the time limit and every backend-specific parameter
+    # so differently configured solves of the same problem never alias.
+    token = (backend, time_limit_s, tuple(sorted(kwargs.items())))
+    if cache is not None:
+        cached = cache.get(problem, token)
+        if cached is not None:
+            return cached
+    if backend == "scipy":
+        result = solve_scipy(problem, time_limit_s=time_limit_s, **kwargs)
+    elif backend == "branch_and_bound":
+        result = solve_branch_and_bound(problem, time_limit_s=time_limit_s, **kwargs)
+    elif backend == "greedy":
+        result = solve_greedy(problem, time_limit_s=time_limit_s, **kwargs)
+    else:
+        raise ConfigurationError(
+            f"unknown solver backend {backend!r}; expected one of "
+            f"{('auto',) + available_backends()}"
+        )
+    if cache is not None and result.status in (
+        SolveStatus.OPTIMAL,
+        SolveStatus.INFEASIBLE,
+    ):
+        # FEASIBLE from these backends can mean a wall-clock-truncated
+        # incumbent (b&b/HiGHS) or a deadline-bounded local search
+        # (greedy); caching it would freeze a suboptimal assignment.
+        cache.put(problem, token, result)
+    return result

@@ -14,6 +14,9 @@ another backend.  ``solve_dp`` raises ``ConfigurationError`` in that case.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Hashable
 
 import numpy as np
 
@@ -25,11 +28,74 @@ from repro.solver.result import SolveResult, SolveStatus
 _BACKEND_NAME = "dp"
 
 
+class SolveCache:
+    """Warm-start memo for solver calls, keyed by the exact problem grid.
+
+    An :class:`AssignmentProblem` is a frozen tree of tuples — candidate
+    weights, their latencies, the target sum and tolerance — so it is
+    hashable, and it *fully determines* the solution: two control rounds
+    that produced the same candidate grid (the DP's "(weights, capacity
+    units)" table inputs) must produce the same assignment.  Callers that
+    re-solve per control tick (the fleet control plane, one ILP per VIP per
+    round) share one cache so VIPs whose measured curves did not move skip
+    the solve entirely.
+
+    Only deterministic terminal outcomes may be cached; what counts as
+    terminal is backend-specific (the *caller* decides): the DP's FEASIBLE
+    is exact up to its grid, while branch-and-bound and HiGHS return
+    FEASIBLE for a wall-clock-truncated incumbent — caching those would
+    freeze a suboptimal assignment, so the generic :func:`repro.solver.solve`
+    layer stores only OPTIMAL/INFEASIBLE.  TIMEOUT is refused here as a
+    backstop.  Bounded LRU.
+    """
+
+    __slots__ = ("_store", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("maxsize must be >= 1")
+        self._store: "OrderedDict[Hashable, SolveResult]" = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(
+        self, problem: AssignmentProblem, token: Hashable
+    ) -> SolveResult | None:
+        """The memoized result for ``(problem, token)``, re-stamped as free.
+
+        ``token`` scopes the entry to the backend and its grid parameters
+        (e.g. the DP resolution) so differently-quantized solves of the
+        same problem never alias.
+        """
+        key = (problem, token)
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return replace(cached, solve_time_s=0.0)
+
+    def put(
+        self, problem: AssignmentProblem, token: Hashable, result: SolveResult
+    ) -> None:
+        if result.status is SolveStatus.TIMEOUT:
+            return
+        self._store[(problem, token)] = result
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+
 def solve_dp(
     problem: AssignmentProblem,
     *,
     resolution: float = 1e-3,
     time_limit_s: float | None = None,
+    cache: SolveCache | None = None,
 ) -> SolveResult:
     """Solve via DP over a weight grid of step ``resolution``.
 
@@ -37,11 +103,20 @@ def solve_dp(
     band of the target, with quantization error bounded by
     ``num_dips * resolution / 2``; keep ``resolution`` well below
     ``total_weight_tolerance / num_dips`` for faithful results.
+
+    ``cache`` warm-starts repeat solves: an unchanged problem (same
+    candidate weights and latencies, same target band) returns the
+    memoized table's answer without rebuilding the DP.
     """
     if problem.theta is not None:
         raise ConfigurationError("the DP backend does not support a finite theta")
     if resolution <= 0:
         raise ConfigurationError("resolution must be positive")
+    token = (_BACKEND_NAME, resolution)
+    if cache is not None:
+        cached = cache.get(problem, token)
+        if cached is not None:
+            return cached
 
     start = time.perf_counter()
     deadline = start + time_limit_s if time_limit_s is not None else None
@@ -93,11 +168,14 @@ def solve_dp(
     hi = max_units
     window = cost[lo : hi + 1]
     if not np.isfinite(window).any():
-        return SolveResult(
+        result = SolveResult(
             status=SolveStatus.INFEASIBLE,
             solve_time_s=time.perf_counter() - start,
             backend=_BACKEND_NAME,
         )
+        if cache is not None:
+            cache.put(problem, token, result)
+        return result
     best_offset = int(np.argmin(window))
     best_units = lo + best_offset
 
@@ -118,7 +196,7 @@ def solve_dp(
 
     weights = problem.weights_of(selection)
     elapsed = time.perf_counter() - start
-    return SolveResult(
+    result = SolveResult(
         status=SolveStatus.FEASIBLE,
         objective_ms=problem.objective_of(selection),
         weights=weights,
@@ -127,3 +205,6 @@ def solve_dp(
         backend=_BACKEND_NAME,
         overloaded_dips=problem.overloaded_dips(weights),
     )
+    if cache is not None:
+        cache.put(problem, token, result)
+    return result

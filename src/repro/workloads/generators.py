@@ -13,6 +13,7 @@ The builders mirror the setups of the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -263,6 +264,30 @@ def build_pool(
         return build_mixed_core_pool(num_dips, seed=seed)
     known = ", ".join(POOL_KINDS)
     raise ConfigurationError(f"unknown pool kind {kind!r}; known kinds: {known}")
+
+
+def split_dip_ids(
+    dip_ids: Sequence[DipId], shards: int
+) -> tuple[tuple[DipId, ...], ...]:
+    """Partition ``dip_ids`` into ``shards`` contiguous, balanced slices.
+
+    Slice sizes differ by at most one and every DIP lands in exactly one
+    slice, in pool order — the shard planner relies on this so the merged
+    columnar metrics are independent of the shard count (per-DIP streams
+    are keyed by the DIP's *global* index, not its shard).
+    """
+    ids = tuple(dip_ids)
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    shards = min(shards, len(ids))
+    base, extra = divmod(len(ids), shards)
+    slices: list[tuple[DipId, ...]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        slices.append(ids[start : start + size])
+        start += size
+    return tuple(slices)
 
 
 def fleet_from_pool(

@@ -1,0 +1,601 @@
+"""The multi-core execution layer: planner, kernel, merge, pool, cache.
+
+Covers the sharding contract end to end:
+
+* the planner's decision table — which policies shard, and the reason
+  attached to every fallback (least_connection, MuxPool, hash, wrr, ...);
+* statistical equivalence of sharded and serial runs (same M/M/c/K system,
+  different but equally-valid random realizations);
+* determinism — merged metrics are bit-identical across repeats for a
+  fixed seed and shard count (and, stronger, independent of the shard
+  count and of in-process vs worker-process execution);
+* the persistent WorkerPool behind sweeps, the single-spec inline rule,
+  and the solver warm-start cache shared across fleet control rounds.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.api.result import Provenance, RunResult
+from repro.api.runners import execute
+from repro.api.spec import (
+    ControllerSpec,
+    ExperimentSpec,
+    PolicySpec,
+    PoolSpec,
+    TimelineSpec,
+    WorkloadSpec,
+)
+from repro.api.sweep import Sweep
+from repro.exceptions import ConfigurationError
+from repro.lb import LeastConnection, MuxPool
+from repro.parallel import (
+    ShardPlan,
+    WorkerPool,
+    plan_shards,
+    policy_fallback_reason,
+    run_request_sharded,
+)
+from repro.parallel.kernel import (
+    arrival_seed,
+    build_dip_arrival_streams,
+    poisson_arrival_times,
+    simulate_station,
+)
+from repro.sim.trace import MetricsCollector
+from repro.solver import SolveCache, build_problem, solve
+from repro.workloads import split_dip_ids
+
+
+def request_spec(
+    *,
+    name: str = "shard-test",
+    num_dips: int = 16,
+    num_requests: int = 100_000,
+    policy: str = "rr",
+    controller: bool = False,
+    seed: int = 7,
+    **spec_kwargs,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        runner="request",
+        pool=PoolSpec(kind="uniform", num_dips=num_dips),
+        workload=WorkloadSpec(
+            load_fraction=0.7, num_requests=num_requests, warmup_s=1.0
+        ),
+        policy=PolicySpec(name=policy),
+        controller=ControllerSpec(enabled=controller),
+        seed=seed,
+        **spec_kwargs,
+    )
+
+
+class TestPlanner:
+    def test_round_robin_plan_partitions_the_pool(self):
+        plan = plan_shards(request_spec(num_dips=16), shards=4)
+        assert plan.shardable and plan.fallback_reason is None
+        assert plan.shards == 4
+        assert plan.routing == "cyclic"
+        assert [len(s) for s in plan.dip_slices] == [4, 4, 4, 4]
+        flat = [d for s in plan.dip_slices for d in s]
+        assert len(set(flat)) == plan.num_dips == 16
+
+    def test_weighted_random_uses_iid_thinning(self):
+        plan = plan_shards(request_spec(policy="wrandom"), shards=2)
+        assert plan.shardable and plan.routing == "iid-weighted"
+
+    def test_shards_clamped_to_pool_size(self):
+        plan = plan_shards(request_spec(num_dips=6), shards=64)
+        assert plan.shards == 6
+        assert [len(s) for s in plan.dip_slices] == [1] * 6
+
+    def test_least_connection_falls_back_with_reason(self):
+        plan = plan_shards(request_spec(policy="lc"), shards=4)
+        assert not plan.shardable
+        assert "connection counts" in plan.fallback_reason
+
+    def test_mux_pool_falls_back_with_reason(self):
+        mux = MuxPool(lambda: LeastConnection(["d1", "d2"]), num_muxes=2)
+        reason = policy_fallback_reason(mux)
+        assert reason is not None and "MuxPool" in reason
+
+    @pytest.mark.parametrize(
+        "policy, fragment",
+        [
+            ("wlc", "connection counts"),
+            ("p2", "connection counts"),
+            ("hash", "flow 5-tuple"),
+            ("dns", "flow 5-tuple"),
+            ("wrr", "deterministic sequence"),
+        ],
+    )
+    def test_stateful_policies_fall_back(self, policy, fragment):
+        reason = policy_fallback_reason(policy)
+        assert reason is not None
+        if fragment == "deterministic sequence":
+            assert "deterministic" in reason
+        else:
+            assert fragment in reason
+
+    def test_timeline_specs_fall_back(self):
+        spec = request_spec(
+            timeline=TimelineSpec(events=(), horizon_s=10.0)
+        )
+        plan = plan_shards(spec, shards=4)
+        assert not plan.shardable and "timeline" in plan.fallback_reason
+
+    def test_non_request_runners_fall_back(self):
+        spec = ExperimentSpec(name="fluid", runner="fluid")
+        plan = plan_shards(spec, shards=4)
+        assert not plan.shardable and "request" in plan.fallback_reason
+
+    def test_single_shard_is_serial(self):
+        plan = plan_shards(request_spec(), shards=1)
+        assert not plan.shardable
+
+    def test_split_dip_ids_is_balanced_and_complete(self):
+        ids = [f"d{i}" for i in range(10)]
+        slices = split_dip_ids(ids, 4)
+        assert [len(s) for s in slices] == [3, 3, 2, 2]
+        assert [d for s in slices for d in s] == ids
+        with pytest.raises(ConfigurationError):
+            split_dip_ids(ids, 0)
+
+
+class TestKernel:
+    def test_poisson_times_cover_the_horizon(self):
+        rng = np.random.default_rng(3)
+        times = poisson_arrival_times(rng, 1000.0, 5.0)
+        assert times[0] > 0 and times[-1] < 5.0
+        assert np.all(np.diff(times) > 0)
+        # Count is Poisson(5000): 6 sigma on either side.
+        assert 4575 < times.size < 5425
+
+    def test_streams_partition_the_global_stream(self):
+        streams = build_dip_arrival_streams(
+            seed=1, rate_rps=2000.0, horizon_s=4.0, num_dips=8, routing="cyclic"
+        )
+        counts = [streams[d].size for d in range(8)]
+        assert max(counts) - min(counts) <= 1  # cyclic split is exact
+        merged = np.sort(np.concatenate([streams[d] for d in range(8)]))
+        direct = poisson_arrival_times(
+            np.random.default_rng(arrival_seed(1)), 2000.0, 4.0
+        )
+        assert np.array_equal(merged, direct)
+
+    def test_station_matches_mm1_mean(self):
+        # M/M/1 at rho=0.5: mean sojourn = 1 / (mu - lambda) = 2/mu.
+        rng = np.random.default_rng(11)
+        arrivals = poisson_arrival_times(rng, 100.0, 400.0)
+        services = np.random.default_rng(12).standard_exponential(
+            arrivals.size
+        ) * (1.0 / 200.0)
+        outcome = simulate_station(
+            arrivals, services, servers=1, queue_capacity=10_000
+        )
+        mean_s = float(np.nanmean(outcome.latency_ms)) / 1000.0
+        assert mean_s == pytest.approx(1.0 / 100.0, rel=0.05)
+        assert outcome.submitted == arrivals.size and outcome.dropped == 0
+
+    def test_station_drops_when_queue_full(self):
+        arrivals = np.array([0.0, 0.001, 0.002, 0.003])
+        services = np.full(4, 10.0)
+        outcome = simulate_station(
+            arrivals, services, servers=1, queue_capacity=1
+        )
+        # One in service, one waiting, the rest dropped.
+        assert outcome.dropped == 2
+        assert np.isnan(outcome.latency_ms[2]) and not outcome.completed[2]
+        assert outcome.timestamp[2] == pytest.approx(0.002)
+
+    def test_warmup_requests_shape_queues_but_produce_no_records(self):
+        arrivals = np.array([0.0, 0.5, 1.5])
+        services = np.full(3, 1.0)
+        outcome = simulate_station(
+            arrivals, services, servers=1, queue_capacity=16, measure_from=1.0
+        )
+        assert outcome.submitted == 1  # only the t=1.5 arrival is measured
+        # It queued behind both warm-up requests (departures at 1.0, 2.0).
+        assert outcome.latency_ms[0] == pytest.approx((2.0 + 1.0 - 1.5) * 1000)
+
+
+class TestShardedExecution:
+    def test_statistical_equivalence_round_robin_1m(self):
+        # The tentpole's equivalence bar: the cyclic split is the *same*
+        # splitting law the serial engine applies, so at 1M requests the
+        # two estimators of the same M/M/c/K system must agree tightly.
+        spec = request_spec(num_dips=32, num_requests=1_000_000)
+        serial = execute(spec)
+        sharded = execute(spec, shards=4, workers=1)
+        assert sharded.metrics["mean_latency_ms"] == pytest.approx(
+            serial.metrics["mean_latency_ms"], rel=0.02
+        )
+        assert sharded.metrics["p99_latency_ms"] == pytest.approx(
+            serial.metrics["p99_latency_ms"], rel=0.05
+        )
+        assert sharded.metrics["drop_fraction"] == pytest.approx(
+            serial.metrics["drop_fraction"], abs=0.002
+        )
+        # Per-DIP shares and utilizations line up too.
+        for dip, row in sharded.dip_summaries.items():
+            assert row["cpu_utilization"] == pytest.approx(
+                serial.dip_summaries[dip]["cpu_utilization"], abs=0.05
+            )
+
+    def test_statistical_equivalence_weighted_random(self):
+        spec = request_spec(
+            policy="wrandom", num_dips=16, num_requests=300_000
+        )
+        serial = execute(spec)
+        sharded = execute(spec, shards=4, workers=1)
+        assert sharded.metrics["mean_latency_ms"] == pytest.approx(
+            serial.metrics["mean_latency_ms"], rel=0.03
+        )
+        assert sharded.metrics["p99_latency_ms"] == pytest.approx(
+            serial.metrics["p99_latency_ms"], rel=0.08
+        )
+
+    def test_bit_identical_across_repeats_and_shard_counts(self):
+        spec = request_spec(num_dips=8, num_requests=50_000)
+        runs = [
+            execute(spec, shards=4, workers=1),
+            execute(spec, shards=4, workers=1),
+            execute(spec, shards=2, workers=1),
+        ]
+        assert runs[0].metrics == runs[1].metrics  # repeat: bit-identical
+        assert runs[0].metrics == runs[2].metrics  # shard-count invariant
+        assert runs[0].dip_summaries == runs[1].dip_summaries
+        assert runs[0].dip_summaries == runs[2].dip_summaries
+        lats = [
+            r.detail["collector"].latencies_ms() for r in runs
+        ]
+        assert np.array_equal(lats[0], lats[1])
+        assert np.array_equal(lats[0], lats[2])
+
+    def test_worker_processes_match_inline_bitwise(self):
+        spec = request_spec(num_dips=8, num_requests=40_000)
+        inline = execute(spec, shards=4, workers=1)
+        multi = execute(spec, shards=4, workers=2)
+        assert inline.metrics == multi.metrics
+        assert inline.dip_summaries == multi.dip_summaries
+        assert multi.provenance.shards == 4 and multi.provenance.workers == 2
+
+    def test_controller_weights_drive_the_thinning(self):
+        # A squeezed three-DIP pool: KnapsackLB shifts weight away from the
+        # weak DIP, and the sharded run must route by those weights.
+        spec = ExperimentSpec(
+            name="weighted-shard",
+            runner="request",
+            pool=PoolSpec(kind="three_dip", capacity_ratio=0.5),
+            workload=WorkloadSpec(
+                load_fraction=0.7, num_requests=60_000, warmup_s=1.0
+            ),
+            policy=PolicySpec(name="wrandom"),
+            controller=ControllerSpec(enabled=True),
+            seed=3,
+        )
+        result = execute(spec, shards=3, workers=1)
+        assert result.provenance.shards == 3
+        shares = {
+            dip: row["requests"] for dip, row in result.dip_summaries.items()
+        }
+        assert shares["DIP-LC"] < shares["DIP-HC-1"]
+        assert shares["DIP-LC"] < shares["DIP-HC-2"]
+
+    def test_fallback_executes_serially_and_logs_reason(self, caplog):
+        spec = request_spec(policy="lc", num_requests=2_000, num_dips=4)
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            result = execute(spec, shards=4)
+        assert result.provenance.shards == 1
+        assert any("connection counts" in r.message for r in caplog.records)
+
+    def test_run_request_sharded_rejects_serial_plans(self):
+        spec = request_spec(policy="lc")
+        plan = plan_shards(spec, shards=4)
+        with pytest.raises(ConfigurationError, match="not shardable"):
+            run_request_sharded(spec, plan)
+
+    def test_plan_must_cover_the_pool(self):
+        spec = request_spec(num_dips=8)
+        bogus = ShardPlan(
+            shards=2,
+            shardable=True,
+            routing="cyclic",
+            dip_slices=(("DIP-1",), ("DIP-2",)),
+        )
+        with pytest.raises(ConfigurationError, match="cover"):
+            run_request_sharded(spec, bogus, workers=1)
+
+
+class TestColumnarMerge:
+    def test_extend_columns_interns_and_appends(self):
+        collector = MetricsCollector()
+        collector.extend_columns(
+            "d1",
+            np.array([1.0, 2.0]),
+            np.array([True, True]),
+            np.array([0.1, 0.2]),
+        )
+        collector.record_request("d2", 3.0, True, 0.3)
+        collector.extend_columns(
+            "d1",
+            np.array([4.0, float("nan")]),
+            np.array([True, False]),
+            np.array([0.4, 0.5]),
+        )
+        assert collector.total_requests == 5
+        assert collector.mean_latency_ms() == pytest.approx((1 + 2 + 3 + 4) / 4)
+        share = collector.request_share()
+        assert share["d1"] == pytest.approx(0.8)
+        assert collector.drop_fraction() == pytest.approx(0.2)
+        # Empty columns still intern the DIP for share/summaries.
+        collector.extend_columns(
+            "d3", np.array([]), np.array([], dtype=bool), np.array([])
+        )
+        assert "d3" in collector.summaries()
+
+    def test_extend_columns_rejects_ragged_input(self):
+        collector = MetricsCollector()
+        with pytest.raises(ConfigurationError, match="equal-length"):
+            collector.extend_columns(
+                "d1", np.array([1.0]), np.array([True, False]), np.array([0.0])
+            )
+
+    def test_window_rows_fold_deterministically_on_merged_columns(self):
+        def build() -> MetricsCollector:
+            collector = MetricsCollector()
+            rng = np.random.default_rng(5)
+            for dip in ("d1", "d2", "d3"):
+                n = 500
+                ts = np.sort(rng.uniform(0, 10, size=n))
+                collector.extend_columns(
+                    dip, rng.exponential(5.0, size=n), np.ones(n, bool), ts
+                )
+            return collector
+
+        rows_a = build().window_rows(window_s=2.0, start_s=0.0, end_s=10.0)
+        rows_b = build().window_rows(window_s=2.0, start_s=0.0, end_s=10.0)
+        assert rows_a == rows_b
+        assert len(rows_a) == 5
+        assert sum(r["metrics"]["requests"] for r in rows_a) == 1500
+
+
+class TestShmCleanup:
+    def test_failed_merge_unlinks_unconsumed_segments(self):
+        from multiprocessing import shared_memory
+
+        from repro.parallel.shard import merge_shard_outcomes
+
+        segment = shared_memory.SharedMemory(create=True, size=17)
+        name = segment.name
+        np.ndarray((1,), dtype=np.float64, buffer=segment.buf)[0] = 1.0
+        segment.close()
+        broken = {
+            "blocks": [
+                {
+                    "dip": "d1",
+                    "count": 2,  # ragged: only one latency supplied
+                    "latency_ms": np.array([1.0]),
+                    "completed": np.array([True, True]),
+                    "timestamp": np.array([0.1, 0.2]),
+                    "submitted": 2,
+                    "dropped": 0,
+                    "busy_seconds": 0.0,
+                    "servers": 1,
+                }
+            ]
+        }
+        healthy = {
+            "shm": name,
+            "total": 1,
+            "blocks": [
+                {
+                    "dip": "d2",
+                    "count": 1,
+                    "offset": 0,
+                    "submitted": 1,
+                    "dropped": 0,
+                    "busy_seconds": 0.0,
+                    "servers": 1,
+                }
+            ],
+        }
+        with pytest.raises(ConfigurationError):
+            merge_shard_outcomes([broken, healthy])
+        # The never-merged segment must not linger in /dev/shm.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestWorkerPool:
+    def fluid_sweep(self) -> Sweep:
+        base = ExperimentSpec(
+            name="pool-sweep",
+            runner="fluid",
+            controller=ControllerSpec(enabled=False),
+        )
+        return Sweep.from_axes(
+            base, {"workload.load_fraction": [0.4, 0.6, 0.8]}
+        )
+
+    def test_parallel_sweep_matches_serial(self):
+        sweep = self.fluid_sweep()
+        serial = sweep.run()
+        with WorkerPool(max_workers=2) as pool:
+            parallel = sweep.run(pool=pool)
+        assert len(serial) == len(parallel) == 3
+        for ours, theirs in zip(serial, parallel):
+            assert ours.spec.name == theirs.spec.name
+            assert ours.metrics_equal(theirs)
+
+    def test_pool_is_reused_across_sweeps(self):
+        sweep = self.fluid_sweep()
+        with WorkerPool(max_workers=2) as pool:
+            sweep.run(pool=pool)
+            executor = pool._executor
+            sweep.run(pool=pool)
+            assert pool._executor is executor  # warm, not re-created
+            assert pool.tasks_dispatched == 6
+
+    def test_single_spec_sweep_never_forks(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be called
+            raise AssertionError("a single-spec sweep must run inline")
+
+        monkeypatch.setattr(pool_module, "WorkerPool", boom)
+        base = ExperimentSpec(
+            name="solo", runner="fluid", controller=ControllerSpec(enabled=False)
+        )
+        sweep = Sweep.from_axes(base, {"workload.load_fraction": [0.5]})
+        results = sweep.run(max_workers=8)
+        assert len(results) == 1
+        assert results[0].metrics["mean_latency_ms"] > 0
+
+    def test_single_worker_pool_runs_inline(self):
+        pool = WorkerPool(max_workers=1)
+        assert pool.map(len, [[1, 2], [3]]) == [2, 1]
+        assert not pool.started
+        with pytest.raises(ConfigurationError):
+            WorkerPool(max_workers=0)
+
+
+class TestSolveCache:
+    def problem(self, bump: float = 0.0):
+        return build_problem(
+            {
+                "d1": {0.2: 5.0 + bump, 0.5: 8.0, 0.8: 12.0},
+                "d2": {0.2: 4.0, 0.5: 7.0, 0.8: 13.0},
+            },
+            total_weight=1.0,
+            total_weight_tolerance=0.11,
+        )
+
+    def test_identical_problems_hit(self):
+        cache = SolveCache()
+        first = solve(self.problem(), backend="dp", cache=cache)
+        second = solve(self.problem(), backend="dp", cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second.weights == first.weights
+        assert second.solve_time_s == 0.0  # re-stamped: the solve was free
+
+    def test_changed_problems_and_backends_miss(self):
+        cache = SolveCache()
+        solve(self.problem(), backend="dp", cache=cache)
+        solve(self.problem(bump=1.0), backend="dp", cache=cache)
+        solve(self.problem(), backend="branch_and_bound", cache=cache)
+        assert cache.hits == 0 and cache.misses == 3
+
+    def test_lru_bound(self):
+        cache = SolveCache(maxsize=1)
+        solve(self.problem(), backend="dp", cache=cache)
+        solve(self.problem(bump=1.0), backend="dp", cache=cache)
+        solve(self.problem(), backend="dp", cache=cache)  # evicted: miss
+        assert cache.hits == 0 and len(cache) == 1
+
+    def test_fleet_controller_shares_one_cache_across_vips(self):
+        from repro.core import FleetController
+        from repro.workloads import build_shared_dip_fleet
+
+        fleet = build_shared_dip_fleet(num_vips=2, num_dips=6, seed=5)
+        plane = FleetController(fleet)
+        for vip in fleet.vips:
+            plane.onboard_vip(vip)
+        plane.converge_all(settle_steps=1)
+        assert {
+            c.solve_cache for c in plane.controllers.values()
+        } == {plane.solve_cache}
+        hits_before = plane.solve_cache.hits
+        # Unchanged curves -> identical problems -> every re-solve is free.
+        for controller in plane.controllers.values():
+            controller.compute_weights()
+        assert plane.solve_cache.hits >= hits_before + len(plane.controllers)
+
+
+class TestCli:
+    def test_run_shards_flag_round_trips_through_artifact(self, capsys, tmp_path):
+        import json
+
+        from repro.api.cli import main
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(request_spec(num_requests=20_000).to_json())
+        out_file = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                str(spec_file),
+                "--shards",
+                "4",
+                "--workers",
+                "1",
+                "-o",
+                str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        loaded = RunResult.load(out_file)
+        assert loaded.provenance.shards == 4
+        assert loaded.provenance.workers == 1
+        assert loaded.metrics["requests_submitted"] > 0
+        # And the artifact JSON carries the execution shape explicitly.
+        raw = json.loads(out_file.read_text())
+        assert raw["provenance"]["shards"] == 4
+
+    def test_sweep_accepts_workers_alias(self, capsys):
+        from repro.api.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "fluid_uniform_pool",
+                "--set",
+                "controller.enabled=false",
+                "--axis",
+                "workload.load_fraction=0.4,0.6",
+                "--workers",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "load_fraction=0.4" in out
+
+
+class TestProvenance:
+    def test_shards_and_workers_round_trip(self):
+        spec = request_spec(num_requests=1_000, num_dips=2)
+        result = RunResult(
+            spec=spec,
+            runner="request",
+            seed=7,
+            metrics={"mean_latency_ms": 1.0},
+            dip_summaries={},
+            provenance=Provenance(
+                started_at="now", wall_clock_s=0.1, shards=4, workers=2
+            ),
+        )
+        loaded = RunResult.from_dict(result.to_dict())
+        assert loaded.provenance.shards == 4
+        assert loaded.provenance.workers == 2
+
+    def test_old_artifacts_default_to_serial(self):
+        spec = request_spec(num_requests=1_000, num_dips=2)
+        data = RunResult(
+            spec=spec,
+            runner="request",
+            seed=7,
+            metrics={},
+            dip_summaries={},
+            provenance=Provenance(started_at="now", wall_clock_s=0.1),
+        ).to_dict()
+        del data["provenance"]["shards"], data["provenance"]["workers"]
+        loaded = RunResult.from_dict(data)
+        assert loaded.provenance.shards == 1
+        assert loaded.provenance.workers == 1
