@@ -7,9 +7,11 @@ Six verbs over the declarative API, all round-tripping through files:
 * ``validate NAME|FILE`` — eager-validate a spec (timeline included) and
   exit non-zero with the dotted-path error, without running anything;
 * ``run NAME|FILE [--set path=value ...] [--runner R] [--watch]
-  [--shards N] [--workers N] [-o out.json]`` — ``--shards`` fans a
-  request-level run across the parallel layer (serial fallback, with the
-  reason logged, when the workload cannot shard);
+  [--shards N] [--workers N] [--sync-interval S] [-o out.json]`` —
+  ``--shards`` fans a request-level run across the parallel layer
+  (exact per-DIP decomposition where possible, epoch-synchronized
+  sharding with ``--sync-interval`` staleness for stateful policies and
+  timelines, serial fallback with the reason surfaced otherwise);
 * ``sweep NAME|FILE --axis path=v1,v2 [...] [-j/--workers N] [-o dir]`` —
   the expansion runs through one warm worker pool;
 * ``compare a.json b.json [--windows] [--window-metric M]`` — align saved
@@ -67,6 +69,8 @@ def _resolve_spec(args: argparse.Namespace) -> ExperimentSpec:
     overrides = _parse_overrides(args.set or [])
     if getattr(args, "runner", None):
         overrides["runner"] = args.runner
+    if getattr(args, "sync_interval", None) is not None:
+        overrides["sync_interval_s"] = args.sync_interval
     if overrides:
         spec = spec.with_overrides(overrides)
     return spec
@@ -137,6 +141,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if handler is not None:
             parallel_logger.removeHandler(handler)
+    if sharding or args.watch:
+        prov = result.provenance
+        if prov.fallback_reason is not None:
+            note = f"serial fallback: {prov.fallback_reason}"
+        elif prov.shard_mode == "epoch":
+            note = (
+                f"epoch-sharded run: shards={prov.shards}, "
+                f"workers={prov.workers}, "
+                f"sync_interval_s={prov.sync_interval_s:g}"
+            )
+        elif prov.shard_mode == "exact":
+            note = (
+                f"exact-sharded run: shards={prov.shards}, "
+                f"workers={prov.workers}"
+            )
+        else:
+            note = "serial run"
+        print(f"note: {note}", file=sys.stderr)
     print(_metrics_table(result))
     if args.output:
         path = result.save(args.output)
@@ -245,9 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         metavar="N",
-        help="split a request-level run into N statistically-exact shards "
-        "(falls back to serial, with a logged reason, when the workload "
-        "cannot shard)",
+        help="split a request-level run into N shards (statistically exact "
+        "where possible, epoch-synchronized for stateful policies and "
+        "timelines; falls back to serial with the reason surfaced "
+        "otherwise)",
     )
     run.add_argument(
         "--workers",
@@ -255,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for a sharded run (default: min(shards, cores); "
         "1 runs every shard in-process)",
+    )
+    run.add_argument(
+        "--sync-interval",
+        type=float,
+        metavar="S",
+        help="epoch length in seconds for epoch-synchronized shards (same as "
+        "--set sync_interval_s=S; smaller = less staleness, more barriers)",
     )
     run.set_defaults(handler=_cmd_run)
 

@@ -32,7 +32,11 @@ class Provenance:
     """Where and when a result came from (excluded from metric comparison).
 
     ``shards``/``workers`` record how a request-level run was executed by
-    the parallel layer (1/1 for serial runs).  Execution shape lives here —
+    the parallel layer (1/1 for serial runs); ``shards`` is the *effective*
+    count after the planner clamps to the DIP count.  ``shard_mode`` names
+    the execution path ("serial", "exact", or "epoch"), ``sync_interval_s``
+    the epoch length for epoch runs, and ``fallback_reason`` why a
+    requested sharding fell back to serial.  Execution shape lives here —
     not in ``metrics`` — because a sharded run's merged metrics are
     bit-identical for a fixed seed regardless of how many processes
     produced them.
@@ -43,6 +47,9 @@ class Provenance:
     version: str = __version__
     shards: int = 1
     workers: int = 1
+    shard_mode: str = "serial"
+    sync_interval_s: float | None = None
+    fallback_reason: str | None = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +125,9 @@ class RunResult:
                 "version": self.provenance.version,
                 "shards": self.provenance.shards,
                 "workers": self.provenance.workers,
+                "shard_mode": self.provenance.shard_mode,
+                "sync_interval_s": self.provenance.sync_interval_s,
+                "fallback_reason": self.provenance.fallback_reason,
             },
         }
 
@@ -164,6 +174,17 @@ class RunResult:
                 version=str(prov.get("version", "")),
                 shards=int(prov.get("shards", 1)),
                 workers=int(prov.get("workers", 1)),
+                shard_mode=str(prov.get("shard_mode", "serial")),
+                sync_interval_s=(
+                    float(prov["sync_interval_s"])
+                    if prov.get("sync_interval_s") is not None
+                    else None
+                ),
+                fallback_reason=(
+                    str(prov["fallback_reason"])
+                    if prov.get("fallback_reason") is not None
+                    else None
+                ),
             ),
         )
 

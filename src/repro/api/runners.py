@@ -29,6 +29,7 @@ run's time-series.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from datetime import datetime, timezone
 from typing import Any, Iterable, Mapping, Protocol
 
@@ -47,12 +48,9 @@ from repro.api.timeline import (
 from repro.core import FleetController, KnapsackLBController
 from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
-from repro.lb import make_policy
+from repro.lb import MuxPool, make_policy, policy_seed_kwargs
 from repro.sim import FluidCluster, RequestCluster
 from repro.workloads import build_pool, fleet_from_pool
-
-#: Policies whose constructors take a seed (they draw randomness per pick).
-_SEEDED_POLICIES = frozenset({"random", "wrandom", "p2", "dns"})
 
 
 class Runner(Protocol):
@@ -259,10 +257,15 @@ class RequestRunner:
 
         weights = replay_controller_weights(spec)
 
-        policy_kwargs = (
-            {"seed": spec.seed} if spec.policy.name in _SEEDED_POLICIES else {}
-        )
-        policy = make_policy(spec.policy.name, list(dips), **policy_kwargs)
+        policy_kwargs = policy_seed_kwargs(spec.policy.name, seed=spec.seed)
+        if spec.policy.num_muxes > 1:
+            dip_list = list(dips)
+            policy: Any = MuxPool(
+                lambda: make_policy(spec.policy.name, dip_list, **policy_kwargs),
+                num_muxes=spec.policy.num_muxes,
+            )
+        else:
+            policy = make_policy(spec.policy.name, list(dips), **policy_kwargs)
         cluster = RequestCluster(dips, policy, rate_rps=rate, seed=spec.seed)
         if weights is not None:
             cluster.set_weights(weights)
@@ -477,16 +480,25 @@ def execute(
     apply, per-window progress, completed window rows); the recorded
     time-series always lands in the result's ``windows`` regardless.
 
-    ``shards > 1`` asks for a sharded request-level run: the planner in
-    :mod:`repro.parallel` splits the arrival process into per-DIP
-    sub-streams when the workload allows it, fanning shards across
-    ``workers`` processes (a :class:`~repro.parallel.pool.WorkerPool` via
-    ``pool`` is reused warm).  Workloads the planner cannot shard — stateful
-    policies, timelines, non-request substrates — fall back to the serial
-    path with the reason logged under ``repro.parallel``.
+    ``shards > 1`` asks for a sharded request-level run.  The planner in
+    :mod:`repro.parallel` issues a three-way verdict: stateless workloads
+    split into statistically-exact per-DIP sub-streams ("exact" mode);
+    stateful policies (``lc``/``wlc``/``p2``/…), Mux pools and
+    request-legal timelines run epoch-synchronized ("epoch" mode), where
+    shards exchange connection counts every ``spec.sync_interval_s``
+    seconds and route against a boundedly-stale global view; everything
+    else falls back to the serial path with the reason logged under
+    ``repro.parallel`` and recorded in ``provenance.fallback_reason``.
+    Shards fan across ``workers`` processes (a
+    :class:`~repro.parallel.pool.WorkerPool` via ``pool`` is reused warm
+    for exact plans, and borrowed as a width hint for epoch plans).
     """
     if shards is not None and shards > 1:
-        from repro.parallel import plan_shards, run_request_sharded
+        from repro.parallel import (
+            plan_shards,
+            run_request_epoch,
+            run_request_sharded,
+        )
         from repro.parallel.planner import spec_fallback_reason
 
         # Screen the pool-independent conditions first (runner, timeline,
@@ -498,8 +510,24 @@ def execute(
         plan = plan_shards(
             spec, shards=shards, dip_ids=tuple(dips) if dips else None
         )
-        if plan.shardable:
+        if plan.mode == "exact":
             return run_request_sharded(
                 spec, plan, workers=workers, pool=pool, dips=dips
             )
+        if plan.mode == "epoch":
+            return run_request_epoch(
+                spec,
+                plan,
+                workers=workers,
+                pool=pool,
+                dips=dips,
+                observers=observers,
+            )
+        result = runner_for(spec.runner).run(spec, observers=observers)
+        return replace(
+            result,
+            provenance=replace(
+                result.provenance, fallback_reason=plan.fallback_reason
+            ),
+        )
     return runner_for(spec.runner).run(spec, observers=observers)

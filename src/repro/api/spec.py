@@ -270,9 +270,16 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class PolicySpec:
-    """The LB policy requests are split by (names from the lb registry)."""
+    """The LB policy requests are split by (names from the lb registry).
+
+    ``num_muxes > 1`` fronts the policy with the
+    :class:`~repro.lb.mux.MuxPool` dataplane on the request substrate:
+    flows ECMP-hash to one of ``num_muxes`` MUXes, each running its own
+    policy replica (the paper's scaled-out dataplane).
+    """
 
     name: str = "wrr"
+    num_muxes: int = 1
 
     def __post_init__(self) -> None:
         known = policy_registry()
@@ -281,6 +288,8 @@ class PolicySpec:
             raise ConfigurationError(
                 f"policy.name must be one of: {names}; got {self.name!r}"
             )
+        if self.num_muxes < 1:
+            raise ConfigurationError("policy.num_muxes must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -339,6 +348,9 @@ class ExperimentSpec:
     fleet: FleetSpec = FleetSpec()
     timeline: TimelineSpec = TimelineSpec()
     seed: int = 0
+    #: epoch length for epoch-synchronized sharded runs (seconds between
+    #: cross-shard state barriers; smaller = less staleness, more syncs).
+    sync_interval_s: float = 0.25
     #: registered scenario to delegate to (runner == "scenario" only).
     scenario: str | None = None
     #: parameter overrides for the scenario's runner.
@@ -347,6 +359,8 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("name must be a non-empty string")
+        if self.sync_interval_s <= 0:
+            raise ConfigurationError("sync_interval_s must be positive")
         if self.runner not in RUNNER_KINDS:
             kinds = ", ".join(RUNNER_KINDS)
             raise ConfigurationError(

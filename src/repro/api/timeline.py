@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EventHandle
     from repro.sim.fleet import Fleet
     from repro.sim.fluid import FluidCluster
+    from repro.sim.trace import MetricsCollector
 
 _EPS = 1e-9
 
@@ -525,14 +526,34 @@ def request_windows(
     duration_s: float,
     offset_s: float = 0.0,
 ) -> tuple[RunWindow, ...]:
-    """Fold the request run's columnar metrics into the window time-series.
+    """Fold the request run's columnar metrics into the window time-series."""
+    return windows_from_collector(
+        cluster.metrics,
+        timeline,
+        observer,
+        duration_s=duration_s,
+        offset_s=offset_s,
+    )
+
+
+def windows_from_collector(
+    collector: "MetricsCollector",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    duration_s: float,
+    offset_s: float = 0.0,
+) -> tuple[RunWindow, ...]:
+    """Fold any columnar metrics collector into the window time-series.
 
     Computed after the run from the collector's timestamp column (windows
     reflect the requests that *completed* in them), with each window tagged
-    by the timeline events whose declared times fall inside it.
+    by the timeline events whose declared times fall inside it.  The serial
+    request runner and the epoch-sharded engine share this fold, so their
+    window rows are directly comparable.
     """
     events = timeline.ordered_events()
-    rows = cluster.metrics.window_rows(
+    rows = collector.window_rows(
         window_s=timeline.window_s,
         start_s=offset_s,
         end_s=offset_s + duration_s,

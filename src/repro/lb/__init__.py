@@ -13,6 +13,7 @@ from repro.lb.base import (
     PolicyDescription,
     make_policy,
     policy_registry,
+    policy_seed_kwargs,
     register_policy,
 )
 from repro.lb.dns_lb import DnsWeightedPolicy, WeightedDnsResolver
@@ -37,6 +38,7 @@ __all__ = [
     "PolicyDescription",
     "make_policy",
     "policy_registry",
+    "policy_seed_kwargs",
     "register_policy",
     "DnsWeightedPolicy",
     "WeightedDnsResolver",

@@ -12,6 +12,7 @@ KnapsackLB programs (§3.2 "Using weights to control traffic").
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -204,3 +205,23 @@ def make_policy(name: str, dips: Sequence[DipId], **kwargs) -> Policy:
             f"unknown policy {name!r}; known: {sorted(_REGISTRY)}"
         ) from None
     return description.factory(dips, **kwargs)
+
+
+def policy_seed_kwargs(name: str, *, seed: int = 0) -> dict[str, int]:
+    """``{"seed": seed}`` when ``name``'s constructor accepts one, else ``{}``.
+
+    Derived from the registered factory's signature rather than a
+    hard-coded name list, so newly registered stochastic policies seed
+    correctly everywhere policies are instantiated from a spec (the
+    request runner, the shard planner's throwaway probes).
+    """
+    try:
+        description = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    parameters = inspect.signature(description.factory.__init__).parameters
+    if "seed" in parameters:
+        return {"seed": int(seed)}
+    return {}

@@ -1,18 +1,28 @@
 """Multi-core execution layer: sharded request runs and persistent pools.
 
-Three pieces, composable but independently usable:
+Four pieces, composable but independently usable:
 
-* :mod:`repro.parallel.planner` decides whether a request-level run can be
-  split into statistically-exact per-DIP shards (and says *why not* when it
-  cannot);
-* :mod:`repro.parallel.shard` executes a shard plan — in-process or across
-  worker processes with a shared-memory columnar merge — and folds the
-  shards back into one :class:`~repro.api.result.RunResult`;
+* :mod:`repro.parallel.planner` issues the three-way sharding verdict for
+  a request-level run — statistically-exact per-DIP decomposition,
+  epoch-synchronized approximate sharding, or serial with a reason;
+* :mod:`repro.parallel.shard` executes an exact plan — in-process or
+  across worker processes with a shared-memory columnar merge — and folds
+  the shards back into one :class:`~repro.api.result.RunResult`;
+* :mod:`repro.parallel.epoch` executes an epoch plan: full-stream router
+  replicas with per-DIP queues sharded across barrier-synchronized
+  processes, exchanging connection counts every ``sync_interval_s`` (the
+  bounded-staleness model, with :func:`staleness_crosscheck` quantifying
+  the error against the serial engine);
 * :mod:`repro.parallel.pool` keeps a warm worker-process pool alive across
-  sweeps and sharded runs so consecutive dispatches skip interpreter
+  sweeps and exact sharded runs so consecutive dispatches skip interpreter
   start-up and spec re-parsing.
 """
 
+from repro.parallel.epoch import (
+    EPOCH_ROUTERS,
+    run_request_epoch,
+    staleness_crosscheck,
+)
 from repro.parallel.kernel import build_dip_arrival_streams, simulate_station
 from repro.parallel.planner import (
     SHARDABLE_POLICIES,
@@ -25,6 +35,7 @@ from repro.parallel.pool import WorkerPool
 from repro.parallel.shard import merge_shard_outcomes, run_request_sharded
 
 __all__ = [
+    "EPOCH_ROUTERS",
     "SHARDABLE_POLICIES",
     "ShardPlan",
     "WorkerPool",
@@ -32,7 +43,9 @@ __all__ = [
     "merge_shard_outcomes",
     "plan_shards",
     "policy_fallback_reason",
+    "run_request_epoch",
     "run_request_sharded",
     "simulate_station",
     "spec_fallback_reason",
+    "staleness_crosscheck",
 ]

@@ -1,0 +1,1402 @@
+"""Epoch-synchronized sharding for stateful policies and timeline runs.
+
+The exact sharded engine (:mod:`repro.parallel.shard`) only applies when
+routing is queue- and flow-independent, which rules out the policies the
+paper actually stresses — lc/wlc/p2/hash/dns/wrr, the MuxPool dataplane —
+and every timeline run.  This module shards those too, by trading exact
+serial equivalence for *bounded staleness*, the behaviour real distributed
+load balancers exhibit:
+
+* **Full-stream routing replay.**  Every shard deterministically
+  regenerates the whole VIP-wide arrival stream (times, client indices,
+  ports) from per-lane :class:`~numpy.random.SeedSequence` children and
+  runs an identical *router replica* over **all** arrivals.  Replicas see
+  identical inputs and use identical RNG lanes, so every shard computes
+  the exact same routing decision for every request without exchanging a
+  single routed record.
+* **Owned-slice queueing.**  Each shard simulates the M/M/c/K stations
+  only for its own DIP slice (persistent :class:`StationSim` instances),
+  exactly as the exact engine does.
+* **Epoch barriers.**  Time is cut into epochs of ``sync_interval_s``.
+  At each boundary the shards exchange one compact snapshot — per-DIP
+  in-system counts (per ``(dip, mux)`` when the MUX layer routes a
+  count-based policy) — through a single shared-memory float64 board, and
+  each replica resets its connection-count view to the true global
+  values.  Between barriers a replica's view is *last-synced counts plus
+  its own opens since the barrier* (closes go stale), which is precisely
+  the bounded-staleness window the paper's distributed MUXes have.
+  Timeline events (``dip_fail``/``arrival_scale``/...) are declared epoch
+  boundaries too, so every epoch is internally shard-safe.
+
+Because replicas are identical and barrier inputs are identical, the
+merged result is **independent of the shard count** and bit-identical
+across repeats for a fixed ``(seed, sync_interval_s)`` — ``workers <= 1``
+runs one coalesced simulation through the same code path and produces the
+same bytes as the process fan-out.
+
+The approximation error is quantified, not hand-waved:
+:func:`staleness_crosscheck` reruns a spec serially and at a ladder of
+``sync_interval_s`` values and reports mean/p50/p99/drop deltas; the bench
+(``benchmarks/bench_parallel_engine.py``) gates on a ceiling and the tests
+assert ``sync_interval_s → 0`` convergence.  Replicas for rng- and
+hash-driven policies (p2/random/wrandom/dns/hash, ECMP) reproduce the
+serial engine's *law*, not its byte stream — p2 draws its pairs from a
+dedicated lane and the flow hash is a same-law 64-bit mixer rather than
+the serial sha1 — so their cross-check deltas are sampling noise plus
+staleness, while lc/wlc/wrr/rr replicas mirror the serial tie-break rules
+exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import time
+from multiprocessing import get_context, shared_memory
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.types import DipId
+from repro.exceptions import ConfigurationError
+from repro.parallel.kernel import (
+    arrival_seed,
+    flow_seed,
+    router_seed,
+    service_seed,
+)
+from repro.parallel.shard import (
+    QUEUE_CAPACITY,
+    _discard_shm,
+    merge_shard_outcomes,
+    publish_blocks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.result import RunResult
+    from repro.api.spec import ExperimentSpec
+    from repro.parallel.planner import ShardPlan
+
+#: epoch routers by policy name; the value describes what crosses the barrier.
+EPOCH_ROUTERS: dict[str, str] = {
+    "rr": "replayed cursor (nothing to sync)",
+    "wrr": "replayed smooth-WRR interleave (nothing to sync)",
+    "random": "replayed i.i.d. uniform picks (nothing to sync)",
+    "wrandom": "replayed i.i.d. weighted picks (nothing to sync)",
+    "hash": "same-law flow hash (nothing to sync)",
+    "dns": "replayed per-client resolver cache (nothing to sync)",
+    "lc": "per-DIP connection counts at each barrier",
+    "wlc": "per-DIP connection counts at each barrier",
+    "p2": "CPU snapshot at each barrier, projected by in-epoch picks",
+}
+
+#: policies whose routing reads per-replica connection counts (p2 reads
+#: the global CPU view instead, so it never needs per-MUX count columns).
+_COUNT_POLICIES = frozenset({"lc", "wlc"})
+
+#: RNG lane slots for routers that consume private randomness.
+_P2_SLOT = 1
+_DNS_SLOT = 2
+_RANDOM_SLOT = 3
+_WRANDOM_SLOT = 4
+
+#: client-pool constants mirrored from :class:`repro.sim.client.ClientPool`.
+_NUM_CLIENTS = 8
+_PORT_MIN = 1024
+_PORT_SPAN = 65000 - _PORT_MIN + 1
+
+_ARRIVAL_CHUNK = 8192
+_SERVICE_BATCH = 512
+_DNS_TTL_S = 30.0
+
+#: boundary coalescing tolerance — event times landing on a sync tick.
+_EPS = 1e-9
+
+#: a stuck barrier means a dead sibling; fail loudly instead of hanging.
+_SYNC_TIMEOUT_S = 600.0
+
+_NAN = float("nan")
+
+
+# ---------------------------------------------------------------------------
+# deterministic VIP-wide arrival stream
+# ---------------------------------------------------------------------------
+
+
+class EpochArrivalStream:
+    """The VIP-wide arrival stream, consumed epoch by epoch.
+
+    Every shard owns an identical instance: arrival gaps come from the
+    run's arrival lane, client indices from the flow lane, and ports are a
+    pure function of the arrival ordinal (mirroring
+    ``ClientPool.next_batch``'s rolling counter) — so the stream needs no
+    cross-shard coordination at all.  ``arrival_scale`` events rescale the
+    *buffered* future gaps around the boundary, the memoryless transform
+    ``RequestCluster.scale_arrivals`` applies to its latched arrivals.
+    """
+
+    def __init__(self, seed: int, rate_rps: float, *, num_clients: int = _NUM_CLIENTS):
+        if rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        self._rng = np.random.default_rng(arrival_seed(seed))
+        self._flow_rng = np.random.default_rng(flow_seed(seed))
+        self._rate = float(rate_rps)
+        self._num_clients = int(num_clients)
+        self._clock = 0.0
+        self._times = np.empty(0, dtype=np.float64)
+        self._clients = np.empty(0, dtype=np.int64)
+        self._consumed = 0
+
+    @property
+    def rate_rps(self) -> float:
+        return self._rate
+
+    def set_rate(self, rate_rps: float, *, at_time: float) -> None:
+        """Change the arrival rate at ``at_time`` (an epoch boundary)."""
+        if rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        scale = self._rate / rate_rps
+        if scale != 1.0:
+            self._times = at_time + (self._times - at_time) * scale
+            self._clock = at_time + (self._clock - at_time) * scale
+        self._rate = float(rate_rps)
+
+    def _refill(self) -> None:
+        gaps = self._rng.exponential(1.0 / self._rate, size=_ARRIVAL_CHUNK)
+        times = np.cumsum(gaps)
+        times += self._clock
+        self._clock = float(times[-1])
+        self._times = np.concatenate([self._times, times])
+        self._clients = np.concatenate(
+            [self._clients, self._flow_rng.integers(self._num_clients, size=_ARRIVAL_CHUNK)]
+        )
+
+    def take_until(self, t_end: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All arrivals strictly before ``t_end``: (times, clients, ports)."""
+        while self._clock < t_end:
+            self._refill()
+        cut = int(np.searchsorted(self._times, t_end, side="left"))
+        times = self._times[:cut]
+        clients = self._clients[:cut]
+        self._times = self._times[cut:]
+        self._clients = self._clients[cut:]
+        ports = (
+            self._consumed + 1 + np.arange(cut, dtype=np.int64)
+        ) % _PORT_SPAN + _PORT_MIN
+        self._consumed += cut
+        return times, clients, ports
+
+
+# ---------------------------------------------------------------------------
+# router replicas
+# ---------------------------------------------------------------------------
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer — a vectorized same-law stand-in for sha1."""
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _flow_key(clients: np.ndarray, ports: np.ndarray, salt: int) -> np.ndarray:
+    key = clients.astype(np.uint64) << np.uint64(32)
+    key |= ports.astype(np.uint64)
+    return _mix64(key + np.uint64(salt))
+
+
+_HASH_SALT = 0x1B873593
+_ECMP_SALT = 0xE6546B64
+
+
+class _EpochRouter:
+    """Base class for per-policy router replicas.
+
+    Replicas hold the *entire* pool's routing state — health mask, weights
+    and (for count-based policies) the last-synced per-DIP counts — and
+    route every arrival, not just the shard's own.  ``needs_counts``
+    marks the policies whose decisions read connection counts; only those
+    force per-``(dip, mux)`` tracking in the stations.
+    """
+
+    needs_counts = False
+
+    def __init__(self, num_dips: int, dip_rank: Sequence[int]):
+        self._n = num_dips
+        self._healthy = np.ones(num_dips, dtype=bool)
+        self._weights = np.ones(num_dips, dtype=np.float64)
+        #: tie-break rank: position of each DIP's id in sorted(dip_ids),
+        #: mirroring the serial engine's ``(metric, dip_id)`` ordering.
+        self._rank = np.asarray(dip_rank, dtype=np.int64)
+        self._healthy_idx = np.arange(num_dips, dtype=np.int64)
+
+    def _candidates(self) -> np.ndarray:
+        if self._healthy_idx.size == 0:
+            raise ConfigurationError("no healthy DIPs available")
+        return self._healthy_idx
+
+    def _rebuild(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def set_healthy(self, index: int, healthy: bool) -> None:
+        self._healthy[index] = healthy
+        self._healthy_idx = np.flatnonzero(self._healthy)
+        self._rebuild()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._weights = np.asarray(weights, dtype=np.float64).copy()
+        self._rebuild()
+
+    def sync(self, counts: np.ndarray, cpu: np.ndarray, now: float) -> None:
+        """Reset count-derived state to the synced global view."""
+
+    def route(
+        self, times: np.ndarray, clients: np.ndarray, ports: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _RoundRobinRouter(_EpochRouter):
+    """Global cursor over the healthy set, continued across health changes."""
+
+    def __init__(self, num_dips: int, dip_rank: Sequence[int]):
+        super().__init__(num_dips, dip_rank)
+        self._cursor = 0
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        n = times.size
+        out = h[(self._cursor + np.arange(n, dtype=np.int64)) % h.size]
+        self._cursor += n
+        return out.astype(np.int32)
+
+
+class _RandomRouter(_EpochRouter):
+    def __init__(self, num_dips: int, dip_rank: Sequence[int], *, seed: int, replica: int = 0):
+        super().__init__(num_dips, dip_rank)
+        self._rng = np.random.default_rng(router_seed(seed, _RANDOM_SLOT, replica))
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        return h[self._rng.integers(h.size, size=times.size)].astype(np.int32)
+
+
+class _WeightedRandomRouter(_EpochRouter):
+    def __init__(self, num_dips: int, dip_rank: Sequence[int], *, seed: int, replica: int = 0):
+        super().__init__(num_dips, dip_rank)
+        self._rng = np.random.default_rng(router_seed(seed, _WRANDOM_SLOT, replica))
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        w = np.clip(self._weights[h], 0.0, None)
+        total = w.sum()
+        if total <= 0:
+            w = np.ones(h.size)
+            total = float(h.size)
+        cdf = np.cumsum(w / total)
+        cdf[-1] = 1.0
+        picks = np.searchsorted(cdf, self._rng.random(times.size), side="right")
+        return h[picks].astype(np.int32)
+
+
+class _SmoothWrrRouter(_EpochRouter):
+    """Smooth weighted round robin with the serial engine's exact rules:
+
+    first-max-wins on ties (pool order), all-zero weights degrade to
+    uniform, accumulators persist across health changes and reset only
+    when weights change.
+    """
+
+    def __init__(self, num_dips: int, dip_rank: Sequence[int]):
+        super().__init__(num_dips, dip_rank)
+        self._current = np.zeros(num_dips, dtype=np.float64)
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        super().set_weights(weights)
+        self._current[:] = 0.0
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        w = np.clip(self._weights[h], 0.0, None)
+        total = w.sum()
+        if total <= 0:
+            w = np.ones(h.size)
+            total = float(h.size)
+        current = self._current[h]  # fancy-index copy; written back below
+        out = np.empty(times.size, dtype=np.int32)
+        argmax = np.argmax
+        for i in range(times.size):
+            current += w
+            best = int(argmax(current))
+            current[best] -= total
+            out[i] = h[best]
+        self._current[h] = current
+        return out
+
+
+class _LeastConnectionRouter(_EpochRouter):
+    """lc/wlc over a (score, rank, index) heap rebuilt at every sync.
+
+    Between barriers only the popped entry's score changes (its own open),
+    so ``heapreplace`` keeps the heap exact; closes are invisible until
+    the next barrier — that *is* the staleness model.
+    """
+
+    needs_counts = True
+
+    def __init__(self, num_dips: int, dip_rank: Sequence[int], *, weighted: bool):
+        super().__init__(num_dips, dip_rank)
+        self._weighted = weighted
+        self._counts = np.zeros(num_dips, dtype=np.float64)
+        self._heap: list[tuple[float, int, int]] = []
+        self._rebuild()
+
+    def _score(self, index: int) -> float:
+        if not self._weighted:
+            return float(self._counts[index])
+        weight = self._weights[index]
+        if weight <= 0:
+            weight = 1e-9
+        return float(self._counts[index]) / weight
+
+    def _rebuild(self) -> None:
+        self._heap = [
+            (self._score(i), int(self._rank[i]), int(i))
+            for i in self._healthy_idx
+        ]
+        heapq.heapify(self._heap)
+
+    def sync(self, counts, cpu, now):
+        self._counts = counts.astype(np.float64).copy()
+        self._rebuild()
+
+    def route(self, times, clients, ports):
+        heap = self._heap
+        if not heap:
+            raise ConfigurationError("no healthy DIPs available")
+        counts = self._counts
+        out = np.empty(times.size, dtype=np.int32)
+        heapreplace = heapq.heapreplace
+        for i in range(times.size):
+            _, rank, index = heap[0]
+            out[i] = index
+            counts[index] += 1.0
+            heapreplace(heap, (self._score(index), rank, index))
+        return out
+
+
+class _PowerOfTwoRouter(_EpochRouter):
+    """p2 with pre-drawn distinct pairs from a dedicated RNG lane.
+
+    The serial ``_load`` rule verbatim: the synced CPU view when positive
+    (the engine's utilization snapshots become the barrier snapshot here),
+    otherwise the connection count.  The serial count is live — it
+    decrements on completions a shard cannot observe between barriers, and
+    a raw stale count would let one pick at an idle DIP outweigh every
+    busy DIP's sub-1.0 CPU value and starve it until the next barrier —
+    so the replica drains its count projection deterministically at the
+    station's expected service rate (``min(count, servers) / mean_service``,
+    at base capacity), feeding an idle DIP at roughly its completion rate
+    exactly as the serial feedback loop does.
+    """
+
+    def __init__(
+        self,
+        num_dips: int,
+        dip_rank: Sequence[int],
+        *,
+        seed: int,
+        servers: Sequence[float] | None = None,
+        drain_rps: Sequence[float] | None = None,
+        replica: int = 0,
+    ):
+        super().__init__(num_dips, dip_rank)
+        self._rng = np.random.default_rng(router_seed(seed, _P2_SLOT, replica))
+        self._servers = (
+            np.asarray(servers, dtype=np.float64)
+            if servers is not None
+            else np.ones(num_dips, dtype=np.float64)
+        )
+        self._mean_service = self._servers / (
+            np.asarray(drain_rps, dtype=np.float64)
+            if drain_rps is not None
+            else self._servers
+        )
+        self._counts = np.zeros(num_dips, dtype=np.float64)
+        self._cpu = np.zeros(num_dips, dtype=np.float64)
+        self._last = np.zeros(num_dips, dtype=np.float64)
+
+    def sync(self, counts, cpu, now):
+        self._counts = counts.astype(np.float64).copy()
+        self._cpu = cpu.astype(np.float64).copy()
+        self._last.fill(now)
+
+    def _drained(self, slot: int, t: float) -> float:
+        """The count projection at ``t`` (drains while servers are busy)."""
+        c = self._counts[slot]
+        if c > 0.0:
+            dt = t - self._last[slot]
+            if dt > 0.0:
+                drain = min(c, self._servers[slot]) / self._mean_service[slot]
+                c = max(0.0, c - drain * dt)
+            self._counts[slot] = c
+        self._last[slot] = t
+        return c
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        n = times.size
+        if h.size == 1:
+            return np.full(n, h[0], dtype=np.int32)
+        # Ordered sampling without replacement, two vectorized draws.
+        first = self._rng.integers(h.size, size=n)
+        second = self._rng.integers(h.size - 1, size=n)
+        second = second + (second >= first)
+        counts = self._counts
+        cpu = self._cpu
+        out = np.empty(n, dtype=np.int32)
+        for i in range(n):
+            t = times[i]
+            a = int(h[first[i]])
+            b = int(h[second[i]])
+            load_a = cpu[a] if cpu[a] > 0 else self._drained(a, t)
+            load_b = cpu[b] if cpu[b] > 0 else self._drained(b, t)
+            pick = a if load_a <= load_b else b
+            counts[pick] += 1.0
+            out[i] = pick
+        return out
+
+
+class _FlowHashRouter(_EpochRouter):
+    """Flow-sticky hash over the healthy set (same law as the serial sha1)."""
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        key = _flow_key(clients, ports, _HASH_SALT)
+        return h[(key % np.uint64(h.size)).astype(np.int64)].astype(np.int32)
+
+
+class _DnsRouter(_EpochRouter):
+    """DNS-weighted routing replayed through a per-client TTL cache.
+
+    A cache hit requires freshness *and* a healthy DIP; misses resolve a
+    weighted draw over the healthy set (all-zero weights degrade to
+    uniform) and refresh the entry — ``DnsWeightedPolicy``'s rules, with
+    per-arrival times standing in for ``advance_time``.
+    """
+
+    def __init__(
+        self,
+        num_dips: int,
+        dip_rank: Sequence[int],
+        *,
+        seed: int,
+        replica: int = 0,
+        num_clients: int = _NUM_CLIENTS,
+        cache_ttl_s: float = _DNS_TTL_S,
+    ):
+        super().__init__(num_dips, dip_rank)
+        self._rng = np.random.default_rng(router_seed(seed, _DNS_SLOT, replica))
+        self._ttl = float(cache_ttl_s)
+        self._cache_dip = np.full(num_clients, -1, dtype=np.int64)
+        self._cache_exp = np.zeros(num_clients, dtype=np.float64)
+        self._uniforms: list[float] = []
+        self._cdf: np.ndarray | None = None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        h = self._healthy_idx
+        if h.size == 0:
+            self._cdf = None
+            return
+        w = np.clip(self._weights[h], 0.0, None)
+        total = w.sum()
+        if total <= 0:
+            w = np.ones(h.size)
+            total = float(h.size)
+        cdf = np.cumsum(w / total)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def _draw(self) -> float:
+        if not self._uniforms:
+            self._uniforms = self._rng.random(1024)[::-1].tolist()
+        return self._uniforms.pop()
+
+    def route(self, times, clients, ports):
+        h = self._candidates()
+        cdf = self._cdf
+        assert cdf is not None
+        healthy = self._healthy
+        cache_dip = self._cache_dip
+        cache_exp = self._cache_exp
+        ttl = self._ttl
+        out = np.empty(times.size, dtype=np.int32)
+        searchsorted = np.searchsorted
+        for i in range(times.size):
+            client = clients[i]
+            t = times[i]
+            cached = cache_dip[client]
+            if cached >= 0 and cache_exp[client] > t and healthy[cached]:
+                out[i] = cached
+                continue
+            pick = int(h[int(searchsorted(cdf, self._draw(), side="right"))])
+            cache_dip[client] = pick
+            cache_exp[client] = t + ttl
+            out[i] = pick
+        return out
+
+
+class _MuxEcmpRouter:
+    """The MuxPool dataplane: ECMP over per-MUX inner router replicas.
+
+    ECMP hashes the flow with a distinct salt (the serial engine's
+    ``salt="ecmp"``) and each MUX routes its sub-stream with a private
+    replica; count-based inners sync their per-MUX count column while the
+    CPU view stays global, matching how the serial engine feeds every MUX
+    the same utilization snapshots.
+    """
+
+    def __init__(self, inners: Sequence[_EpochRouter]):
+        self._inners = list(inners)
+        self.needs_counts = self._inners[0].needs_counts
+        self.num_muxes = len(self._inners)
+
+    def route_mux(self, times, clients, ports):
+        muxes = (
+            _flow_key(clients, ports, _ECMP_SALT) % np.uint64(self.num_muxes)
+        ).astype(np.int64)
+        dips = np.empty(times.size, dtype=np.int32)
+        for m, inner in enumerate(self._inners):
+            mask = muxes == m
+            if mask.any():
+                dips[mask] = inner.route(times[mask], clients[mask], ports[mask])
+        return dips, muxes
+
+    def sync(self, counts, cpu, now):
+        if self.needs_counts:
+            for m, inner in enumerate(self._inners):
+                inner.sync(np.ascontiguousarray(counts[:, m]), cpu, now)
+        else:
+            for inner in self._inners:
+                inner.sync(counts, cpu, now)
+
+    def set_healthy(self, index, healthy):
+        for inner in self._inners:
+            inner.set_healthy(index, healthy)
+
+    def set_weights(self, weights):
+        for inner in self._inners:
+            inner.set_weights(weights)
+
+
+def make_epoch_router(
+    policy: str,
+    *,
+    num_dips: int,
+    dip_rank: Sequence[int],
+    seed: int,
+    num_muxes: int = 1,
+    num_clients: int = _NUM_CLIENTS,
+    servers: Sequence[float] | None = None,
+    drain_rps: Sequence[float] | None = None,
+) -> _EpochRouter | _MuxEcmpRouter:
+    """Build the router replica for ``policy`` (MUX-wrapped when asked)."""
+
+    def build(replica: int) -> _EpochRouter:
+        if policy == "rr":
+            return _RoundRobinRouter(num_dips, dip_rank)
+        if policy == "wrr":
+            return _SmoothWrrRouter(num_dips, dip_rank)
+        if policy == "random":
+            return _RandomRouter(num_dips, dip_rank, seed=seed, replica=replica)
+        if policy == "wrandom":
+            return _WeightedRandomRouter(num_dips, dip_rank, seed=seed, replica=replica)
+        if policy == "lc":
+            return _LeastConnectionRouter(num_dips, dip_rank, weighted=False)
+        if policy == "wlc":
+            return _LeastConnectionRouter(num_dips, dip_rank, weighted=True)
+        if policy == "p2":
+            return _PowerOfTwoRouter(
+                num_dips,
+                dip_rank,
+                seed=seed,
+                servers=servers,
+                drain_rps=drain_rps,
+                replica=replica,
+            )
+        if policy == "hash":
+            return _FlowHashRouter(num_dips, dip_rank)
+        if policy == "dns":
+            return _DnsRouter(
+                num_dips,
+                dip_rank,
+                seed=seed,
+                replica=replica,
+                num_clients=num_clients,
+            )
+        raise ConfigurationError(f"policy {policy!r} has no epoch router")
+
+    if num_muxes <= 1:
+        return build(0)
+    return _MuxEcmpRouter([build(m) for m in range(num_muxes)])
+
+
+# ---------------------------------------------------------------------------
+# persistent per-DIP stations
+# ---------------------------------------------------------------------------
+
+
+class StationSim:
+    """A persistent M/M/c/K station advanced epoch by epoch.
+
+    The same Kiefer-Wolfowitz recursion as
+    :func:`repro.parallel.kernel.simulate_station`, but with state (server
+    heap, in-system heap, RNG buffer, counters) carried across calls so
+    the queue survives epoch boundaries, plus:
+
+    * ``counts_at(t)`` — the in-system population at a barrier (per MUX
+      when the routed policy needs per-MUX counts);
+    * ``set_capacity_factor`` — timeline capacity events rescale the mean
+      service time of draws consumed after the boundary (the serial
+      engine rescales at service start; equivalent up to in-queue draws).
+    """
+
+    __slots__ = (
+        "dip_id",
+        "servers",
+        "_rng",
+        "_mean",
+        "_base_mean",
+        "_free",
+        "_in_system",
+        "_svc",
+        "_capacity",
+        "_measure_from",
+        "_track_mux",
+        "_num_muxes",
+        "_lat",
+        "_done",
+        "_ts",
+        "submitted",
+        "dropped",
+        "busy_seconds",
+    )
+
+    def __init__(
+        self,
+        dip_id: str,
+        global_index: int,
+        *,
+        servers: int,
+        mean_service_s: float,
+        base_capacity_rps: float,
+        seed: int,
+        queue_capacity: int = QUEUE_CAPACITY,
+        measure_from: float = 0.0,
+        num_muxes: int = 1,
+        track_mux: bool = False,
+    ):
+        if servers < 1:
+            raise ConfigurationError("servers must be >= 1")
+        self.dip_id = dip_id
+        self.servers = servers
+        self._rng = np.random.default_rng(service_seed(seed, global_index))
+        self._mean = float(mean_service_s)
+        self._base_mean = servers / float(base_capacity_rps)
+        self._free = [0.0] * servers
+        self._in_system: list = []
+        self._svc: list[float] = []
+        self._capacity = servers + queue_capacity
+        self._measure_from = measure_from
+        self._track_mux = track_mux
+        self._num_muxes = num_muxes
+        self._lat: list[float] = []
+        self._done: list[bool] = []
+        self._ts: list[float] = []
+        self.submitted = 0
+        self.dropped = 0
+        self.busy_seconds = 0.0
+
+    def set_capacity_factor(self, factor: float) -> None:
+        if factor <= 0:
+            raise ConfigurationError("capacity factor must be positive")
+        self._mean = self._base_mean / factor
+
+    def advance(self, arrivals: np.ndarray, muxes: np.ndarray | None = None) -> None:
+        """Admit this station's arrivals for one epoch (arrival-ordered)."""
+        if arrivals.size == 0:
+            return
+        free = self._free
+        in_system = self._in_system
+        svc = self._svc
+        capacity = self._capacity
+        measure_from = self._measure_from
+        track_mux = self._track_mux
+        lat_append = self._lat.append
+        done_append = self._done.append
+        ts_append = self._ts.append
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        mux_list = muxes.tolist() if (track_mux and muxes is not None) else None
+        for j, a in enumerate(arrivals.tolist()):
+            if track_mux:
+                while in_system and in_system[0][0] <= a:
+                    heappop(in_system)
+            else:
+                while in_system and in_system[0] <= a:
+                    heappop(in_system)
+            measured = a >= measure_from
+            if measured:
+                self.submitted += 1
+            if len(in_system) >= capacity:
+                if measured:
+                    self.dropped += 1
+                    lat_append(_NAN)
+                    done_append(False)
+                    ts_append(a)
+                continue
+            if not svc:
+                svc = self._rng.standard_exponential(_SERVICE_BATCH)[::-1].tolist()
+                self._svc = svc
+            s = svc.pop() * self._mean
+            f = free[0]
+            start = a if a > f else f
+            dep = start + s
+            heapreplace(free, dep)
+            if track_mux:
+                heappush(in_system, (dep, mux_list[j] if mux_list is not None else 0))
+            else:
+                heappush(in_system, dep)
+            self.busy_seconds += s
+            if measured:
+                lat_append((dep - a) * 1000.0)
+                done_append(True)
+                ts_append(dep)
+
+    def counts_at(self, t: float) -> np.ndarray:
+        """In-system population at ``t`` (length ``num_muxes`` when tracked)."""
+        in_system = self._in_system
+        heappop = heapq.heappop
+        if self._track_mux:
+            while in_system and in_system[0][0] <= t:
+                heappop(in_system)
+            counts = np.zeros(self._num_muxes, dtype=np.float64)
+            for _, mux in in_system:
+                counts[mux] += 1.0
+            return counts
+        while in_system and in_system[0] <= t:
+            heappop(in_system)
+        return np.asarray([float(len(in_system))])
+
+    def finish(self) -> dict[str, Any]:
+        """This station's record block (the exact engine's block schema)."""
+        return {
+            "dip": self.dip_id,
+            "count": len(self._lat),
+            "submitted": self.submitted,
+            "dropped": self.dropped,
+            "busy_seconds": self.busy_seconds,
+            "servers": self.servers,
+            "latency_ms": np.asarray(self._lat, dtype=np.float64),
+            "completed": np.asarray(self._done, dtype=bool),
+            "timestamp": np.asarray(self._ts, dtype=np.float64),
+        }
+
+
+# ---------------------------------------------------------------------------
+# one shard = full-stream replica + owned stations
+# ---------------------------------------------------------------------------
+
+
+class EpochShardSim:
+    """One shard's simulation: a full router replica plus owned stations.
+
+    Built from a plain payload dict so process workers and the inline
+    driver construct byte-identical simulations.  The count board is a
+    flat float64 array with one slot per DIP (per ``(dip, mux)`` pair when
+    the policy is count-based under a MUX layer); ``owned_slots`` names
+    the slots this shard writes at each barrier.
+    """
+
+    def __init__(self, payload: Mapping[str, Any]):
+        seed = payload["seed"]
+        self._num_muxes = int(payload["num_muxes"])
+        stations_meta = payload["stations"]
+        num_dips = len(stations_meta)
+        owned = set(payload["owned"])
+        self._track_mux = bool(payload["track_mux"])
+        mux_dim = self._num_muxes if self._track_mux else 1
+        self._mux_dim = mux_dim
+        self._servers = np.asarray(
+            [servers for _, _, servers, _, _ in stations_meta], dtype=np.float64
+        )
+        drain_rps = np.asarray(
+            [
+                servers / mean_service_s
+                for _, _, servers, mean_service_s, _ in stations_meta
+            ],
+            dtype=np.float64,
+        )
+        self._router = make_epoch_router(
+            payload["policy"],
+            num_dips=num_dips,
+            dip_rank=payload["dip_rank"],
+            seed=seed,
+            num_muxes=self._num_muxes,
+            num_clients=payload["num_clients"],
+            servers=self._servers,
+            drain_rps=drain_rps,
+        )
+        if payload["weights"] is not None:
+            self._router.set_weights(np.asarray(payload["weights"], dtype=np.float64))
+        self._stream = EpochArrivalStream(
+            seed, payload["rate_rps"], num_clients=payload["num_clients"]
+        )
+        self._base_rate = float(payload["rate_rps"])
+        self._stations: dict[int, StationSim] = {}
+        for dip_id, index, servers, mean_service_s, base_capacity_rps in stations_meta:
+            if index not in owned:
+                continue
+            self._stations[index] = StationSim(
+                dip_id,
+                index,
+                servers=servers,
+                mean_service_s=mean_service_s,
+                base_capacity_rps=base_capacity_rps,
+                seed=seed,
+                queue_capacity=payload["queue_capacity"],
+                measure_from=payload["measure_from"],
+                num_muxes=mux_dim,
+                track_mux=self._track_mux,
+            )
+        self.owned_slots = np.concatenate(
+            [
+                np.arange(index * mux_dim, (index + 1) * mux_dim, dtype=np.int64)
+                for index in sorted(self._stations)
+            ]
+        )
+        self.num_slots = num_dips * mux_dim
+
+    def advance_to(self, t: float) -> np.ndarray:
+        """Route + simulate up to ``t``; return owned slot counts at ``t``."""
+        times, clients, ports = self._stream.take_until(t)
+        if isinstance(self._router, _MuxEcmpRouter):
+            dips, muxes = self._router.route_mux(times, clients, ports)
+        else:
+            dips = self._router.route(times, clients, ports)
+            muxes = None
+        counts = np.empty(self.owned_slots.size, dtype=np.float64)
+        offset = 0
+        for index in sorted(self._stations):
+            station = self._stations[index]
+            mask = dips == index
+            station.advance(
+                times[mask], muxes[mask] if muxes is not None else None
+            )
+            station_counts = station.counts_at(t)
+            counts[offset : offset + station_counts.size] = station_counts
+            offset += station_counts.size
+        return counts
+
+    def apply_sync(self, board: np.ndarray, now: float) -> None:
+        """Reset the replica's count view to the synced global board."""
+        if self._track_mux:
+            grid = board.reshape(-1, self._mux_dim)
+            totals = grid.sum(axis=1)
+        else:
+            grid = board
+            totals = board
+        cpu = np.minimum(1.0, totals / self._servers)
+        self._router.sync(grid, cpu, now)
+
+    def apply_events(self, events: Iterable[tuple], at_time: float) -> None:
+        for event in events:
+            kind = event[0]
+            if kind == "fail":
+                self._router.set_healthy(event[1], False)
+            elif kind == "recover":
+                self._router.set_healthy(event[1], True)
+            elif kind == "capacity":
+                station = self._stations.get(event[1])
+                if station is not None:
+                    station.set_capacity_factor(event[2])
+            elif kind == "rate":
+                self._stream.set_rate(self._base_rate * event[1], at_time=at_time)
+            else:  # pragma: no cover - planner screens kinds
+                raise ConfigurationError(f"unknown epoch event kind {kind!r}")
+
+    def finish(self) -> list[dict[str, Any]]:
+        return [self._stations[index].finish() for index in sorted(self._stations)]
+
+
+def _run_epoch_inline(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run every shard's work in one coalesced simulation (no processes).
+
+    One replica, all stations: the self-sync at each boundary reads the
+    very counts a process fan-out would have exchanged, so the records are
+    bit-identical to multiprocess mode by construction.
+    """
+    sim = EpochShardSim(payload)
+    schedule = payload["schedule"]
+    last = len(schedule) - 1
+    board = np.zeros(sim.num_slots, dtype=np.float64)
+    for i, (t, events) in enumerate(schedule):
+        counts = sim.advance_to(t)
+        if i == last:
+            break
+        board[sim.owned_slots] = counts
+        sim.apply_sync(board, t)
+        sim.apply_events(events, t)
+    return {"blocks": sim.finish()}
+
+
+def _epoch_worker(payload, barrier, counts_name, result_queue):  # pragma: no cover
+    """Process-mode shard body (covered via multiprocess integration tests).
+
+    Two barrier waits per epoch: write-own-slots → wait → read-all →
+    wait — the second keeps a fast shard from overwriting slots a slow
+    sibling has not read yet.  Any failure aborts the barrier so siblings
+    fail fast instead of hanging.
+    """
+    shard_index = payload["shard_index"]
+    counts_shm = None
+    try:
+        sim = EpochShardSim(payload)
+        counts_shm = shared_memory.SharedMemory(name=counts_name)
+        board = np.ndarray((sim.num_slots,), dtype=np.float64, buffer=counts_shm.buf)
+        schedule = payload["schedule"]
+        last = len(schedule) - 1
+        for i, (t, events) in enumerate(schedule):
+            counts = sim.advance_to(t)
+            if i == last:
+                break
+            board[sim.owned_slots] = counts
+            barrier.wait(timeout=_SYNC_TIMEOUT_S)
+            synced = board.copy()
+            barrier.wait(timeout=_SYNC_TIMEOUT_S)
+            sim.apply_sync(synced, t)
+            sim.apply_events(events, t)
+        blocks = sim.finish()
+        result = publish_blocks(blocks, shm_name=payload["shm_name"])
+        result_queue.put((shard_index, result))
+    except BaseException as exc:
+        try:
+            barrier.abort()
+        finally:
+            result_queue.put(
+                (shard_index, {"error": f"{type(exc).__name__}: {exc}"})
+            )
+    finally:
+        if counts_shm is not None:
+            del board
+            counts_shm.close()
+
+
+def _run_epoch_processes(
+    payloads: list[dict[str, Any]], num_slots: int, run_tag: str
+) -> list[dict[str, Any]]:
+    """Fan the shards out as barrier-connected processes and collect results."""
+    ctx = get_context()
+    barrier = ctx.Barrier(len(payloads))
+    result_queue = ctx.Queue()
+    counts_shm = shared_memory.SharedMemory(
+        name=f"{run_tag}-sync", create=True, size=max(1, num_slots * 8)
+    )
+    np.ndarray((num_slots,), dtype=np.float64, buffer=counts_shm.buf).fill(0.0)
+    procs = [
+        ctx.Process(
+            target=_epoch_worker,
+            args=(payload, barrier, counts_shm.name, result_queue),
+            daemon=True,
+        )
+        for payload in payloads
+    ]
+    results: dict[int, dict[str, Any]] = {}
+    try:
+        for proc in procs:
+            proc.start()
+        for _ in payloads:
+            try:
+                index, result = result_queue.get(timeout=_SYNC_TIMEOUT_S)
+            except Empty:
+                raise ConfigurationError(
+                    "epoch shard worker did not report back (timed out)"
+                ) from None
+            results[index] = result
+    except BaseException:
+        for payload in payloads:
+            _discard_shm(payload["shm_name"])
+        raise
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - crashed-worker cleanup
+                proc.terminate()
+                proc.join()
+        result_queue.close()
+        counts_shm.close()
+        try:
+            counts_shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+    errors = [
+        f"shard {index}: {result['error']}"
+        for index, result in sorted(results.items())
+        if "error" in result
+    ]
+    if errors:
+        for payload in payloads:
+            _discard_shm(payload["shm_name"])
+        raise ConfigurationError(f"epoch shard worker failed: {errors[0]}")
+    return [results[i] for i in range(len(payloads))]
+
+
+# ---------------------------------------------------------------------------
+# schedule construction
+# ---------------------------------------------------------------------------
+
+
+def epoch_schedule(
+    horizon_s: float,
+    sync_interval_s: float,
+    event_times: Sequence[float] = (),
+) -> list[float]:
+    """Sorted epoch boundaries: sync ticks ∪ event times ∪ {horizon}.
+
+    Event times become boundaries so each event applies at its declared
+    instant; coincident points coalesce within float tolerance.
+    """
+    if sync_interval_s <= 0:
+        raise ConfigurationError("sync_interval_s must be positive")
+    points: list[float] = [t for t in event_times if t < horizon_s - _EPS]
+    tick = sync_interval_s
+    k = 1
+    while tick < horizon_s - _EPS:
+        points.append(tick)
+        k += 1
+        tick = k * sync_interval_s
+    points.sort()
+    boundaries: list[float] = []
+    for t in points:
+        if not boundaries or t - boundaries[-1] > _EPS:
+            boundaries.append(t)
+    boundaries.append(horizon_s)
+    return boundaries
+
+
+def _resolve_events(
+    spec: "ExperimentSpec",
+    dips: Mapping[DipId, Any],
+    index_of: Mapping[DipId, int],
+    warmup_s: float,
+) -> list[tuple[float, tuple]]:
+    """Timeline events as (absolute time, primitive worker event) pairs.
+
+    Capacity factors are resolved here in the parent — the worker never
+    needs the DipServer objects — using the pool's own antagonist
+    parameters for ``antagonist_phase``.
+    """
+    resolved: list[tuple[float, tuple]] = []
+    for event in spec.timeline.ordered_events():
+        t = warmup_s + event.time_s
+        if event.kind == "dip_fail":
+            resolved.append((t, ("fail", index_of[event.dip])))
+        elif event.kind == "dip_recover":
+            resolved.append((t, ("recover", index_of[event.dip])))
+        elif event.kind == "capacity_ratio":
+            resolved.append((t, ("capacity", index_of[event.dip], float(event.value))))
+        elif event.kind == "antagonist_phase":
+            loss = dips[event.dip].antagonist.per_copy_loss
+            factor = (1.0 - loss) ** int(event.value)
+            resolved.append((t, ("capacity", index_of[event.dip], factor)))
+        elif event.kind == "arrival_scale":
+            resolved.append((t, ("rate", float(event.value))))
+        else:
+            raise ConfigurationError(
+                f"timeline kind {event.kind!r} is not epoch-shardable"
+            )
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+def run_request_epoch(
+    spec: "ExperimentSpec",
+    plan: "ShardPlan",
+    *,
+    workers: int | None = None,
+    pool: Any | None = None,
+    dips: Mapping[DipId, Any] | None = None,
+    observers: Sequence[Any] = (),
+) -> "RunResult":
+    """Execute ``spec`` under the epoch-synchronized sharding model.
+
+    ``workers`` bounds the process fan-out exactly as in the exact engine;
+    ``<= 1`` runs the coalesced inline simulation, which produces the same
+    bytes as the fan-out.  A ``pool`` argument is accepted for signature
+    parity but only its width is used — epoch shards need mid-task
+    barriers, so they run on dedicated processes, not the task pool.
+    Observers receive the timeline's events and windows after the fold
+    (the engine has no mid-run event loop to stream them from).
+    """
+    from repro.api.result import Provenance, RunResult
+    from repro.api.runners import (
+        now_iso,
+        pool_from_spec,
+        replay_controller_weights,
+    )
+    from repro.api.timeline import (
+        ObserverSet,
+        check_timeline_supported,
+        windows_from_collector,
+    )
+
+    if plan.mode != "epoch":
+        raise ConfigurationError(
+            f"plan mode is {plan.mode!r}, not 'epoch'"
+            + (f": {plan.fallback_reason}" if plan.fallback_reason else "")
+        )
+    sync_interval = plan.sync_interval_s or spec.sync_interval_s
+    started_at, started = now_iso(), time.perf_counter()
+    if dips is None:
+        dips = pool_from_spec(spec.pool, spec.seed)
+    dip_ids = list(dips)
+    if tuple(dip_ids) != tuple(d for s in plan.dip_slices for d in s):
+        raise ConfigurationError("shard plan does not cover the spec's pool")
+    timeline = spec.timeline
+    if not timeline.empty:
+        check_timeline_supported(
+            timeline,
+            spec.runner,
+            dips=dip_ids,
+            controller_enabled=spec.controller.enabled,
+        )
+    total_capacity = sum(d.capacity_rps for d in dips.values())
+    rate = spec.workload.load_fraction * total_capacity
+    warmup = spec.workload.warmup_s
+    if timeline.empty:
+        duration = spec.workload.num_requests / rate
+    else:
+        duration = timeline.duration_s()
+    horizon = warmup + duration
+
+    weights_map = replay_controller_weights(spec)
+    weights = (
+        [float(weights_map.get(d, 0.0)) for d in dip_ids]
+        if weights_map is not None
+        else None
+    )
+
+    index_of = {dip_id: i for i, dip_id in enumerate(dip_ids)}
+    rank_of = {dip_id: r for r, dip_id in enumerate(sorted(dip_ids))}
+    dip_rank = [rank_of[d] for d in dip_ids]
+    stations_meta = []
+    for dip_id in dip_ids:
+        dip = dips[dip_id]
+        model = dip.latency_model
+        stations_meta.append(
+            (
+                dip_id,
+                index_of[dip_id],
+                model.servers,
+                model.servers / model.capacity_rps,
+                dip.base_capacity_rps,
+            )
+        )
+
+    events = _resolve_events(spec, dips, index_of, warmup)
+    boundaries = epoch_schedule(horizon, sync_interval, [t for t, _ in events])
+    schedule: list[tuple[float, tuple]] = []
+    for t in boundaries:
+        at_boundary = tuple(e for te, e in events if abs(te - t) <= _EPS)
+        schedule.append((t, at_boundary))
+
+    policy_name = spec.policy.name
+    num_muxes = spec.policy.num_muxes
+    # Per-(dip, mux) counts are only worth exchanging when a MUX layer
+    # fronts a count-based inner router (each MUX tracks its own opens).
+    track_mux = num_muxes > 1 and policy_name in _COUNT_POLICIES
+    mux_dim = num_muxes if track_mux else 1
+    num_slots = len(dip_ids) * mux_dim
+
+    if workers is None:
+        workers = min(plan.shards, os.cpu_count() or 1)
+    if pool is not None:
+        workers = pool.max_workers
+    use_processes = workers > 1 and plan.shards > 1
+    run_tag = f"repro-{os.getpid()}-{os.urandom(4).hex()}"
+
+    base_payload = {
+        "seed": spec.seed,
+        "rate_rps": rate,
+        "num_clients": _NUM_CLIENTS,
+        "policy": policy_name,
+        "num_muxes": num_muxes,
+        "track_mux": track_mux,
+        "weights": weights,
+        "stations": stations_meta,
+        "dip_rank": dip_rank,
+        "queue_capacity": QUEUE_CAPACITY,
+        "measure_from": warmup,
+        "schedule": schedule,
+    }
+
+    if use_processes:
+        payloads = []
+        for shard_index, dip_slice in enumerate(plan.dip_slices):
+            payload = dict(base_payload)
+            payload["shard_index"] = shard_index
+            payload["owned"] = [index_of[d] for d in dip_slice]
+            payload["shm_name"] = f"{run_tag}-s{shard_index}"
+            payloads.append(payload)
+        shard_results = _run_epoch_processes(payloads, num_slots, run_tag)
+    else:
+        payload = dict(base_payload)
+        payload["shard_index"] = 0
+        payload["owned"] = list(range(len(dip_ids)))
+        shard_results = [_run_epoch_inline(payload)]
+
+    collector, counters = merge_shard_outcomes(shard_results)
+    for dip_id, (busy_seconds, servers) in counters["busy"].items():
+        collector.record_utilization(
+            {dip_id: min(1.0, busy_seconds / (servers * horizon))}
+        )
+
+    metrics = {
+        "mean_latency_ms": collector.mean_latency_ms(),
+        "p50_latency_ms": collector.percentile_latency_ms(50),
+        "p99_latency_ms": collector.percentile_latency_ms(99),
+        "drop_fraction": (
+            counters["dropped"] / counters["submitted"]
+            if counters["submitted"]
+            else 0.0
+        ),
+        "requests_submitted": float(counters["submitted"]),
+        "duration_s": duration,
+    }
+    windows = ()
+    if not timeline.empty:
+        observer = ObserverSet(observers)
+        for event in timeline.ordered_events():
+            observer.on_event(event.time_s, event)
+        windows = windows_from_collector(
+            collector,
+            timeline,
+            observer,
+            duration_s=duration,
+            offset_s=warmup,
+        )
+        metrics["timeline_events"] = float(len(timeline.events))
+        for window in reversed(windows):
+            mean = window.metrics.get("mean_latency_ms")
+            if mean is not None and not math.isnan(mean):
+                metrics["final_latency_ms"] = mean
+                break
+    summaries = {
+        dip: {
+            "requests": float(row.requests),
+            "mean_latency_ms": row.mean_latency_ms,
+            "p99_latency_ms": row.p99_latency_ms,
+            "cpu_utilization": row.cpu_utilization,
+            "drop_fraction": row.drop_fraction,
+        }
+        for dip, row in collector.summaries().items()
+    }
+    return RunResult(
+        spec=spec,
+        runner=spec.runner,
+        seed=spec.seed,
+        metrics={k: float(v) for k, v in metrics.items()},
+        dip_summaries=summaries,
+        windows=tuple(windows),
+        provenance=Provenance(
+            started_at=started_at,
+            wall_clock_s=time.perf_counter() - started,
+            shards=plan.shards,
+            workers=max(1, workers),
+            shard_mode="epoch",
+            sync_interval_s=sync_interval,
+        ),
+        detail={"plan": plan, "collector": collector},
+    )
+
+
+# ---------------------------------------------------------------------------
+# staleness cross-check
+# ---------------------------------------------------------------------------
+
+
+def _rel_delta(a: float, b: float) -> float:
+    if b == 0:
+        return abs(a - b)
+    return abs(a - b) / abs(b)
+
+
+def staleness_crosscheck(
+    spec: "ExperimentSpec",
+    *,
+    shards: int = 4,
+    sync_intervals: Sequence[float] = (0.05, 0.25, 1.0),
+    workers: int = 1,
+) -> dict[str, Any]:
+    """Quantify epoch-sharding error against the serial engine.
+
+    Runs ``spec`` once serially, then once per ``sync_interval_s`` under
+    the epoch engine, and reports the relative mean/p50/p99 deltas plus
+    the absolute drop-fraction delta for each interval.  This is the
+    request-level counterpart of ``request_vs_fluid_crosscheck``: the
+    bench reports the table, CI gates on a ceiling, and the tests assert
+    ``sync_interval_s → 0`` convergence.
+    """
+    from repro.api.runners import runner_for
+    from repro.parallel.planner import plan_shards
+
+    serial = runner_for(spec.runner).run(spec)
+    rows: dict[float, dict[str, float]] = {}
+    for interval in sync_intervals:
+        spec_i = spec.with_overrides({"sync_interval_s": float(interval)})
+        plan = plan_shards(spec_i, shards=shards)
+        if plan.mode != "epoch":
+            raise ConfigurationError(
+                f"spec does not epoch-shard: {plan.fallback_reason}"
+            )
+        epoch = run_request_epoch(spec_i, plan, workers=workers)
+        rows[float(interval)] = {
+            "mean_latency_ms": epoch.metrics["mean_latency_ms"],
+            "p50_latency_ms": epoch.metrics["p50_latency_ms"],
+            "p99_latency_ms": epoch.metrics["p99_latency_ms"],
+            "drop_fraction": epoch.metrics["drop_fraction"],
+            "mean_rel": _rel_delta(
+                epoch.metrics["mean_latency_ms"], serial.metrics["mean_latency_ms"]
+            ),
+            "p50_rel": _rel_delta(
+                epoch.metrics["p50_latency_ms"], serial.metrics["p50_latency_ms"]
+            ),
+            "p99_rel": _rel_delta(
+                epoch.metrics["p99_latency_ms"], serial.metrics["p99_latency_ms"]
+            ),
+            "drop_abs": abs(
+                epoch.metrics["drop_fraction"] - serial.metrics["drop_fraction"]
+            ),
+        }
+    return {
+        "serial": {
+            "mean_latency_ms": serial.metrics["mean_latency_ms"],
+            "p50_latency_ms": serial.metrics["p50_latency_ms"],
+            "p99_latency_ms": serial.metrics["p99_latency_ms"],
+            "drop_fraction": serial.metrics["drop_fraction"],
+        },
+        "epoch": rows,
+    }

@@ -38,6 +38,8 @@ from repro.exceptions import ConfigurationError
 # collide — a trailing-zero key would silently reuse another stream.
 _ARRIVAL_LANE = 0x5EED01
 _SERVICE_LANE = 0x5EED02
+_FLOW_LANE = 0x5EED03
+_ROUTER_LANE = 0x5EED04
 
 _NAN = float("nan")
 
@@ -51,6 +53,24 @@ def service_seed(seed: int, dip_index: int) -> np.random.SeedSequence:
     """Entropy for one DIP's service draws, keyed by its *global* index."""
     return np.random.SeedSequence(
         [int(seed) & 0xFFFFFFFF, _SERVICE_LANE, int(dip_index) + 1]
+    )
+
+
+def flow_seed(seed: int) -> np.random.SeedSequence:
+    """Entropy for the per-request flow draws (client index per arrival)."""
+    return np.random.SeedSequence([int(seed) & 0xFFFFFFFF, _FLOW_LANE])
+
+
+def router_seed(seed: int, slot: int, replica: int = 0) -> np.random.SeedSequence:
+    """Entropy for one epoch-router's private randomness.
+
+    ``slot`` separates policies (p2 pair sampling, DNS resolution, the
+    i.i.d. pickers) and ``replica`` separates per-MUX policy instances.
+    Every replica of the *same* router across shards uses the same seed —
+    that is what keeps the replayed routing identical everywhere.
+    """
+    return np.random.SeedSequence(
+        [int(seed) & 0xFFFFFFFF, _ROUTER_LANE, int(slot), int(replica) + 1]
     )
 
 

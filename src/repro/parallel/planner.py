@@ -1,49 +1,63 @@
-"""The shard planner: decide whether a request-level run can be sharded.
+"""The shard planner: decide *how* a request-level run can be sharded.
 
-A request-level simulation shards along the DIP axis.  For policies whose
-routing law is independent of queue state and flow contents, the VIP's
-Poisson arrival process decomposes *exactly* into per-DIP sub-streams:
+A request-level simulation shards along the DIP axis.  The planner issues
+a three-way verdict (``ShardPlan.mode``):
 
-* ``rr`` — plain round robin sends request ``i`` to DIP ``i mod n``, so
-  DIP ``d``'s arrivals are the global stream sliced ``times[d::n]``
-  (Erlang-``n`` interarrivals, exactly the law the serial engine produces);
-* ``random`` / ``wrandom`` — each request draws its DIP i.i.d. from a fixed
-  categorical distribution, so per-DIP streams are independent thinned
-  Poisson processes (the classic thinning decomposition).
+* ``"exact"`` — for policies whose routing law is independent of queue
+  state and flow contents, the VIP's Poisson arrival process decomposes
+  *exactly* into per-DIP sub-streams:
 
-Either way, disjoint DIP subsets evolve independently: a shard simulates
-its DIPs' M/M/c/K queues against their sub-streams and the union of shards
-is distributed exactly like the serial run.  Everything else falls back to
-the serial engine with a reason logged under ``repro.parallel``:
+  - ``rr`` — plain round robin sends request ``i`` to DIP ``i mod n``, so
+    DIP ``d``'s arrivals are the global stream sliced ``times[d::n]``
+    (Erlang-``n`` interarrivals, exactly the law the serial engine
+    produces);
+  - ``random`` / ``wrandom`` — each request draws its DIP i.i.d. from a
+    fixed categorical distribution, so per-DIP streams are independent
+    thinned Poisson processes (the classic thinning decomposition).
 
-============================  ==================================================
-condition                     why it cannot shard
-============================  ==================================================
-runner != "request"           fluid/fleet are analytic and already vectorized
-timeline events declared      mid-run perturbations couple every DIP's clock
-policy uses connection counts routing reads global queue state (lc, wlc, p2)
-policy inspects the flow      per-flow state spans shards (hash, dns)
-policy is a MuxPool           per-MUX weight staleness is shared dataplane state
-policy "wrr"                  the smooth-WRR interleave is one global sequence
-fewer than 2 DIPs             nothing to split
-============================  ==================================================
+  Disjoint DIP subsets evolve independently and the union of shards is
+  distributed exactly like the serial run
+  (:mod:`repro.parallel.shard`).
+
+* ``"epoch"`` — stateful policies (lc/wlc/p2/hash/dns/wrr, MuxPool
+  dataplanes) and timeline runs shard *approximately* under the
+  epoch-synchronized engine (:mod:`repro.parallel.epoch`): every shard
+  replays the full routing stream against an identical router replica and
+  simulates only its own DIPs' queues, exchanging per-DIP connection
+  counts at ``sync_interval_s`` barriers.  Between barriers replicas
+  route on a bounded-stale view — quantified by
+  :func:`repro.parallel.epoch.staleness_crosscheck`.
+
+* ``"serial"`` — everything else falls back to the serial DES with a
+  reason logged under ``repro.parallel``:
+
+  ============================  ================================================
+  condition                     why it cannot shard at all
+  ============================  ================================================
+  runner != "request"           fluid/fleet are analytic and already vectorized
+  fleet-only timeline events    vip_onboard/offboard need the fleet substrate
+  policy has no epoch router    an unregistered/novel policy cannot be replayed
+  fewer than 2 DIPs             nothing to split
+  1 shard requested             sharding was not asked for
+  ============================  ================================================
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.api.spec import ExperimentSpec
 from repro.exceptions import ConfigurationError
-from repro.lb import make_policy, policy_registry
+from repro.lb import make_policy, policy_registry, policy_seed_kwargs
 from repro.lb.base import Policy
 from repro.lb.mux import MuxPool
+from repro.parallel.epoch import EPOCH_ROUTERS
 from repro.workloads import split_dip_ids
 
 logger = logging.getLogger("repro.parallel")
 
-#: Policies the planner can shard, mapped to their routing law.
+#: Policies the planner can shard *exactly*, mapped to their routing law.
 SHARDABLE_POLICIES: dict[str, str] = {
     "rr": "cyclic",
     "random": "iid-uniform",
@@ -52,11 +66,13 @@ SHARDABLE_POLICIES: dict[str, str] = {
 
 
 def policy_fallback_reason(policy: Policy | MuxPool | str) -> str | None:
-    """Why this policy cannot shard, or ``None`` when it can.
+    """Why this policy cannot shard *exactly*, or ``None`` when it can.
 
     Accepts a registry name, a live :class:`Policy`, or a
     :class:`~repro.lb.mux.MuxPool` (which wraps per-MUX policy replicas and
-    is inherently shared dataplane state).
+    is inherently shared dataplane state).  A non-``None`` reason no longer
+    means serial execution: policies with an epoch router
+    (:data:`repro.parallel.epoch.EPOCH_ROUTERS`) still shard approximately.
     """
     if isinstance(policy, MuxPool):
         return (
@@ -68,9 +84,10 @@ def policy_fallback_reason(policy: Policy | MuxPool | str) -> str | None:
             raise ConfigurationError(f"unknown policy {policy!r}")
         if policy in SHARDABLE_POLICIES:
             return None
-        # Instantiate a throwaway copy to read its routing declarations.
-        kwargs = {"seed": 0} if policy in ("random", "wrandom", "p2", "dns") else {}
-        policy = make_policy(policy, ["_probe"], **kwargs)
+        # Instantiate a throwaway copy to read its routing declarations;
+        # the seed kwarg is derived from the constructor signature so new
+        # stochastic policies probe correctly without planner changes.
+        policy = make_policy(policy, ["_probe"], **policy_seed_kwargs(policy))
     name = getattr(policy, "name", type(policy).__name__)
     if name in SHARDABLE_POLICIES:
         return None
@@ -94,10 +111,14 @@ def policy_fallback_reason(policy: Policy | MuxPool | str) -> str | None:
 class ShardPlan:
     """The planner's verdict for one spec.
 
-    ``shardable`` plans carry the per-shard DIP id slices (contiguous, in
-    pool order — merged metrics are therefore independent of the shard
-    count) and the routing law the stream builder must reproduce.
-    Non-shardable plans carry the human-readable ``fallback_reason``.
+    ``mode`` is ``"exact"`` (per-DIP stream decomposition), ``"epoch"``
+    (bounded-staleness replica sharding at ``sync_interval_s`` barriers)
+    or ``"serial"``.  Shardable plans carry the per-shard DIP id slices
+    (contiguous, in pool order — merged metrics are therefore independent
+    of the shard count); exact plans also carry the routing law the
+    stream builder must reproduce.  Serial plans carry the
+    human-readable ``fallback_reason``.  ``shards`` is always the
+    *effective* count (clamped to the DIP count, with the clamp logged).
     """
 
     shards: int
@@ -105,6 +126,14 @@ class ShardPlan:
     routing: str | None = None
     dip_slices: tuple[tuple[str, ...], ...] = ()
     fallback_reason: str | None = None
+    mode: str = field(default="")
+    sync_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.mode:
+            # Callers building plans by hand predate the three-way verdict:
+            # infer the mode the old two-way fields imply.
+            object.__setattr__(self, "mode", "exact" if self.shardable else "serial")
 
     @property
     def num_dips(self) -> int:
@@ -120,22 +149,29 @@ def _serial(reason: str, *, log: bool = True) -> ShardPlan:
 def spec_fallback_reason(spec: ExperimentSpec) -> str | None:
     """The pool-independent screens: why ``spec`` cannot shard, or ``None``.
 
-    These checks (substrate, timeline, policy) need nothing but the spec
-    itself, so callers can screen before paying for pool construction;
-    :func:`plan_shards` applies them first for the same reason.
+    These checks (substrate, timeline kinds, policy) need nothing but the
+    spec itself, so callers can screen before paying for pool
+    construction; :func:`plan_shards` applies them first for the same
+    reason.  ``None`` means the spec shards at least approximately — the
+    planner picks exact vs epoch mode afterwards.
     """
     if spec.runner != "request":
         return (
             f"runner {spec.runner!r} is not request-level (the fluid and "
             "fleet substrates are analytic and already vectorized)"
         )
-    if not spec.timeline.empty:
-        kinds = sorted({e.kind for e in spec.timeline.events}) or ["horizon"]
-        return (
-            "timeline events ({}) perturb shared state mid-run; shards "
-            "could not agree on a global clock".format(", ".join(kinds))
-        )
-    return policy_fallback_reason(spec.policy.name)
+    for event in spec.timeline.events:
+        if event.kind in ("vip_onboard", "vip_offboard") or (
+            event.kind == "arrival_scale" and event.vip is not None
+        ):
+            return (
+                f"timeline event kind {event.kind!r} needs the fleet "
+                "substrate; the request engine cannot execute it at all"
+            )
+    name = spec.policy.name
+    if name in SHARDABLE_POLICIES or name in EPOCH_ROUTERS:
+        return None
+    return policy_fallback_reason(name)
 
 
 def plan_shards(
@@ -163,10 +199,32 @@ def plan_shards(
         dip_ids = tuple(pool_from_spec(spec.pool, spec.seed))
     if len(dip_ids) < 2:
         return _serial("pool has fewer than 2 DIPs; nothing to split")
-    shards = min(shards, len(dip_ids))
+    if shards > len(dip_ids):
+        logger.info(
+            "requested %d shards exceeds %d DIPs; clamping to %d",
+            shards,
+            len(dip_ids),
+            len(dip_ids),
+        )
+        shards = len(dip_ids)
+    exact = (
+        spec.policy.name in SHARDABLE_POLICIES
+        and spec.timeline.empty
+        and spec.policy.num_muxes == 1
+    )
+    if exact:
+        return ShardPlan(
+            shards=shards,
+            shardable=True,
+            routing=SHARDABLE_POLICIES[spec.policy.name],
+            dip_slices=split_dip_ids(dip_ids, shards),
+            mode="exact",
+        )
     return ShardPlan(
         shards=shards,
         shardable=True,
-        routing=SHARDABLE_POLICIES[spec.policy.name],
+        routing=None,
         dip_slices=split_dip_ids(dip_ids, shards),
+        mode="epoch",
+        sync_interval_s=spec.sync_interval_s,
     )

@@ -7,6 +7,12 @@ interpreter pool warm across calls, serializes the sweep's *base* spec
 exactly once (workers cache the parsed tree by content key and apply only
 the per-task overrides), and dispatches in chunks so a thousand-spec sweep
 does not queue a thousand pickles.
+
+Scope note: the pool serves *independent* tasks (sweep points, exact
+shards).  Epoch-synchronized shards need mid-task barriers, which a
+futures executor cannot express, so :mod:`repro.parallel.epoch` fans out
+on dedicated ``multiprocessing.Process`` workers instead and only borrows
+a caller-provided pool's ``max_workers`` as its width hint.
 """
 
 from __future__ import annotations

@@ -101,41 +101,52 @@ def run_shard_task(payload: Mapping[str, Any]) -> dict[str, Any]:
             "dropped": outcome.dropped,
             "busy_seconds": outcome.busy_seconds,
             "servers": servers,
+            "latency_ms": outcome.latency_ms,
+            "completed": outcome.completed,
+            "timestamp": outcome.timestamp,
         }
         for dip_id, servers, outcome in outcomes
     ]
     if not payload.get("use_shm"):
-        for block, (_, _, outcome) in zip(blocks, outcomes):
-            block["latency_ms"] = outcome.latency_ms
-            block["completed"] = outcome.completed
-            block["timestamp"] = outcome.timestamp
         return {"blocks": blocks}
+    return publish_blocks(blocks, shm_name=payload.get("shm_name"))
 
+
+def publish_blocks(
+    blocks: list[dict[str, Any]], *, shm_name: str | None
+) -> dict[str, Any]:
+    """Move per-DIP record columns into one shared-memory segment.
+
+    ``blocks`` carry their ``latency_ms``/``completed``/``timestamp``
+    arrays inline; this packs them into the segment (layout: latency
+    f8[total] | timestamp f8[total] | completed u1[total]), replaces the
+    arrays with block offsets, and returns the result dict the merge
+    consumes.  The segment name is assigned by the *parent* so a failed
+    dispatch can still discard every segment its surviving workers
+    created; it is detached from this process's resource tracker because
+    the parent unlinks it after the merge.
+    """
     total = sum(block["count"] for block in blocks)
-    # Layout: latency f8[total] | timestamp f8[total] | completed u1[total].
-    # The segment name is assigned by the *parent* so a failed dispatch can
-    # still discard every segment its surviving workers created.
-    name = payload.get("shm_name")
     try:
         shm = shared_memory.SharedMemory(
-            name=name, create=True, size=max(1, total * 17)
+            name=shm_name, create=True, size=max(1, total * 17)
         )
     except FileExistsError:
         # Stale segment from a crashed earlier run under the same name.
-        _discard_shm(name)
+        _discard_shm(shm_name)
         shm = shared_memory.SharedMemory(
-            name=name, create=True, size=max(1, total * 17)
+            name=shm_name, create=True, size=max(1, total * 17)
         )
     try:
         lat = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
         ts = np.ndarray((total,), dtype=np.float64, buffer=shm.buf, offset=total * 8)
         done = np.ndarray((total,), dtype=np.uint8, buffer=shm.buf, offset=total * 16)
         offset = 0
-        for block, (_, _, outcome) in zip(blocks, outcomes):
+        for block in blocks:
             end = offset + block["count"]
-            lat[offset:end] = outcome.latency_ms
-            ts[offset:end] = outcome.timestamp
-            done[offset:end] = outcome.completed
+            lat[offset:end] = block.pop("latency_ms")
+            ts[offset:end] = block.pop("timestamp")
+            done[offset:end] = block.pop("completed")
             block["offset"] = offset
             offset = end
         del lat, ts, done
@@ -263,9 +274,10 @@ def run_request_sharded(
         replay_controller_weights,
     )
 
-    if not plan.shardable:
+    if plan.mode != "exact":
         raise ConfigurationError(
-            f"plan is not shardable: {plan.fallback_reason}"
+            f"plan mode is {plan.mode!r}, not 'exact'"
+            + (f": {plan.fallback_reason}" if plan.fallback_reason else "")
         )
     started_at, started = now_iso(), time.perf_counter()
     if dips is None:
@@ -383,6 +395,7 @@ def run_request_sharded(
             wall_clock_s=time.perf_counter() - started,
             shards=plan.shards,
             workers=max(1, workers),
+            shard_mode="exact",
         ),
         detail={"plan": plan, "collector": collector},
     )

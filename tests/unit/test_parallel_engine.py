@@ -1,11 +1,16 @@
-"""The multi-core execution layer: planner, kernel, merge, pool, cache.
+"""The multi-core execution layer: planner, kernel, epoch engine, pool.
 
 Covers the sharding contract end to end:
 
-* the planner's decision table — which policies shard, and the reason
-  attached to every fallback (least_connection, MuxPool, hash, wrr, ...);
-* statistical equivalence of sharded and serial runs (same M/M/c/K system,
-  different but equally-valid random realizations);
+* the planner's three-way verdict — which policies shard exactly, which
+  shard approximately under the epoch engine, and the reason attached to
+  every serial fallback;
+* statistical equivalence of exactly-sharded and serial runs (same
+  M/M/c/K system, different but equally-valid random realizations);
+* the epoch engine's contract — bit-identical repeats for every
+  epoch-shardable policy (MUX pools and timelines included), shard-count
+  and process-vs-inline invariance, and ``sync_interval_s → 0``
+  convergence of lc/wlc to the serial engine;
 * determinism — merged metrics are bit-identical across repeats for a
   fixed seed and shard count (and, stronger, independent of the shard
   count and of in-process vs worker-process execution);
@@ -24,6 +29,7 @@ from repro.api.result import Provenance, RunResult
 from repro.api.runners import execute
 from repro.api.spec import (
     ControllerSpec,
+    EventSpec,
     ExperimentSpec,
     PolicySpec,
     PoolSpec,
@@ -32,13 +38,15 @@ from repro.api.spec import (
 )
 from repro.api.sweep import Sweep
 from repro.exceptions import ConfigurationError
-from repro.lb import LeastConnection, MuxPool
+from repro.lb import LeastConnection, MuxPool, policy_seed_kwargs
 from repro.parallel import (
     ShardPlan,
     WorkerPool,
     plan_shards,
     policy_fallback_reason,
+    run_request_epoch,
     run_request_sharded,
+    staleness_crosscheck,
 )
 from repro.parallel.kernel import (
     arrival_seed,
@@ -57,6 +65,7 @@ def request_spec(
     num_dips: int = 16,
     num_requests: int = 100_000,
     policy: str = "rr",
+    num_muxes: int = 1,
     controller: bool = False,
     seed: int = 7,
     **spec_kwargs,
@@ -68,10 +77,35 @@ def request_spec(
         workload=WorkloadSpec(
             load_fraction=0.7, num_requests=num_requests, warmup_s=1.0
         ),
-        policy=PolicySpec(name=policy),
+        policy=PolicySpec(name=policy, num_muxes=num_muxes),
         controller=ControllerSpec(enabled=controller),
         seed=seed,
         **spec_kwargs,
+    )
+
+
+def summaries_equal(a: dict, b: dict) -> bool:
+    """Bitwise dict equality that treats NaN == NaN (zero-traffic DIPs)."""
+    if a.keys() != b.keys():
+        return False
+    for dip in a:
+        if a[dip].keys() != b[dip].keys():
+            return False
+        for key in a[dip]:
+            va, vb = a[dip][key], b[dip][key]
+            if va != vb and not (va != va and vb != vb):
+                return False
+    return True
+
+
+def dip_fail_timeline() -> TimelineSpec:
+    return TimelineSpec(
+        events=(
+            EventSpec(time_s=2.0, kind="dip_fail", dip="DIP-1"),
+            EventSpec(time_s=5.0, kind="dip_recover", dip="DIP-1"),
+        ),
+        window_s=1.0,
+        horizon_s=8.0,
     )
 
 
@@ -89,20 +123,26 @@ class TestPlanner:
         plan = plan_shards(request_spec(policy="wrandom"), shards=2)
         assert plan.shardable and plan.routing == "iid-weighted"
 
-    def test_shards_clamped_to_pool_size(self):
-        plan = plan_shards(request_spec(num_dips=6), shards=64)
+    def test_shards_clamped_to_pool_size(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            plan = plan_shards(request_spec(num_dips=6), shards=64)
         assert plan.shards == 6
         assert [len(s) for s in plan.dip_slices] == [1] * 6
+        assert any("clamping" in record.message for record in caplog.records)
 
-    def test_least_connection_falls_back_with_reason(self):
+    def test_least_connection_plans_epoch_mode(self):
         plan = plan_shards(request_spec(policy="lc"), shards=4)
-        assert not plan.shardable
-        assert "connection counts" in plan.fallback_reason
+        assert plan.shardable and plan.mode == "epoch"
+        assert plan.fallback_reason is None
+        assert plan.sync_interval_s == pytest.approx(0.25)  # spec default
 
-    def test_mux_pool_falls_back_with_reason(self):
+    def test_mux_pool_cannot_shard_exactly(self):
         mux = MuxPool(lambda: LeastConnection(["d1", "d2"]), num_muxes=2)
         reason = policy_fallback_reason(mux)
         assert reason is not None and "MuxPool" in reason
+        # ... but a MUX-fronted spec still plans epoch mode.
+        plan = plan_shards(request_spec(policy="lc", num_muxes=2), shards=4)
+        assert plan.mode == "epoch"
 
     @pytest.mark.parametrize(
         "policy, fragment",
@@ -114,25 +154,47 @@ class TestPlanner:
             ("wrr", "deterministic sequence"),
         ],
     )
-    def test_stateful_policies_fall_back(self, policy, fragment):
+    def test_stateful_policies_cannot_shard_exactly(self, policy, fragment):
         reason = policy_fallback_reason(policy)
         assert reason is not None
         if fragment == "deterministic sequence":
             assert "deterministic" in reason
         else:
             assert fragment in reason
+        # The exact-shard screen no longer means serial execution:
+        plan = plan_shards(request_spec(policy=policy), shards=4)
+        assert plan.mode == "epoch"
 
-    def test_timeline_specs_fall_back(self):
+    def test_timeline_specs_plan_epoch_mode(self):
         spec = request_spec(
             timeline=TimelineSpec(events=(), horizon_s=10.0)
         )
         plan = plan_shards(spec, shards=4)
-        assert not plan.shardable and "timeline" in plan.fallback_reason
+        assert plan.shardable and plan.mode == "epoch"
+
+    def test_fleet_only_timeline_events_fall_back(self):
+        spec = request_spec(
+            timeline=TimelineSpec(
+                events=(
+                    EventSpec(
+                        time_s=1.0,
+                        kind="arrival_scale",
+                        vip="VIP-1",
+                        value=2.0,
+                    ),
+                ),
+                horizon_s=10.0,
+            )
+        )
+        plan = plan_shards(spec, shards=4)
+        assert plan.mode == "serial"
+        assert "fleet" in plan.fallback_reason
 
     def test_non_request_runners_fall_back(self):
         spec = ExperimentSpec(name="fluid", runner="fluid")
         plan = plan_shards(spec, shards=4)
-        assert not plan.shardable and "request" in plan.fallback_reason
+        assert not plan.shardable and plan.mode == "serial"
+        assert "request" in plan.fallback_reason
 
     def test_single_shard_is_serial(self):
         plan = plan_shards(request_spec(), shards=1)
@@ -287,18 +349,26 @@ class TestShardedExecution:
         assert shares["DIP-LC"] < shares["DIP-HC-1"]
         assert shares["DIP-LC"] < shares["DIP-HC-2"]
 
-    def test_fallback_executes_serially_and_logs_reason(self, caplog):
-        spec = request_spec(policy="lc", num_requests=2_000, num_dips=4)
+    def test_fallback_executes_serially_with_reason_in_provenance(self, caplog):
+        spec = ExperimentSpec(
+            name="fluid-shard",
+            runner="fluid",
+            controller=ControllerSpec(enabled=False),
+        )
         with caplog.at_level(logging.INFO, logger="repro.parallel"):
             result = execute(spec, shards=4)
         assert result.provenance.shards == 1
-        assert any("connection counts" in r.message for r in caplog.records)
+        assert result.provenance.shard_mode == "serial"
+        assert "request" in result.provenance.fallback_reason
+        assert any("request" in r.message for r in caplog.records)
 
-    def test_run_request_sharded_rejects_serial_plans(self):
-        spec = request_spec(policy="lc")
-        plan = plan_shards(spec, shards=4)
-        with pytest.raises(ConfigurationError, match="not shardable"):
-            run_request_sharded(spec, plan)
+    def test_engines_reject_mismatched_plans(self):
+        epoch_plan = plan_shards(request_spec(policy="lc"), shards=4)
+        with pytest.raises(ConfigurationError, match="not 'exact'"):
+            run_request_sharded(request_spec(policy="lc"), epoch_plan)
+        exact_plan = plan_shards(request_spec(), shards=4)
+        with pytest.raises(ConfigurationError, match="not 'epoch'"):
+            run_request_epoch(request_spec(), exact_plan)
 
     def test_plan_must_cover_the_pool(self):
         spec = request_spec(num_dips=8)
@@ -310,6 +380,127 @@ class TestShardedExecution:
         )
         with pytest.raises(ConfigurationError, match="cover"):
             run_request_sharded(spec, bogus, workers=1)
+
+
+class TestEpochExecution:
+    """The epoch-synchronized engine: every stateful policy, MUX pools,
+    timelines — bit-identical per (seed, sync_interval_s), invariant to
+    shard count and process fan-out, and convergent to serial as the sync
+    interval shrinks."""
+
+    @pytest.mark.parametrize("policy", ["wrr", "hash", "dns", "lc", "wlc", "p2"])
+    def test_bit_identical_repeats_per_policy(self, policy):
+        spec = request_spec(policy=policy, num_dips=8, num_requests=8_000)
+        first = execute(spec, shards=4, workers=1)
+        second = execute(spec, shards=4, workers=1)
+        assert first.provenance.shard_mode == "epoch"
+        assert first.metrics == second.metrics
+        assert summaries_equal(first.dip_summaries, second.dip_summaries)
+
+    def test_bit_identical_with_mux_pool(self):
+        spec = request_spec(
+            policy="lc", num_muxes=4, num_dips=8, num_requests=8_000
+        )
+        first = execute(spec, shards=4, workers=1)
+        second = execute(spec, shards=4, workers=1)
+        assert first.provenance.shard_mode == "epoch"
+        assert first.metrics == second.metrics
+
+    def test_bit_identical_timeline_dip_fail(self):
+        spec = request_spec(
+            policy="lc", num_dips=8, timeline=dip_fail_timeline()
+        )
+        first = execute(spec, shards=4, workers=1)
+        second = execute(spec, shards=4, workers=1)
+        assert first.metrics == second.metrics
+        assert first.windows == second.windows
+        # Events land in the same windows the serial engine puts them in.
+        serial = execute(spec)
+        assert [w.events for w in first.windows] == [
+            w.events for w in serial.windows
+        ]
+        assert first.metrics["timeline_events"] == 2.0
+
+    def test_merged_metrics_independent_of_shard_count(self):
+        spec = request_spec(policy="wlc", num_dips=8, num_requests=8_000)
+        two = execute(spec, shards=2, workers=1)
+        four = execute(spec, shards=4, workers=1)
+        assert two.metrics == four.metrics
+        assert summaries_equal(two.dip_summaries, four.dip_summaries)
+
+    def test_process_mode_matches_inline_bitwise(self):
+        spec = request_spec(policy="lc", num_dips=8, num_requests=8_000)
+        inline = execute(spec, shards=4, workers=1)
+        multi = execute(spec, shards=4, workers=2)
+        assert inline.metrics == multi.metrics
+        assert summaries_equal(inline.dip_summaries, multi.dip_summaries)
+        assert multi.provenance.shard_mode == "epoch"
+        assert multi.provenance.shards == 4 and multi.provenance.workers == 2
+
+    @pytest.mark.parametrize("policy", ["lc", "wlc"])
+    def test_sync_interval_to_zero_converges_to_serial(self, policy):
+        # The staleness property the docs promise: as sync_interval_s → 0
+        # the synced view approaches the serial engine's live counts and
+        # the error shrinks roughly linearly in the interval (measured:
+        # ~15% at 5ms, ~8.5% at 2ms, ~4.6% at 1ms for this workload;
+        # seed-to-seed noise is ~0.6%).  Different-but-equally-valid RNG
+        # draws keep the limit from being bit-equal.
+        spec = request_spec(policy=policy, num_dips=8, num_requests=40_000)
+        serial = execute(spec)
+
+        def rel_error(result):
+            return abs(
+                result.metrics["mean_latency_ms"]
+                - serial.metrics["mean_latency_ms"]
+            ) / serial.metrics["mean_latency_ms"]
+
+        tight = execute(
+            spec.with_overrides({"sync_interval_s": 0.001}),
+            shards=4,
+            workers=1,
+        )
+        loose = execute(
+            spec.with_overrides({"sync_interval_s": 0.05}), shards=4, workers=1
+        )
+        assert rel_error(tight) < 0.06
+        assert rel_error(tight) < rel_error(loose)
+
+    def test_staleness_crosscheck_reports_deltas(self):
+        spec = request_spec(policy="lc", num_dips=8, num_requests=6_000)
+        report = staleness_crosscheck(
+            spec, shards=4, sync_intervals=(0.05, 0.5), workers=1
+        )
+        assert set(report) == {"serial", "epoch"}
+        assert sorted(report["epoch"]) == [0.05, 0.5]
+        for row in report["epoch"].values():
+            for key in ("mean_rel", "p50_rel", "p99_rel", "drop_abs"):
+                assert np.isfinite(row[key]) and row[key] >= 0.0
+
+    def test_epoch_provenance_records_mode_interval_and_clamp(self):
+        spec = request_spec(
+            policy="lc", num_dips=4, num_requests=4_000, sync_interval_s=0.1
+        )
+        result = execute(spec, shards=8, workers=1)  # clamped to 4 DIPs
+        assert result.provenance.shard_mode == "epoch"
+        assert result.provenance.shards == 4
+        assert result.provenance.sync_interval_s == pytest.approx(0.1)
+        assert result.provenance.fallback_reason is None
+
+
+class TestPolicySeedKwargs:
+    def test_seeded_policies_get_the_seed(self):
+        assert policy_seed_kwargs("p2", seed=5) == {"seed": 5}
+        assert policy_seed_kwargs("dns", seed=1) == {"seed": 1}
+        assert policy_seed_kwargs("random", seed=0) == {"seed": 0}
+        assert policy_seed_kwargs("wrandom", seed=9) == {"seed": 9}
+
+    def test_unseeded_policies_get_nothing(self):
+        for name in ("rr", "wrr", "lc", "wlc", "hash"):
+            assert policy_seed_kwargs(name, seed=3) == {}
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            policy_seed_kwargs("nope")
 
 
 class TestColumnarMerge:
@@ -548,6 +739,55 @@ class TestCli:
         raw = json.loads(out_file.read_text())
         assert raw["provenance"]["shards"] == 4
 
+    def test_sync_interval_flag_round_trips_through_artifact(
+        self, capsys, tmp_path
+    ):
+        from repro.api.cli import main
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            request_spec(policy="lc", num_dips=4, num_requests=4_000).to_json()
+        )
+        out_file = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                str(spec_file),
+                "--shards",
+                "2",
+                "--workers",
+                "1",
+                "--sync-interval",
+                "0.1",
+                "-o",
+                str(out_file),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "epoch-sharded run" in err
+        assert "sync_interval_s=0.1" in err
+        loaded = RunResult.load(out_file)
+        assert loaded.provenance.shard_mode == "epoch"
+        assert loaded.provenance.sync_interval_s == pytest.approx(0.1)
+
+    def test_fallback_note_names_the_reason(self, capsys):
+        from repro.api.cli import main
+
+        code = main(
+            [
+                "run",
+                "fluid_uniform_pool",
+                "--set",
+                "controller.enabled=false",
+                "--shards",
+                "4",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "serial fallback" in err
+
     def test_sweep_accepts_workers_alias(self, capsys):
         from repro.api.cli import main
 
@@ -585,6 +825,46 @@ class TestProvenance:
         assert loaded.provenance.shards == 4
         assert loaded.provenance.workers == 2
 
+    def test_epoch_fields_round_trip(self):
+        spec = request_spec(num_requests=1_000, num_dips=2)
+        result = RunResult(
+            spec=spec,
+            runner="request",
+            seed=7,
+            metrics={},
+            dip_summaries={},
+            provenance=Provenance(
+                started_at="now",
+                wall_clock_s=0.1,
+                shards=4,
+                workers=2,
+                shard_mode="epoch",
+                sync_interval_s=0.25,
+                fallback_reason=None,
+            ),
+        )
+        loaded = RunResult.from_dict(result.to_dict())
+        assert loaded.provenance.shard_mode == "epoch"
+        assert loaded.provenance.sync_interval_s == pytest.approx(0.25)
+        assert loaded.provenance.fallback_reason is None
+
+    def test_fallback_reason_round_trips(self):
+        spec = request_spec(num_requests=1_000, num_dips=2)
+        result = RunResult(
+            spec=spec,
+            runner="request",
+            seed=7,
+            metrics={},
+            dip_summaries={},
+            provenance=Provenance(
+                started_at="now",
+                wall_clock_s=0.1,
+                fallback_reason="runner 'fluid' is not request-level",
+            ),
+        )
+        loaded = RunResult.from_dict(result.to_dict())
+        assert "fluid" in loaded.provenance.fallback_reason
+
     def test_old_artifacts_default_to_serial(self):
         spec = request_spec(num_requests=1_000, num_dips=2)
         data = RunResult(
@@ -596,6 +876,12 @@ class TestProvenance:
             provenance=Provenance(started_at="now", wall_clock_s=0.1),
         ).to_dict()
         del data["provenance"]["shards"], data["provenance"]["workers"]
+        del data["provenance"]["shard_mode"]
+        del data["provenance"]["sync_interval_s"]
+        del data["provenance"]["fallback_reason"]
         loaded = RunResult.from_dict(data)
         assert loaded.provenance.shards == 1
         assert loaded.provenance.workers == 1
+        assert loaded.provenance.shard_mode == "serial"
+        assert loaded.provenance.sync_interval_s is None
+        assert loaded.provenance.fallback_reason is None
