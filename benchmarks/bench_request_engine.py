@@ -21,6 +21,7 @@ from the full 1M-request setting).
 from __future__ import annotations
 
 import collections
+import gc
 import heapq
 import itertools
 import os
@@ -42,6 +43,9 @@ NUM_DIPS = 64
 NUM_REQUESTS = int(os.environ.get("BENCH_REQUEST_ENGINE_REQUESTS", 1_000_000))
 LOAD_FRACTION = 0.7
 SPEEDUP_FLOOR = 10.0
+#: retry-armed throughput at 0% failures must stay >= this x the plain
+#: engine's — the resilience bookkeeping may not tax healthy runs > 10%.
+RETRY_OVERHEAD_FLOOR = 0.9
 
 
 def build_pool(num_dips: int, *, cores: int = 4, cap_per_core: float = 400.0):
@@ -339,17 +343,49 @@ def run_request_engine_bench(
     total_capacity = sum(d.capacity_rps for d in dips.values())
     rate = LOAD_FRACTION * total_capacity
 
-    # New streaming engine, best of two runs (measured first, on a clean
+    # New streaming engine, best of three runs (measured first, on a clean
     # heap — the seed path leaves ~1M live objects behind).
-    engine_wall_s = float("inf")
-    for _ in range(2):
+    # Streaming engine and retry-armed engine, best of three runs each,
+    # measured first (on a clean heap — the seed path leaves ~1M live
+    # objects behind) and *interleaved* engine/retry/engine/retry so both
+    # sample the same process epochs: later runs in a process are
+    # systematically slower as the heap ages, and a blocked ordering would
+    # charge all of that drift to whichever side ran second.
+    #
+    # The retry side arms RetryPolicy(enabled=True) on an all-healthy
+    # pool: pure bookkeeping overhead (timeout wheel, attempt columns,
+    # budget accounting) with zero actual retries.
+    from repro.api.spec import RetryPolicy
+
+    engine_wall_s = engine_cpu_s = float("inf")
+    retry_wall_s = retry_cpu_s = float("inf")
+    for _ in range(3):
         cluster = RequestCluster(
             build_pool(num_dips), RoundRobin(list(dips)), rate_rps=rate, seed=7
         )
+        gc.collect()  # each timed run starts from the same collector state
         started = time.perf_counter()
+        started_cpu = time.process_time()
         result = cluster.run(num_requests=num_requests)
+        engine_cpu_s = min(engine_cpu_s, time.process_time() - started_cpu)
         engine_wall_s = min(engine_wall_s, time.perf_counter() - started)
+
+        retry_cluster = RequestCluster(
+            build_pool(num_dips),
+            RoundRobin(list(dips)),
+            rate_rps=rate,
+            seed=7,
+            retry=RetryPolicy(enabled=True),
+        )
+        gc.collect()
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        retry_result = retry_cluster.run(num_requests=num_requests)
+        retry_cpu_s = min(retry_cpu_s, time.process_time() - started_cpu)
+        retry_wall_s = min(retry_wall_s, time.perf_counter() - started)
     engine_latency_ms = result.metrics.mean_latency_ms()
+    retry_rps = retry_result.requests_submitted / retry_wall_s
+    retry_summary = retry_result.metrics.retry_summary() or {}
 
     # Seed-equivalent path, also best of two runs (symmetric timing — a
     # one-sided min() would let runner noise skew the ratio either way).
@@ -384,12 +420,28 @@ def run_request_engine_bench(
         },
         "engine": {
             "wall_s": engine_wall_s,
+            "cpu_s": engine_cpu_s,
             "requests": result.requests_submitted,
             "requests_per_s": engine_rps,
             "events_per_s": cluster.scheduler.processed_events / engine_wall_s,
             "peak_scheduled_events": cluster.scheduler.peak_pending_events,
             "mean_latency_ms": engine_latency_ms,
             "drop_fraction": result.drop_fraction,
+        },
+        "retry_overhead": {
+            "wall_s": retry_wall_s,
+            "cpu_s": retry_cpu_s,
+            "requests": retry_result.requests_submitted,
+            "requests_per_s": retry_rps,
+            # Ratio of best-of-three CPU times, not wall times: the two
+            # runs execute back to back, and process_time is immune to the
+            # runner-contention noise that dwarfs a ~5% effect in wall
+            # clock on shared CI machines.
+            "relative_throughput": engine_cpu_s / retry_cpu_s,
+            "retried_fraction": float(
+                retry_summary.get("retried_fraction", 0.0)
+            ),
+            "floor": RETRY_OVERHEAD_FLOOR,
         },
         "speedup": engine_rps / seed_rps,
         "latency_rel_diff": abs(engine_latency_ms - seed_latency_ms)
@@ -411,6 +463,10 @@ def _render(results: dict) -> str:
         f"streaming engine           : {engine['wall_s']:.1f} s "
         f"({engine['requests_per_s']:,.0f} req/s, {engine['events_per_s']:,.0f} ev/s, "
         f"peak heap {engine['peak_scheduled_events']:,})\n"
+        f"retry armed, 0% failures   : {results['retry_overhead']['wall_s']:.1f} s "
+        f"({results['retry_overhead']['requests_per_s']:,.0f} req/s, "
+        f"{results['retry_overhead']['relative_throughput']:.0%} of engine, "
+        f"floor {results['retry_overhead']['floor']:.0%})\n"
         f"speedup                    : {results['speedup']:.1f}x "
         f"(floor {results['speedup_floor']:.0f}x)\n"
         f"mean latency               : seed {seed['mean_latency_ms']:.3f} ms vs "
@@ -431,6 +487,14 @@ def _check(results: dict) -> None:
     )
     # Both paths simulate the same M/M/c/K system; means must agree closely.
     assert results["latency_rel_diff"] < 0.05
+    # Arming retries may not tax a healthy run beyond the overhead floor,
+    # and an all-healthy pool must produce zero actual retries.
+    retry = results["retry_overhead"]
+    assert retry["relative_throughput"] >= retry["floor"], (
+        f"retry-armed throughput {retry['relative_throughput']:.2%} of the "
+        f"plain engine, below the {retry['floor']:.0%} floor"
+    )
+    assert retry["retried_fraction"] == 0.0
 
 
 def test_request_engine_speedup(benchmark):

@@ -186,6 +186,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = sweep.run(max_workers=args.jobs)
     report = compare(results)
     print(report.render())
+    failed = [r for r in results if r.error is not None]
+    if failed:
+        print(
+            f"\n{len(failed)} of {len(results)} sweep point(s) failed:",
+            file=sys.stderr,
+        )
+        for result in failed:
+            print(f"  {result.spec.name}: {result.error}", file=sys.stderr)
     if args.output:
         out_dir = Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -196,7 +204,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"\n{len(results)} results written to {out_dir}/")
-    return 0
+    return 1 if failed and len(failed) == len(results) else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

@@ -50,6 +50,13 @@ class Provenance:
     shard_mode: str = "serial"
     sync_interval_s: float | None = None
     fallback_reason: str | None = None
+    #: worker-pool tasks re-dispatched after a timeout or crash.
+    retries: int = 0
+    #: execution mode the pool degraded to after repeated failures
+    #: ("inline" when the last-resort in-process path ran), or ``None``.
+    degraded_to: str | None = None
+    #: runs of a sweep that ultimately failed (their rows carry ``error``).
+    failed_runs: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,13 +110,16 @@ class RunResult:
     provenance: Provenance
     #: windowed time-series of the timed phase (empty without a timeline).
     windows: tuple[RunWindow, ...] = ()
+    #: why this run produced no metrics (sweep error capture); ``None``
+    #: for successful runs.
+    error: str | None = None
     #: rich in-memory detail (assignments, states); never serialized.
     detail: Any = field(default=None, compare=False, repr=False)
 
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema": RESULT_SCHEMA,
             "spec": self.spec.to_dict(),
             "runner": self.runner,
@@ -128,8 +138,14 @@ class RunResult:
                 "shard_mode": self.provenance.shard_mode,
                 "sync_interval_s": self.provenance.sync_interval_s,
                 "fallback_reason": self.provenance.fallback_reason,
+                "retries": self.provenance.retries,
+                "degraded_to": self.provenance.degraded_to,
+                "failed_runs": self.provenance.failed_runs,
             },
         }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -168,6 +184,9 @@ class RunResult:
             windows=tuple(
                 RunWindow.from_dict(row) for row in data.get("windows", ())
             ),
+            error=(
+                str(data["error"]) if data.get("error") is not None else None
+            ),
             provenance=Provenance(
                 started_at=str(prov.get("started_at", "")),
                 wall_clock_s=float(prov.get("wall_clock_s", 0.0)),
@@ -185,6 +204,13 @@ class RunResult:
                     if prov.get("fallback_reason") is not None
                     else None
                 ),
+                retries=int(prov.get("retries", 0)),
+                degraded_to=(
+                    str(prov["degraded_to"])
+                    if prov.get("degraded_to") is not None
+                    else None
+                ),
+                failed_runs=int(prov.get("failed_runs", 0)),
             ),
         )
 
@@ -200,6 +226,26 @@ class RunResult:
                 f"result file {str(path)!r} is not valid JSON: {error}"
             ) from None
         return cls.from_dict(data)
+
+    @classmethod
+    def error_result(
+        cls, spec: ExperimentSpec, message: str, *, started_at: str = ""
+    ) -> "RunResult":
+        """A failed run's row: empty metrics, the failure under ``error``.
+
+        Sweeps return one of these per point that raised instead of
+        aborting the whole expansion — the successful points' results
+        survive, and the failure is inspectable in the same table.
+        """
+        return cls(
+            spec=spec,
+            runner=spec.runner,
+            seed=spec.seed,
+            metrics={},
+            dip_summaries={},
+            provenance=Provenance(started_at=started_at, wall_clock_s=0.0),
+            error=message,
+        )
 
     def window_series(self, metric: str) -> tuple[float, ...]:
         """One metric as a time-series across the windows (NaN where absent)."""

@@ -34,7 +34,12 @@ from datetime import datetime, timezone
 from typing import Any, Iterable, Mapping, Protocol
 
 from repro.api.result import Provenance, RunResult, RunWindow
-from repro.api.spec import ExperimentSpec, PoolSpec
+from repro.api.spec import (
+    ChaosSpec,
+    ExperimentSpec,
+    PoolSpec,
+    expand_chaos_events,
+)
 from repro.api.timeline import (
     Observer,
     ObserverSet,
@@ -78,6 +83,34 @@ def pool_from_spec(pool: PoolSpec, seed: int) -> dict[DipId, Any]:
         capacity_ratio=pool.capacity_ratio,
         seed=seed,
     )
+
+
+def expand_spec_chaos(spec: ExperimentSpec) -> ExperimentSpec:
+    """Resolve an armed :class:`~repro.api.spec.ChaosSpec` into plain events.
+
+    Expansion happens before planning or execution, so downstream code —
+    runners, the shard planner, saved artifacts — sees an ordinary
+    hand-written-looking timeline.  Bit-identical per chaos seed; the
+    returned spec has ``timeline.chaos`` disarmed (idempotent).  Scenario
+    specs pass through: the :class:`ScenarioRunner` hands the chaos seed
+    to the scenario, which expands it inside its own inner spec.
+    """
+    chaos = spec.timeline.chaos
+    if not chaos.enabled or spec.runner == "scenario":
+        return spec
+    dips = pool_from_spec(spec.pool, spec.seed)
+    generated = expand_chaos_events(
+        chaos,
+        dip_ids=tuple(dips),
+        horizon_s=spec.timeline.duration_s(),
+        manual_events=spec.timeline.events,
+    )
+    timeline = replace(
+        spec.timeline,
+        events=tuple(spec.timeline.events) + generated,
+        chaos=ChaosSpec(),
+    )
+    return replace(spec, timeline=timeline)
 
 
 def build_cluster(spec: ExperimentSpec) -> FluidCluster:
@@ -163,6 +196,7 @@ class FluidRunner:
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
         started_at, started = now_iso(), time.perf_counter()
+        spec = expand_spec_chaos(spec)
         cluster = build_cluster(spec)
         if not spec.timeline.empty:
             check_timeline_supported(
@@ -194,7 +228,12 @@ class FluidRunner:
             # The timed phase starts from the converged steady state; events
             # fire between fixed-point rounds at their declared times.
             windows = run_fluid_timeline(
-                cluster, spec.timeline, ObserverSet(observers), controller=controller
+                cluster,
+                spec.timeline,
+                ObserverSet(observers),
+                controller=controller,
+                health=spec.health,
+                seed=spec.seed,
             )
             metrics["timeline_events"] = float(len(spec.timeline.events))
         state = cluster.state()
@@ -249,6 +288,7 @@ class RequestRunner:
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
         started_at, started = now_iso(), time.perf_counter()
+        spec = expand_spec_chaos(spec)
         dips = pool_from_spec(spec.pool, spec.seed)
         if not spec.timeline.empty:
             check_timeline_supported(spec.timeline, self.kind, dips=dips)
@@ -266,7 +306,14 @@ class RequestRunner:
             )
         else:
             policy = make_policy(spec.policy.name, list(dips), **policy_kwargs)
-        cluster = RequestCluster(dips, policy, rate_rps=rate, seed=spec.seed)
+        cluster = RequestCluster(
+            dips,
+            policy,
+            rate_rps=rate,
+            seed=spec.seed,
+            health=spec.health,
+            retry=spec.retry,
+        )
         if weights is not None:
             cluster.set_weights(weights)
         windows: tuple[RunWindow, ...] = ()
@@ -323,6 +370,9 @@ class RequestRunner:
             metrics["final_latency_ms"] = windows[-1].metrics.get(
                 "mean_latency_ms", float("nan")
             )
+        retry_summary = run.metrics.retry_summary()
+        if retry_summary is not None:
+            metrics.update(retry_summary)
         summaries = {
             dip: {
                 "requests": float(row.requests),
@@ -353,6 +403,7 @@ class FleetRunner:
         self, spec: ExperimentSpec, *, observers: Iterable[Observer] = ()
     ) -> RunResult:
         started_at, started = now_iso(), time.perf_counter()
+        spec = expand_spec_chaos(spec)
         # The *same* pool spec the other runners execute, windowed across
         # the VIPs — so a testbed or three_dip spec stays that pool here.
         fleet = fleet_from_pool(
@@ -397,7 +448,12 @@ class FleetRunner:
         windows: tuple[RunWindow, ...] = ()
         if not spec.timeline.empty:
             windows = run_fleet_timeline(
-                fleet, spec.timeline, ObserverSet(observers), plane=plane
+                fleet,
+                spec.timeline,
+                ObserverSet(observers),
+                plane=plane,
+                health=spec.health,
+                seed=spec.seed,
             )
             metrics["timeline_events"] = float(len(spec.timeline.events))
         state = fleet.state()
@@ -435,6 +491,13 @@ class ScenarioRunner:
         params = dict(spec.params)
         if "seed" in scenario.defaults:
             params.setdefault("seed", spec.seed)
+        if spec.timeline.chaos.enabled:
+            if "chaos_seed" not in scenario.defaults:
+                raise ConfigurationError(
+                    f"scenario {spec.scenario!r} does not take a chaos "
+                    "schedule (no 'chaos_seed' parameter)"
+                )
+            params.setdefault("chaos_seed", spec.timeline.chaos.seed)
         # Timeline scenarios execute an inner spec; route the caller's
         # observers (e.g. ``run <scenario> --watch``) through to it.
         with observing(tuple(observers)):
@@ -493,6 +556,7 @@ def execute(
     :class:`~repro.parallel.pool.WorkerPool` via ``pool`` is reused warm
     for exact plans, and borrowed as a width hint for epoch plans).
     """
+    spec = expand_spec_chaos(spec)
     if shards is not None and shards > 1:
         from repro.parallel import (
             plan_shards,

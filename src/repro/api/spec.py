@@ -21,6 +21,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.core.config import (
     KnapsackLBConfig,
     dataclass_from_dict,
@@ -71,6 +73,12 @@ class EventSpec:
       tenant, otherwise every VIP scales);
     * ``vip_onboard`` / ``vip_offboard`` — ``vip`` joins the control plane
       of a live fleet / leaves the fleet (fleet substrate only).
+
+    ``drain_s`` (``dip_fail`` and ``vip_offboard`` only) makes the event
+    graceful: the LB stops sending new work at ``time_s`` but the target
+    keeps serving what it already accepted for ``drain_s`` more seconds
+    before going away (on the request substrate the DIP's server only dies
+    at ``time_s + drain_s``, so queued and in-flight requests finish).
     """
 
     time_s: float
@@ -78,10 +86,14 @@ class EventSpec:
     dip: str | None = None
     vip: str | None = None
     value: float | None = None
+    drain_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.time_s < 0:
-            raise ConfigurationError("event time_s must be >= 0")
+        if self.time_s <= 0:
+            raise ConfigurationError(
+                "event time_s must be > 0 (events fire strictly inside "
+                "the timed phase)"
+            )
         if self.kind not in EVENT_KINDS:
             kinds = ", ".join(EVENT_KINDS)
             raise ConfigurationError(
@@ -129,6 +141,13 @@ class EventSpec:
             raise ConfigurationError(
                 f"event {self.kind!r} does not take a value field"
             )
+        if self.drain_s < 0:
+            raise ConfigurationError("event drain_s must be >= 0")
+        if self.drain_s > 0 and self.kind not in ("dip_fail", "vip_offboard"):
+            raise ConfigurationError(
+                f"event {self.kind!r} does not take a drain_s field "
+                "(only dip_fail and vip_offboard drain)"
+            )
 
     def label(self) -> str:
         """Compact human-readable form (``t=30s dip_fail DIP-3``)."""
@@ -139,7 +158,240 @@ class EventSpec:
             parts.append(self.vip)
         if self.value is not None:
             parts.append(f"{self.value:g}")
+        if self.drain_s > 0:
+            parts.append(f"drain={self.drain_s:g}s")
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class HealthCheckSpec:
+    """Probe-based failure detection: the LB *learns* a DIP died.
+
+    When disabled (the default) failure stays an oracle: ``dip_fail``
+    flips the policy's health view at the event instant.  When enabled,
+    each DIP is probed every ``probe_interval_s`` seconds on its own
+    seeded phase; a probe against a dead DIP is only known failed after
+    ``probe_timeout_s``, and the LB marks the DIP down (up) after
+    ``unhealthy_threshold`` consecutive failed (``healthy_threshold``
+    consecutive successful) probes.  Until the down-mark lands, the LB
+    keeps routing to the dead DIP and that traffic is lost — the
+    detection window the paper's probe-driven monitors pay for.
+
+    The probe phase is derived from ``(seed, dip index)`` alone, so the
+    request engine (which simulates the probes as events) and the
+    fluid/fleet substrates (which walk the same probe grid analytically)
+    detect at exactly the same instants per seed.
+    """
+
+    enabled: bool = False
+    probe_interval_s: float = 1.0
+    probe_timeout_s: float = 0.2
+    unhealthy_threshold: int = 3
+    healthy_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0:
+            raise ConfigurationError("health.probe_interval_s must be positive")
+        if not 0 < self.probe_timeout_s <= self.probe_interval_s:
+            raise ConfigurationError(
+                "health.probe_timeout_s must be in (0, probe_interval_s]"
+            )
+        if self.unhealthy_threshold < 1:
+            raise ConfigurationError("health.unhealthy_threshold must be >= 1")
+        if self.healthy_threshold < 1:
+            raise ConfigurationError("health.healthy_threshold must be >= 1")
+
+    def probe_phase_s(self, seed: int, dip_index: int) -> float:
+        """First probe offset in ``[0, probe_interval_s)`` for one DIP.
+
+        Every substrate calls this with the run seed and the DIP's global
+        (pool-order) index, so detection instants agree bit-for-bit.
+        """
+        rng = np.random.default_rng((int(seed), 0x48C7, int(dip_index)))
+        return float(rng.uniform(0.0, self.probe_interval_s))
+
+    def detection_delay_s(
+        self, seed: int, dip_index: int, fail_time_s: float
+    ) -> float:
+        """Closed-form delay from failure to the LB's down-mark.
+
+        The first failing probe is the first grid point at or after the
+        failure; the ``unhealthy_threshold``-th consecutive failure lands
+        ``(unhealthy_threshold - 1)`` intervals later and is known failed
+        one ``probe_timeout_s`` after that.
+        """
+        interval = self.probe_interval_s
+        phase = self.probe_phase_s(seed, dip_index)
+        periods = max(0, -(-(fail_time_s - phase) // interval))
+        first = phase + periods * interval
+        if first < fail_time_s:  # float-rounding guard
+            first += interval
+        return (
+            first
+            + (self.unhealthy_threshold - 1) * interval
+            + self.probe_timeout_s
+            - fail_time_s
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout / retry / backoff on the request substrate.
+
+    When enabled, a request that times out (no completion within
+    ``request_timeout_s`` of its attempt), lands on a dead DIP or is
+    dropped by a full queue is re-routed: up to ``max_retries`` fresh
+    attempts, each delayed by an exponential backoff
+    (``backoff_base_s * backoff_multiplier**(attempt-1)``) with seeded
+    uniform jitter of ``±jitter_fraction``, subject to a retry *budget*
+    (retries issued may not exceed ``retry_budget`` × attempts observed,
+    plus a small burst allowance) so retry storms cannot melt the
+    cluster.  A logical request records one metrics row: its latency is
+    first-arrival→final-completion, plus attempts / timed-out / gave-up
+    columns.
+    """
+
+    enabled: bool = False
+    request_timeout_s: float = 1.0
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.5
+    retry_budget: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.request_timeout_s <= 0:
+            raise ConfigurationError("retry.request_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("retry.max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("retry.backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ConfigurationError("retry.backoff_multiplier must be >= 1")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ConfigurationError("retry.jitter_fraction must be in [0, 1]")
+        if self.retry_budget < 0:
+            raise ConfigurationError("retry.retry_budget must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A seeded random failure schedule, expanded into ordinary events.
+
+    Setting ``seed`` arms chaos: before a run executes, the generator
+    draws failure instants (Poisson at ``failure_rate_per_min``), victims
+    (uniform over the DIPs the timeline does not already fail by hand,
+    whole racks of ``rack_size`` at a time when set), outage lengths
+    (exponential with ``mean_outage_s``) and post-recovery flaps
+    (geometric with ``flap_probability``) from one
+    ``default_rng(seed)`` stream and splices the resulting
+    ``dip_fail``/``dip_recover`` :class:`EventSpec` pairs into the
+    timeline.  Because the expansion happens *before* planning, a chaos
+    run is indistinguishable from a hand-written timeline downstream:
+    bit-identical per seed, epoch-shardable, replayable from the saved
+    artifact.  Requires an explicit ``timeline.horizon_s``.
+    """
+
+    seed: int | None = None
+    failure_rate_per_min: float = 2.0
+    mean_outage_s: float = 15.0
+    flap_probability: float = 0.0
+    #: DIPs per correlated failure domain; 0/1 fails DIPs independently.
+    rack_size: int = 0
+    max_concurrent_failures: int = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.seed is not None
+
+    def __post_init__(self) -> None:
+        if self.failure_rate_per_min <= 0:
+            raise ConfigurationError(
+                "timeline.chaos.failure_rate_per_min must be positive"
+            )
+        if self.mean_outage_s <= 0:
+            raise ConfigurationError(
+                "timeline.chaos.mean_outage_s must be positive"
+            )
+        if not 0 <= self.flap_probability < 1:
+            raise ConfigurationError(
+                "timeline.chaos.flap_probability must be in [0, 1)"
+            )
+        if self.rack_size < 0:
+            raise ConfigurationError("timeline.chaos.rack_size must be >= 0")
+        if self.max_concurrent_failures < 1:
+            raise ConfigurationError(
+                "timeline.chaos.max_concurrent_failures must be >= 1"
+            )
+
+
+#: flaps chained after one chaos outage are capped so schedules stay short.
+_CHAOS_MAX_FLAPS = 3
+
+
+def expand_chaos_events(
+    chaos: ChaosSpec,
+    *,
+    dip_ids: tuple[str, ...],
+    horizon_s: float,
+    manual_events: tuple[EventSpec, ...] = (),
+) -> tuple[EventSpec, ...]:
+    """Draw the chaos schedule for one run as plain :class:`EventSpec` s.
+
+    DIPs named by any manual event are left alone so the generated
+    fail/recover alternation can never collide with a hand-written one.
+    Outages that would outlive the horizon simply never recover.
+    """
+    if not chaos.enabled:
+        return ()
+    manual = {event.dip for event in manual_events if event.dip is not None}
+    eligible = [dip for dip in dip_ids if dip not in manual]
+    if not eligible:
+        return ()
+    if chaos.rack_size > 1:
+        groups = [
+            tuple(eligible[i : i + chaos.rack_size])
+            for i in range(0, len(eligible), chaos.rack_size)
+        ]
+    else:
+        groups = [(dip,) for dip in eligible]
+
+    rng = np.random.default_rng(chaos.seed)
+    rate_per_s = chaos.failure_rate_per_min / 60.0
+    down_until: dict[int, float] = {}
+    events: list[EventSpec] = []
+
+    def emit_outage(group: tuple[str, ...], start: float) -> float:
+        """Fail ``group`` at ``start``; return its final recovery time."""
+        end = start + float(rng.exponential(chaos.mean_outage_s))
+        for flap in range(_CHAOS_MAX_FLAPS + 1):
+            for dip in group:
+                events.append(EventSpec(time_s=start, kind="dip_fail", dip=dip))
+            if end >= horizon_s:
+                return float("inf")  # never recovers inside the run
+            for dip in group:
+                events.append(EventSpec(time_s=end, kind="dip_recover", dip=dip))
+            if flap == _CHAOS_MAX_FLAPS or rng.random() >= chaos.flap_probability:
+                return end
+            start = end + float(rng.exponential(0.25 * chaos.mean_outage_s))
+            if start >= horizon_s:
+                return end
+            end = start + float(rng.exponential(0.25 * chaos.mean_outage_s))
+        return end
+
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        for index, until in list(down_until.items()):
+            if until <= t:
+                del down_until[index]
+        index = int(rng.integers(len(groups)))
+        if (
+            index not in down_until
+            and len(down_until) < chaos.max_concurrent_failures
+        ):
+            down_until[index] = emit_outage(groups[index], t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return tuple(events)
 
 
 @dataclass(frozen=True)
@@ -163,6 +415,7 @@ class TimelineSpec:
     events: tuple[EventSpec, ...] = ()
     window_s: float = 5.0
     horizon_s: float | None = None
+    chaos: ChaosSpec = ChaosSpec()
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
@@ -185,11 +438,49 @@ class TimelineSpec:
                     f"timeline.horizon_s = {self.horizon_s:g} does not cover "
                     f"the event at t={late[0].time_s:g}s"
                 )
+            slow = [
+                e for e in events if e.time_s + e.drain_s >= self.horizon_s
+            ]
+            if slow:
+                raise ConfigurationError(
+                    f"timeline.horizon_s = {self.horizon_s:g} does not cover "
+                    f"the drain ending at "
+                    f"t={slow[0].time_s + slow[0].drain_s:g}s"
+                )
+        seen: set[tuple[float, str, str | None, str | None]] = set()
+        for event in events:
+            key = (event.time_s, event.kind, event.dip, event.vip)
+            if key in seen:
+                raise ConfigurationError(
+                    f"timeline.events declares the duplicate event "
+                    f"{event.label()!r}"
+                )
+            seen.add(key)
+        failed: set[str] = set()
+        for event in sorted(events, key=lambda e: e.time_s):
+            if event.kind == "dip_fail":
+                if event.dip in failed:
+                    raise ConfigurationError(
+                        f"timeline.events: {event.label()!r} fails a DIP "
+                        "that an earlier event already failed"
+                    )
+                failed.add(event.dip)  # type: ignore[arg-type]
+            elif event.kind == "dip_recover":
+                if event.dip not in failed:
+                    raise ConfigurationError(
+                        f"timeline.events: {event.label()!r} recovers a DIP "
+                        "that no earlier event failed"
+                    )
+                failed.discard(event.dip)  # type: ignore[arg-type]
 
     @property
     def empty(self) -> bool:
-        """No events and no explicit horizon: the run has no timed phase."""
-        return not self.events and self.horizon_s is None
+        """No events, no explicit horizon, no chaos: no timed phase."""
+        return (
+            not self.events
+            and self.horizon_s is None
+            and not self.chaos.enabled
+        )
 
     def duration_s(self) -> float:
         """The resolved end of the timed phase."""
@@ -347,6 +638,8 @@ class ExperimentSpec:
     controller: ControllerSpec = ControllerSpec()
     fleet: FleetSpec = FleetSpec()
     timeline: TimelineSpec = TimelineSpec()
+    health: HealthCheckSpec = HealthCheckSpec()
+    retry: RetryPolicy = RetryPolicy()
     seed: int = 0
     #: epoch length for epoch-synchronized sharded runs (seconds between
     #: cross-shard state barriers; smaller = less staleness, more syncs).
@@ -375,10 +668,35 @@ class ExperimentSpec:
                 f"scenario {self.scenario!r} requires runner 'scenario', "
                 f"got {self.runner!r}"
             )
-        if self.runner == "scenario" and not self.timeline.empty:
+        if self.runner == "scenario" and (
+            self.timeline.events or self.timeline.horizon_s is not None
+        ):
+            # chaos-only timelines are allowed: the bridging ScenarioRunner
+            # hands timeline.chaos.seed to scenarios that accept one.
             raise ConfigurationError(
-                "runner 'scenario' cannot carry a timeline; scenarios build "
-                "their own timed specs (use runner fluid/request/fleet)"
+                "runner 'scenario' cannot carry timeline events; scenarios "
+                "build their own timed specs (use runner fluid/request/fleet)"
+            )
+        if self.runner == "scenario" and (
+            self.health.enabled or self.retry.enabled
+        ):
+            raise ConfigurationError(
+                "runner 'scenario' cannot carry health/retry sections; "
+                "scenarios configure resilience through their own params"
+            )
+        if self.retry.enabled and self.runner != "request":
+            raise ConfigurationError(
+                "retry.enabled needs runner 'request': retries act on "
+                "individual requests, which only the request engine models"
+            )
+        if (
+            self.timeline.chaos.enabled
+            and self.runner != "scenario"
+            and self.timeline.horizon_s is None
+        ):
+            raise ConfigurationError(
+                "timeline.chaos needs an explicit timeline.horizon_s: the "
+                "generated failure schedule fills a fixed timed phase"
             )
         if (
             self.controller.enabled

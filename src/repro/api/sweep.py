@@ -155,6 +155,11 @@ class Sweep:
         sweep that expands to a single spec always runs inline — spinning
         up a process to run one spec would pay serialization and fork
         overhead for nothing.
+
+        A point that fails to build or execute does not abort the sweep:
+        its row comes back with empty metrics and the failure message under
+        :attr:`RunResult.error`, and every row's provenance records the
+        sweep's ``failed_runs`` count (plus any worker-pool retries).
         """
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -164,9 +169,7 @@ class Sweep:
             len(overrides),
         )
         if len(overrides) == 1 or (workers <= 1 and pool is None):
-            return tuple(
-                execute(self.base.with_overrides(o)) for o in overrides
-            )
+            return self._run_inline(overrides)
         from repro.parallel.pool import WorkerPool
 
         own_pool = pool is None
@@ -176,6 +179,36 @@ class Sweep:
         finally:
             if own_pool:
                 pool.close()
+
+    def _run_inline(
+        self, overrides: Sequence[Mapping[str, Any]]
+    ) -> tuple[RunResult, ...]:
+        """The serial path, with the same per-point error capture."""
+        from dataclasses import replace
+
+        from repro.parallel.pool import _spec_for_error_row
+
+        results: list[RunResult] = []
+        for point in overrides:
+            try:
+                results.append(execute(self.base.with_overrides(point)))
+            except Exception as error:  # noqa: BLE001 - captured into the row
+                results.append(
+                    RunResult.error_result(
+                        _spec_for_error_row(self.base, point),
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+        failed = sum(1 for result in results if result.error is not None)
+        if failed:
+            results = [
+                replace(
+                    result,
+                    provenance=replace(result.provenance, failed_runs=failed),
+                )
+                for result in results
+            ]
+        return tuple(results)
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,12 @@ import sys
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, TextIO
 
 from repro.api.result import RunWindow
-from repro.api.spec import FLEET_ONLY_EVENT_KINDS, EventSpec, TimelineSpec
+from repro.api.spec import (
+    FLEET_ONLY_EVENT_KINDS,
+    EventSpec,
+    HealthCheckSpec,
+    TimelineSpec,
+)
 from repro.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -193,6 +198,14 @@ def check_timeline_supported(
 # ---------------------------------------------------------------------------
 
 
+#: one applied mid-run action: ``(time_s, event-or-None, thunk-or-None)``.
+#: Plain timeline events carry a ``None`` thunk (dispatched through
+#: ``apply_event``); health-mode events carry their own thunk; synthetic
+#: actions (probe detections, drain completions) carry no event and are
+#: invisible to observers.
+_Action = tuple[float, "EventSpec | None", "Callable[[], None] | None"]
+
+
 def _run_windows(
     timeline: TimelineSpec,
     observer: Observer,
@@ -201,6 +214,7 @@ def _run_windows(
     tick: Callable[[], dict[str, float]],
     snapshot: Callable[[], tuple[dict[str, float], dict[str, float]]],
     apply_event: Callable[[EventSpec], None],
+    actions: "list[_Action] | None" = None,
 ) -> tuple[RunWindow, ...]:
     """Drive an analytic substrate through the timed phase, window by window.
 
@@ -210,8 +224,16 @@ def _run_windows(
     the fluid substrates — the same instant the request engine fires it.
     One controller tick runs per window (after the window's time has fully
     elapsed), then the window row snapshots the substrate.
+
+    ``actions`` (health mode) replaces the event list with a pre-computed
+    action schedule that interleaves declared events with probe-detection
+    flips and drain completions at *their* exact times.
     """
-    events = timeline.ordered_events()
+    if actions is None:
+        actions = [
+            (event.time_s, event, None)
+            for event in timeline.ordered_events()
+        ]
     horizon = timeline.duration_s()
     window_s = timeline.window_s
     pointer = 0
@@ -222,14 +244,18 @@ def _run_windows(
         applied: list[str] = []
         cursor = start
         while cursor < end - _EPS:
-            while pointer < len(events) and events[pointer].time_s <= cursor + _EPS:
-                event = events[pointer]
+            while pointer < len(actions) and actions[pointer][0] <= cursor + _EPS:
+                _, event, thunk = actions[pointer]
                 pointer += 1
-                apply_event(event)
-                observer.on_event(cursor, event)
-                applied.append(event.label())
+                if thunk is not None:
+                    thunk()
+                if event is not None:
+                    if thunk is None:
+                        apply_event(event)
+                    observer.on_event(cursor, event)
+                    applied.append(event.label())
             boundary = (
-                min(end, events[pointer].time_s) if pointer < len(events) else end
+                min(end, actions[pointer][0]) if pointer < len(actions) else end
             )
             advance(boundary - cursor)
             cursor = boundary
@@ -249,6 +275,185 @@ def _run_windows(
     return tuple(windows)
 
 
+# ---------------------------------------------------------------------------
+# probe-based detection on the analytic substrates
+# ---------------------------------------------------------------------------
+
+
+def _health_timeline_actions(
+    timeline: TimelineSpec,
+    health: "HealthCheckSpec",
+    *,
+    seed: int,
+    dip_index: Mapping[str, int],
+    blackholed: set,
+    fail: Callable[[str], None],
+    recover: Callable[[str], None],
+) -> "list[_Action]":
+    """Compile a timeline into probe-aware actions for fluid/fleet.
+
+    Runs the *same* probe state machine as the request engine's
+    :meth:`RequestCluster._probe`, analytically, over each DIP's seeded
+    probe grid: a ``dip_fail`` only reaches the LB (``fail(dip)``) at its
+    probe-detected instant; until then the DIP is added to ``blackholed``
+    — it keeps receiving its traffic share and that traffic is lost, which
+    the substrate's snapshot reports as window drop fraction.  Graceful
+    drains (``drain_s > 0``) are operator-initiated: the LB stops routing
+    at the event time (no blackhole, no detection delay) and probes cannot
+    resurrect the DIP until its ``dip_recover``.
+    """
+    horizon = timeline.duration_s()
+    actions: "list[_Action]" = []
+    by_dip: dict[str, list[EventSpec]] = {}
+    for event in timeline.ordered_events():
+        if event.kind in ("dip_fail", "dip_recover"):
+            by_dip.setdefault(event.dip, []).append(event)
+        else:
+            actions.append((event.time_s, event, None))
+
+    for dip, dip_events in by_dip.items():
+        # 1. Pair fails with recovers (spec validation guarantees the
+        #    per-DIP alternation) into server-down and admin-drain spans.
+        server_down: list[tuple[float, float]] = []
+        admin_down: list[tuple[float, float]] = []
+        lb_down_at: list[float] = []  # drain starts set lb_down directly
+        open_fail: EventSpec | None = None
+        for event in dip_events:
+            if event.kind == "dip_fail":
+                open_fail = event
+            else:
+                _close_fail_span(
+                    open_fail, event.time_s, server_down, admin_down, lb_down_at
+                )
+                open_fail = None
+        if open_fail is not None:
+            _close_fail_span(
+                open_fail, horizon, server_down, admin_down, lb_down_at
+            )
+
+        # 2. Walk the probe grid with the request engine's state machine.
+        flips: list[tuple[float, bool]] = []  # (time, healthy)
+        fails = oks = 0
+        lb_down = False
+        admin_pointer = 0
+        t = health.probe_phase_s(seed, dip_index[dip])
+        while t < horizon:
+            while admin_pointer < len(lb_down_at) and lb_down_at[admin_pointer] <= t:
+                lb_down = True
+                admin_pointer += 1
+            if _in_spans(t, server_down):
+                fails += 1
+                oks = 0
+                if fails == health.unhealthy_threshold and not lb_down:
+                    lb_down = True
+                    flips.append((t + health.probe_timeout_s, False))
+            else:
+                oks += 1
+                fails = 0
+                if (
+                    lb_down
+                    and oks >= health.healthy_threshold
+                    and not _in_spans(t, admin_down)
+                ):
+                    lb_down = False
+                    oks = 0
+                    flips.append((t, True))
+            t += health.probe_interval_s
+
+        # 3. Emit actions; runtime lb-routing state decides blackholing.
+        routing = {"up": True}
+
+        def on_abrupt_fail(dip: str = dip, routing: dict = routing) -> None:
+            if routing["up"]:
+                blackholed.add(dip)
+
+        def on_drain_fail(dip: str = dip, routing: dict = routing) -> None:
+            routing["up"] = False
+            fail(dip)
+
+        def on_recover_event(dip: str = dip, routing: dict = routing) -> None:
+            if routing["up"]:
+                blackholed.discard(dip)
+            # else: the LB flips it back up at its probe-detected instant.
+
+        def on_flip(
+            healthy: bool, dip: str = dip, routing: dict = routing
+        ) -> Callable[[], None]:
+            def run() -> None:
+                routing["up"] = healthy
+                if healthy:
+                    recover(dip)
+                else:
+                    blackholed.discard(dip)
+                    fail(dip)
+
+            return run
+
+        for event in dip_events:
+            if event.kind == "dip_fail":
+                thunk = on_drain_fail if event.drain_s > 0 else on_abrupt_fail
+            else:
+                thunk = on_recover_event
+            actions.append((event.time_s, event, thunk))
+        for flip_time, healthy in flips:
+            actions.append((flip_time, None, on_flip(healthy)))
+
+    actions.sort(key=lambda action: action[0])
+    return actions
+
+
+def _close_fail_span(
+    open_fail: "EventSpec | None",
+    end: float,
+    server_down: list,
+    admin_down: list,
+    lb_down_at: list,
+) -> None:
+    """Record the spans of one dip_fail..dip_recover pair."""
+    if open_fail is None:
+        return
+    if open_fail.drain_s > 0:
+        lb_down_at.append(open_fail.time_s)
+        admin_down.append((open_fail.time_s, end))
+        server_dies = open_fail.time_s + open_fail.drain_s
+        if server_dies < end:  # recover before the drain ends cancels it
+            server_down.append((server_dies, end))
+    else:
+        server_down.append((open_fail.time_s, end))
+
+
+def _in_spans(t: float, spans: list) -> bool:
+    return any(start <= t < end for start, end in spans)
+
+
+def _split_drained_offboards(
+    actions: "list[_Action]",
+    *,
+    drain: Callable[[str], None],
+    apply_event: Callable[[EventSpec], None],
+) -> "list[_Action]":
+    """Split each drained ``vip_offboard`` into stop-arrivals + removal."""
+    out: "list[_Action]" = []
+    split = False
+    for time_s, event, thunk in actions:
+        if (
+            event is not None
+            and event.kind == "vip_offboard"
+            and event.drain_s > 0
+            and thunk is None
+        ):
+            out.append((time_s, event, lambda vip=event.vip: drain(vip)))
+            out.append(
+                (time_s + event.drain_s, None, lambda e=event: apply_event(e))
+            )
+            split = True
+        else:
+            out.append((time_s, event, thunk))
+    if split:
+        out.sort(key=lambda action: action[0])
+    return out
+
+
 def _share(rates: Mapping[str, float]) -> dict[str, float]:
     total = sum(rates.values())
     if total <= 0:
@@ -257,23 +462,60 @@ def _share(rates: Mapping[str, float]) -> dict[str, float]:
 
 
 def _live_mean_latency_ms(
-    rates: Mapping[str, float], latency: Mapping[str, float]
+    rates: Mapping[str, float],
+    latency: Mapping[str, float],
+    exclude: "set | frozenset" = frozenset(),
 ) -> float:
     """Rate-weighted mean over DIPs actually carrying traffic.
 
     Failed DIPs report infinite latency at zero rate; naively summing
     ``rate * latency`` would turn that into ``0 * inf = nan``, so the mean
     is taken over live (positive-rate, finite-latency) DIPs only.
+    ``exclude`` drops blackholed DIPs (failed but not yet probe-detected,
+    so still carrying a nominal share): their requests are lost, not
+    served, and must not contribute a latency.
     """
     live = [
         (rate, latency[dip])
         for dip, rate in rates.items()
-        if rate > 0 and math.isfinite(latency[dip])
+        if rate > 0 and dip not in exclude and math.isfinite(latency[dip])
     ]
     total = sum(rate for rate, _ in live)
     if total <= 0:
         return float("nan")
     return sum(rate * lat for rate, lat in live) / total
+
+
+class _BlackholeMeter:
+    """Time-integrates traffic routed at undetected-dead DIPs.
+
+    Detection usually lands mid-window, so an end-of-window snapshot would
+    read zero; integrating ``rate × dt`` over each advance sub-segment
+    gives the window's true lost fraction — comparable to the request
+    engine's per-window drop fraction.
+    """
+
+    def __init__(self, blackholed: set, offered_rate: Callable[[str], float],
+                 total_rate: Callable[[], float]) -> None:
+        self._blackholed = blackholed
+        self._offered_rate = offered_rate
+        self._total_rate = total_rate
+        self._lost = 0.0
+        self._offered = 0.0
+
+    def account(self, dt: float) -> None:
+        """Call before each advance: rates are piecewise-constant over it."""
+        self._offered += self._total_rate() * dt
+        self._lost += sum(
+            self._offered_rate(dip) for dip in self._blackholed
+        ) * dt
+
+    def window_fraction(self) -> float:
+        """The elapsed window's lost-traffic fraction; resets the meter."""
+        fraction = self._lost / self._offered if self._offered > 0 else 0.0
+        self._lost = 0.0
+        self._offered = 0.0
+        return fraction
 
 
 # ---------------------------------------------------------------------------
@@ -287,9 +529,31 @@ def run_fluid_timeline(
     observer: Observer,
     *,
     controller: "KnapsackLBController | None" = None,
+    health: "HealthCheckSpec | None" = None,
+    seed: int = 0,
 ) -> tuple[RunWindow, ...]:
-    """Execute the timed phase on a (converged) fluid cluster."""
+    """Execute the timed phase on a (converged) fluid cluster.
+
+    With ``health`` enabled, DIP failures are not applied to the LB at
+    their declared times: the DIP keeps its traffic share (blackholed —
+    reported as the window's ``drop_fraction``) until the probe state
+    machine detects it, at the same seeded probe-grid instant the request
+    engine would flip it.
+    """
     base_rate = cluster.total_rate_rps
+    if health is not None and not health.enabled:
+        health = None
+    blackholed: set[str] = set()
+
+    def fail(dip: str) -> None:
+        cluster.fail_dip(dip)
+
+    def recover(dip: str) -> None:
+        cluster.recover_dip(dip)
+        if controller is not None and controller.restore_dip(dip):
+            controller.program_assignment(
+                controller.compute_weights().assignment
+            )
 
     def apply_event(event: EventSpec) -> None:
         kind = event.kind
@@ -324,24 +588,51 @@ def run_fluid_timeline(
             "reprogrammed": 1.0 if report.reprogrammed else 0.0,
         }
 
+    meter = _BlackholeMeter(
+        blackholed,
+        lambda dip: cluster.dips[dip].offered_rate_rps,
+        lambda: cluster.total_rate_rps,
+    )
+
     def snapshot() -> tuple[dict[str, float], dict[str, float]]:
         state = cluster.state()
         metrics = {
             "mean_latency_ms": _live_mean_latency_ms(
-                state.rates_rps, state.mean_latency_ms
+                state.rates_rps, state.mean_latency_ms, exclude=blackholed
             ),
             "max_utilization": max(state.utilization.values()),
             "total_rate_rps": cluster.total_rate_rps,
         }
+        if health is not None:
+            metrics["drop_fraction"] = meter.window_fraction()
         return metrics, _share(state.rates_rps)
 
+    def advance(dt: float) -> None:
+        if dt <= 0:
+            return
+        if health is not None:
+            meter.account(dt)
+        cluster.advance(dt)
+
+    actions = None
+    if health is not None:
+        actions = _health_timeline_actions(
+            timeline,
+            health,
+            seed=seed,
+            dip_index={dip: i for i, dip in enumerate(cluster.dips)},
+            blackholed=blackholed,
+            fail=fail,
+            recover=recover,
+        )
     return _run_windows(
         timeline,
         observer,
-        advance=lambda dt: cluster.advance(dt) if dt > 0 else None,
+        advance=advance,
         tick=tick,
         snapshot=snapshot,
         apply_event=apply_event,
+        actions=actions,
     )
 
 
@@ -356,6 +647,8 @@ def run_fleet_timeline(
     observer: Observer,
     *,
     plane: "FleetController | None" = None,
+    health: "HealthCheckSpec | None" = None,
+    seed: int = 0,
 ) -> tuple[RunWindow, ...]:
     """Execute the timed phase on a (converged) multi-VIP fleet.
 
@@ -364,11 +657,36 @@ def run_fleet_timeline(
     ``steady_control=True`` (the already-steady VIPs keep reacting while
     the newcomer explores — that measurement consumes fleet-clock time in
     addition to the timeline's windows), and its weights are computed and
-    programmed.  ``vip_offboard`` retires the tenant and its traffic.
+    programmed.  ``vip_offboard`` retires the tenant and its traffic;
+    with ``drain_s`` its arrivals stop at the event time and the tenant is
+    removed once the drain elapses.  ``health`` delays DIP-failure
+    reactions to their probe-detected instants (see
+    :func:`run_fluid_timeline`).
     """
+    if health is not None and not health.enabled:
+        health = None
+    blackholed: set[str] = set()
     base_rates = {
         vip_id: vip.total_rate_rps for vip_id, vip in fleet.vips.items()
     }
+
+    def fail(dip: str) -> None:
+        fleet.fail_dip(dip)
+
+    def recover(dip: str) -> None:
+        fleet.recover_dip(dip)
+        if plane is not None:
+            for controller in plane.controllers.values():
+                if dip in controller.deployment.dips:
+                    if controller.restore_dip(dip):
+                        controller.program_assignment(
+                            controller.compute_weights().assignment
+                        )
+
+    def drain_vip(vip_id: str) -> None:
+        # Graceful offboard, step 1: stop new arrivals; the tenant itself
+        # is removed by the deferred apply_event once the drain elapses.
+        fleet.set_total_rate(vip_id, 0.0)
 
     def apply_event(event: EventSpec) -> None:
         kind = event.kind
@@ -417,25 +735,59 @@ def run_fleet_timeline(
             "steady_vips": float(len(plane.steady_vips())),
         }
 
+    meter = _BlackholeMeter(
+        blackholed,
+        lambda dip: fleet.dips[dip].offered_rate_rps,
+        lambda: sum(vip.total_rate_rps for vip in fleet.vips.values()),
+    )
+
     def snapshot() -> tuple[dict[str, float], dict[str, float]]:
         state = fleet.state()
         metrics = {
             "mean_latency_ms": _live_mean_latency_ms(
-                state.total_rates_rps, state.mean_latency_ms
+                state.total_rates_rps, state.mean_latency_ms, exclude=blackholed
             ),
             "max_utilization": max(state.utilization.values()),
             "total_rate_rps": sum(state.total_rates_rps.values()),
             "num_vips": float(len(fleet.vips)),
         }
+        if health is not None:
+            metrics["drop_fraction"] = meter.window_fraction()
         return metrics, _share(state.total_rates_rps)
+
+    if health is not None:
+        actions = _health_timeline_actions(
+            timeline,
+            health,
+            seed=seed,
+            dip_index={dip: i for i, dip in enumerate(fleet.dips)},
+            blackholed=blackholed,
+            fail=fail,
+            recover=recover,
+        )
+    else:
+        actions = [
+            (event.time_s, event, None) for event in timeline.ordered_events()
+        ]
+    actions = _split_drained_offboards(
+        actions, drain=drain_vip, apply_event=apply_event
+    )
+
+    def advance(dt: float) -> None:
+        if dt <= 0:
+            return
+        if health is not None:
+            meter.account(dt)
+        fleet.advance(dt)
 
     return _run_windows(
         timeline,
         observer,
-        advance=lambda dt: fleet.advance(dt) if dt > 0 else None,
+        advance=advance,
         tick=tick,
         snapshot=snapshot,
         apply_event=apply_event,
+        actions=actions,
     )
 
 
@@ -448,7 +800,7 @@ def apply_request_event(cluster: "RequestCluster", event: EventSpec) -> None:
     """Apply one timeline event to a live request-level cluster."""
     kind = event.kind
     if kind == "dip_fail":
-        cluster.fail_dip(event.dip)
+        cluster.fail_dip(event.dip, drain_s=event.drain_s)
     elif kind == "dip_recover":
         cluster.recover_dip(event.dip)
     elif kind == "capacity_ratio":

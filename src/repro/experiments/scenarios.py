@@ -30,10 +30,12 @@ from typing import Any, Callable, Iterator, Mapping
 from repro.api.result import RunWindow
 from repro.api.runners import execute
 from repro.api.spec import (
+    ChaosSpec,
     ControllerSpec,
     EventSpec,
     ExperimentSpec,
     FleetSpec,
+    HealthCheckSpec,
     PoolSpec,
     TimelineSpec,
     WorkloadSpec,
@@ -629,6 +631,7 @@ def run_request_vs_fluid_crosscheck(
     outage_s=40.0,
     substrate="fluid",
     inject_fault=True,
+    chaos_seed=None,
     seed=29,
 )
 def run_dip_outage_recovery(
@@ -639,6 +642,7 @@ def run_dip_outage_recovery(
     outage_s: float,
     substrate: str,
     inject_fault: bool,
+    chaos_seed: int | None,
     seed: int,
 ) -> ScenarioResult:
     """Failure injection as a pure timeline, on any substrate.
@@ -649,6 +653,10 @@ def run_dip_outage_recovery(
     reprograms; on the request substrate the LB health check stops routing
     to it.  ``inject_fault=False`` runs the identical horizon with no
     events — the no-fault twin a failure run is compared against.
+
+    ``chaos_seed`` arms a seeded random failure schedule on top of (or
+    instead of) the scripted outage: extra ``dip_fail``/``dip_recover``
+    pairs are drawn over the same horizon, sparing the scripted victim.
     """
     window_s = 5.0
     # At least one full pre-fault window must exist for the baseline.
@@ -676,6 +684,7 @@ def run_dip_outage_recovery(
             events=events,
             window_s=window_s,
             horizon_s=recover_at + 6 * window_s,
+            chaos=ChaosSpec(seed=chaos_seed),
         ),
         seed=seed,
     )
@@ -699,6 +708,7 @@ def run_dip_outage_recovery(
             "outage_s": outage_s,
             "substrate": substrate,
             "inject_fault": inject_fault,
+            "chaos_seed": chaos_seed,
             "seed": seed,
         },
         metrics={
@@ -717,6 +727,116 @@ def run_dip_outage_recovery(
         },
         windows=result.windows,
         detail={"result": result},
+    )
+
+
+@scenario(
+    "failure_crosscheck",
+    "Probe-detected failure through fluid and request engines; detection must agree",
+    num_dips=8,
+    load_fraction=0.6,
+    fail_at_s=15.0,
+    outage_s=25.0,
+    probe_interval_s=1.0,
+    unhealthy_threshold=3,
+    seed=17,
+)
+def run_failure_crosscheck(
+    *,
+    num_dips: int,
+    load_fraction: float,
+    fail_at_s: float,
+    outage_s: float,
+    probe_interval_s: float,
+    unhealthy_threshold: int,
+    seed: int,
+) -> ScenarioResult:
+    """Cross-check probe-based failure detection across substrates.
+
+    The same spec — one DIP failing abruptly at ``fail_at_s`` under an
+    enabled :class:`~repro.api.spec.HealthCheckSpec` — runs through the
+    fluid model and the request engine.  Both walk the same seeded probe
+    grid, so the failed DIP keeps receiving (and losing) its traffic share
+    for the same detection delay on both substrates: the per-window drop
+    fractions must agree within sampling noise, and the closed-form
+    :meth:`~repro.api.spec.HealthCheckSpec.detection_delay_s` predicts
+    where the loss lands.  The headline ``max_window_drop_delta`` is the
+    largest absolute per-window disagreement — the crosscheck's tolerance
+    gauge, in the spirit of ``request_vs_fluid_crosscheck``.
+    """
+    if fail_at_s <= 0 or outage_s <= 0:
+        raise ConfigurationError("fail_at_s and outage_s must be positive")
+    window_s = 5.0
+    health = HealthCheckSpec(
+        enabled=True,
+        probe_interval_s=probe_interval_s,
+        unhealthy_threshold=unhealthy_threshold,
+    )
+    recover_at = fail_at_s + outage_s
+    timeline = TimelineSpec(
+        events=(
+            EventSpec(time_s=fail_at_s, kind="dip_fail", dip="DIP-1"),
+            EventSpec(time_s=recover_at, kind="dip_recover", dip="DIP-1"),
+        ),
+        window_s=window_s,
+        horizon_s=recover_at + 4 * window_s,
+    )
+    results = {}
+    for substrate in ("fluid", "request"):
+        spec = ExperimentSpec(
+            name=f"failure_crosscheck/{substrate}",
+            runner=substrate,
+            pool=PoolSpec(kind="uniform", num_dips=num_dips),
+            workload=WorkloadSpec(load_fraction=load_fraction),
+            timeline=timeline,
+            health=health,
+            seed=seed,
+        )
+        results[substrate] = _execute(spec)
+    fluid_drops = [
+        w.metrics.get("drop_fraction", 0.0) for w in results["fluid"].windows
+    ]
+    request_drops = [
+        w.metrics.get("drop_fraction", 0.0) for w in results["request"].windows
+    ]
+    deltas = [
+        abs(f - r) for f, r in zip(fluid_drops, request_drops)
+    ]
+    delay_s = health.detection_delay_s(seed, 0, fail_at_s)
+    # The detection window's loss, predicted analytically: the victim's
+    # steady-state share (from the fluid run's first window) lost for
+    # delay_s seconds of its window.
+    victim_share = results["fluid"].windows[0].dip_share.get(
+        "DIP-1", 1.0 / num_dips
+    )
+    predicted_peak = (delay_s / window_s) * victim_share
+    return ScenarioResult(
+        name="failure_crosscheck",
+        params={
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "fail_at_s": fail_at_s,
+            "outage_s": outage_s,
+            "probe_interval_s": probe_interval_s,
+            "unhealthy_threshold": unhealthy_threshold,
+            "seed": seed,
+        },
+        metrics={
+            "detection_delay_s": delay_s,
+            "max_window_drop_delta": max(deltas, default=0.0),
+            "fluid_lost_fraction": max(fluid_drops, default=0.0),
+            "request_lost_fraction": max(request_drops, default=0.0),
+            "predicted_peak_drop_fraction": predicted_peak,
+            "fluid_mean_latency_ms": results["fluid"].metrics[
+                "mean_latency_ms"
+            ],
+            "request_mean_latency_ms": results["request"].metrics[
+                "mean_latency_ms"
+            ],
+        },
+        windows=results["request"].windows,
+        detail={"results": results, "fluid_drops": fluid_drops,
+                "request_drops": request_drops},
     )
 
 

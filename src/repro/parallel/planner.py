@@ -168,6 +168,22 @@ def spec_fallback_reason(spec: ExperimentSpec) -> str | None:
                 f"timeline event kind {event.kind!r} needs the fleet "
                 "substrate; the request engine cannot execute it at all"
             )
+        if event.drain_s > 0:
+            return (
+                f"timeline event {event.label()!r} drains gracefully; the "
+                "epoch station replicas apply failures abruptly"
+            )
+    if spec.health.enabled:
+        return (
+            "health probing is enabled; the epoch executor's station "
+            "replicas do not run probe cycles, so detection-delay runs "
+            "stay serial"
+        )
+    if spec.retry.enabled:
+        return (
+            "retries are enabled; the retry loop re-routes requests "
+            "across DIPs, which the per-shard stations cannot see"
+        )
     name = spec.policy.name
     if name in SHARDABLE_POLICIES or name in EPOCH_ROUTERS:
         return None

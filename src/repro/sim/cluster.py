@@ -27,10 +27,14 @@ Hot-path design (``BENCH_request_engine.json`` tracks the speedup):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # sim is below api in the layer map: type-only import
+    from repro.api.spec import HealthCheckSpec, RetryPolicy
 
 from repro.backends.dip import DipServer
 from repro.core.types import DipId
@@ -48,6 +52,9 @@ from repro.sim.trace import MetricsCollector
 ARRIVAL_BATCH = 4096
 
 _INF = float("inf")
+
+#: retries the budget always allows, so low-volume runs can still retry.
+_RETRY_BURST = 10
 
 
 @dataclass
@@ -80,6 +87,8 @@ class RequestCluster:
         queue_capacity: int = 256,
         utilization_observation_interval_s: float = 0.25,
         clients: ClientPool | None = None,
+        health: "HealthCheckSpec | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if not dips:
             raise ConfigurationError("cluster needs at least one DIP")
@@ -90,13 +99,23 @@ class RequestCluster:
         #: the construction-time rate `scale_arrivals` factors are relative to.
         self._base_rate_rps = float(rate_rps)
         self.metrics = MetricsCollector()
+        self._seed = seed
+        # Resilience layers (both off by default — the oracle-failure /
+        # no-retry hot path below stays untouched when they are).
+        self._health = health if health is not None and health.enabled else None
+        self._retry = retry if retry is not None and retry.enabled else None
+        sink = (
+            self._on_request_done_retry
+            if self._retry is not None
+            else self._on_request_done
+        )
         self._stations: dict[DipId, DipStation] = {
             dip_id: DipStation(
                 server,
                 self.scheduler,
                 queue_capacity=queue_capacity,
                 seed=None if seed is None else seed + index + 1,
-                completion_sink=self._on_request_done,
+                completion_sink=sink,
             )
             for index, (dip_id, server) in enumerate(self.dips.items())
         }
@@ -131,6 +150,44 @@ class RequestCluster:
         self._free_requests: list[Request] = []
         self._record = self.metrics.record_request
 
+        # Probe-based health state (see HealthCheckSpec): LB-side health is
+        # *learned* from the probe state machine, never flipped by events.
+        if self._health is not None:
+            self._probe_fail = {dip_id: 0 for dip_id in self.dips}
+            self._probe_ok = {dip_id: 0 for dip_id in self.dips}
+            #: DIPs the probe machine currently considers down.
+            self._lb_down: set[DipId] = set()
+            #: operator-drained DIPs: probes never resurrect these.
+            self._admin_down: set[DipId] = set()
+        #: dip ids with a drain in progress (recover cancels the kill).
+        self._drain_pending: set[DipId] = set()
+
+        # Retry state (see RetryPolicy).  Timeouts ride a deque "wheel"
+        # swept from the arrival path: every entry shares the same timeout,
+        # so deadlines are append-ordered and no heap events are needed.
+        if self._retry is not None:
+            self._retry_rng = np.random.default_rng(
+                None if seed is None else (seed, 0x5254)
+            )
+            #: flat (request, token) pairs — scalars rather than per-entry
+            #: tuples, and no stored deadline (a valid entry's deadline is
+            #: recomputed as request.arrival_time + timeout).  An entry
+            #: lives a full timeout before being swept, so anything it
+            #: allocated would be tenured by the cyclic GC and every byte
+            #: it occupies is cache-cold at sweep time; pairs of existing
+            #: objects keep the wheel allocation-free and minimal.
+            self._timeout_wheel: deque = deque()
+            self._request_timeout_s = self._retry.request_timeout_s
+            #: deadline of the wheel head (inf when empty) — deadlines are
+            #: append-ordered, so one float compare per arrival suffices to
+            #: know whether any entry is due.
+            self._wheel_deadline = _INF
+            self._retries_issued = 0
+            self._record_full = self.metrics.record_request_full
+            # Default completed rows go down the plain record path, so the
+            # resilience columns must exist even if no row ever differs.
+            self.metrics.enable_resilience_columns()
+
     # -- weight programming (the KnapsackLB-facing interface) --------------------
 
     def set_weights(self, weights: Mapping[DipId, float]) -> None:
@@ -147,16 +204,55 @@ class RequestCluster:
     # policy's health caches invalidate on set_healthy, and arrival
     # rescaling never reorders the sorted arrival stream.
 
-    def fail_dip(self, dip_id: DipId) -> None:
-        """Take a DIP down: in-flight requests fail, the LB stops routing it."""
+    def fail_dip(self, dip_id: DipId, *, drain_s: float = 0.0) -> None:
+        """Take a DIP down, abruptly or after a graceful drain.
+
+        ``drain_s == 0`` (abrupt): the server dies now.  Without a
+        :class:`HealthCheckSpec` the LB-side health flip is modelled as
+        immediate (the oracle of earlier revisions); with one, the LB keeps
+        routing to the dead DIP until the probe machine crosses its
+        unhealthy threshold — new arrivals and queued work bounce off as
+        ``FAILED_DIP`` in the interim (in-service requests finish).
+
+        ``drain_s > 0`` (graceful): the drain is operator-initiated, so the
+        LB stops routing *now* regardless of health mode, while the server
+        keeps serving accepted work and only dies ``drain_s`` later (a
+        ``dip_recover`` before then cancels the kill).
+        """
+        if drain_s > 0:
+            self.policy.set_healthy(dip_id, False)
+            if self._health is not None:
+                self._admin_down.add(dip_id)
+                self._lb_down.add(dip_id)
+            self._drain_pending.add(dip_id)
+            self.scheduler.schedule(drain_s, (self._complete_drain, dip_id))
+            return
         self.dips[dip_id].fail()
-        # Health checks converge fast next to the simulated timescales, so
-        # the LB-side health flip is modelled as immediate.
-        self.policy.set_healthy(dip_id, False)
+        if self._health is None:
+            # Oracle mode: the LB-side health flip is immediate.
+            self.policy.set_healthy(dip_id, False)
+        else:
+            # The dead server loses what it had queued; the LB only finds
+            # out through probes.
+            self._stations[dip_id].fail_pending()
+
+    def _complete_drain(self, dip_id: DipId) -> None:
+        if dip_id in self._drain_pending:
+            self._drain_pending.discard(dip_id)
+            self.dips[dip_id].fail()
 
     def recover_dip(self, dip_id: DipId) -> None:
-        self.dips[dip_id].recover()
-        self.policy.set_healthy(dip_id, True)
+        if dip_id in self._drain_pending:
+            # Recovering mid-drain: the server never died; cancel the kill.
+            self._drain_pending.discard(dip_id)
+        else:
+            self.dips[dip_id].recover()
+        if self._health is None:
+            self.policy.set_healthy(dip_id, True)
+        else:
+            # The LB must re-learn health through healthy_threshold
+            # consecutive successful probes; clear any admin drain.
+            self._admin_down.discard(dip_id)
 
     def set_capacity_ratio(self, dip_id: DipId, ratio: float) -> None:
         """Pin a DIP's capacity mid-run; future service draws use the new mean."""
@@ -208,6 +304,48 @@ class RequestCluster:
         next_time = self.scheduler.now + self._observation_interval
         if next_time < self._total_duration:
             self.scheduler.schedule_at(next_time, self._observe_utilization)
+
+    # -- probe-based health (HealthCheckSpec) ------------------------------------
+    #
+    # One self-rescheduling engine event per DIP walks its seeded probe
+    # grid.  The same state machine runs analytically on the fluid/fleet
+    # substrates (api/timeline), so detection instants agree per seed.
+
+    def _probe(self, dip_id: DipId) -> None:
+        health = self._health
+        now = self.scheduler._now
+        if self.dips[dip_id].failed:
+            fails = self._probe_fail[dip_id] + 1
+            self._probe_fail[dip_id] = fails
+            self._probe_ok[dip_id] = 0
+            if (
+                fails == health.unhealthy_threshold
+                and dip_id not in self._lb_down
+            ):
+                # The threshold-crossing probe is only *known* failed once
+                # its timeout expires; route traffic until then.
+                self._lb_down.add(dip_id)
+                self.scheduler.schedule(
+                    health.probe_timeout_s, (self._mark_unhealthy, dip_id)
+                )
+        else:
+            oks = self._probe_ok[dip_id] + 1
+            self._probe_ok[dip_id] = oks
+            self._probe_fail[dip_id] = 0
+            if (
+                dip_id in self._lb_down
+                and oks >= health.healthy_threshold
+                and dip_id not in self._admin_down
+            ):
+                self._lb_down.discard(dip_id)
+                self._probe_ok[dip_id] = 0
+                self.policy.set_healthy(dip_id, True)
+        next_time = now + health.probe_interval_s
+        if next_time < self._total_duration:
+            self.scheduler.schedule_at(next_time, (self._probe, dip_id))
+
+    def _mark_unhealthy(self, dip_id: DipId) -> None:
+        self.policy.set_healthy(dip_id, False)
 
     def _refill_arrivals(self) -> None:
         if self._needs_flow:
@@ -300,6 +438,246 @@ class RequestCluster:
         )
         self._free_requests.append(request)
 
+    # -- the retry path (RetryPolicy) ---------------------------------------------
+    #
+    # Mirrors _fire_arrival/_on_request_done but tracks *logical* requests:
+    # an attempt that times out, lands on a dead DIP or is dropped may be
+    # re-routed after a seeded exponential backoff; one metrics row is
+    # recorded per logical request (latency first-arrival → completion,
+    # plus attempts / timed_out / gave_up columns).  Bound at construction,
+    # so the plain path above never pays for any of it.
+
+    def _fire_arrival_retry(self) -> float:
+        now = self.scheduler._now
+        times = self._arrival_times
+        times.pop()
+        if self._needs_flow:
+            flow = FlowKey(
+                src_ip=self._client_ips[self._arrival_clients.pop()],
+                src_port=self._arrival_ports.pop(),
+                dst_ip=self._vip_address,
+                dst_port=self._vip_port,
+            )
+        else:
+            flow = None
+        if self._dns is not None:
+            self._dns.advance_time(now)
+        dip_id = self._select(flow)
+        request_id = self._next_request_id
+        self._next_request_id = request_id + 1
+        if now >= self._measure_from:
+            self._submitted += 1
+        pool = self._free_requests
+        if pool:
+            request = pool.pop()
+            request.request_id = request_id
+            request.flow = flow
+            request.arrival_time = now
+            request.dip = dip_id
+        else:
+            request = Request(request_id, flow, now, dip_id)
+        # Pool invariant: recycled (and fresh) requests already carry the
+        # defaults attempts=1 / timed_out=False / abandoned=False — every
+        # free site below restores them — so only first_arrival is stored.
+        request.first_arrival = now
+        if self._track_conns:
+            if self._mux:
+                self._open(flow, dip_id)
+            else:
+                self._open(dip_id)
+        finish = self._stations[dip_id].submit(request)
+        if finish is None or finish - now >= self._request_timeout_s:
+            # Only attempts that can actually expire go on the wheel: one
+            # that started service and finishes before its deadline is
+            # token-invalidated before the deadline is ever swept, and a
+            # synchronous outcome (finish < 0) already resolved in submit.
+            wheel = self._timeout_wheel
+            if not wheel:
+                self._wheel_deadline = now + self._request_timeout_s
+            wheel.append(request)
+            wheel.append(request.token)
+        # Expire due timeouts.  Piggybacking on the (dense) arrival stream
+        # keeps the wheel off the event heap; a timeout is acted on at the
+        # first arrival past its deadline — late by O(1/rate) seconds,
+        # deterministically.
+        if now >= self._wheel_deadline:
+            timeout = self._request_timeout_s
+            wheel = self._timeout_wheel
+            while wheel:
+                timed = wheel[0]
+                if timed.token != wheel[1]:
+                    # Attempt already completed: dead entry, drop eagerly.
+                    wheel.popleft()
+                    wheel.popleft()
+                    continue
+                # Valid entry ⇒ the request was never recycled, so its
+                # arrival_time is this attempt's submit instant and the
+                # deadline need not be stored per entry at all.
+                deadline = timed.arrival_time + timeout
+                if deadline > now:
+                    self._wheel_deadline = deadline
+                    break
+                wheel.popleft()
+                wheel.popleft()
+                self._expire_attempt(timed, now)
+            else:
+                self._wheel_deadline = _INF
+        if not times:
+            self._refill_arrivals()
+            times = self._arrival_times
+        next_time = times[-1]
+        return next_time if next_time < self._total_duration else _INF
+
+    def _expire_attempt(self, request: Request, now: float) -> None:
+        """An attempt outlived the request timeout: abandon and re-route.
+
+        The attempt itself stays in its station (the server does not know
+        the client hung up); its eventual completion is discarded.
+        """
+        request.timed_out = True
+        request.abandoned = True
+        if self._track_conns:
+            if self._mux:
+                self._close(request.flow, request.dip)
+            else:
+                self._close(request.dip)
+        self._maybe_retry_or_record(request, now, busy=True)
+
+    def _on_request_done_retry(self, request: Request) -> None:
+        request.token += 1  # invalidate this attempt's timeout-wheel entry
+        if request.abandoned:
+            # Completion of an attempt the retry layer gave up waiting on.
+            request.abandoned = False
+            request.timed_out = False
+            request.attempts = 1
+            self._free_requests.append(request)
+            return
+        if self._track_conns:
+            if self._mux:
+                self._close(request.flow, request.dip)
+            else:
+                self._close(request.dip)
+        now = self.scheduler._now
+        if request.outcome is RequestOutcome.COMPLETED:
+            if request.first_arrival >= self._measure_from:
+                self._completed += 1
+                if request.timed_out or request.attempts != 1:
+                    self._record_full(
+                        request.dip,
+                        (request.completion_time - request.first_arrival) * 1000.0,
+                        True,
+                        now,
+                        request.attempts,
+                        request.timed_out,
+                        False,
+                    )
+                    request.timed_out = False
+                    request.attempts = 1
+                else:
+                    # Default row (one clean attempt): the plain record is
+                    # equivalent — the resilience columns are filled with
+                    # defaults at flush — and skips three argument pushes.
+                    self._record(
+                        request.dip,
+                        (request.completion_time - request.first_arrival) * 1000.0,
+                        True,
+                        now,
+                    )
+            elif request.timed_out or request.attempts != 1:
+                request.timed_out = False
+                request.attempts = 1
+            self._free_requests.append(request)
+            return
+        # FAILED_DIP or DROPPED: candidate for an immediate-decision retry.
+        self._maybe_retry_or_record(request, now, busy=False)
+
+    def _maybe_retry_or_record(
+        self, request: Request, now: float, *, busy: bool
+    ) -> None:
+        retry = self._retry
+        attempts = request.attempts
+        # _next_request_id counts launched attempts (every attempt, retry
+        # or not, consumes one id), so it doubles as the budget base.
+        budget = retry.retry_budget * self._next_request_id + _RETRY_BURST
+        if attempts <= retry.max_retries and self._retries_issued < budget:
+            self._retries_issued += 1
+            backoff = retry.backoff_base_s * (
+                retry.backoff_multiplier ** (attempts - 1)
+            )
+            if retry.jitter_fraction:
+                backoff *= 1.0 + retry.jitter_fraction * (
+                    2.0 * self._retry_rng.random() - 1.0
+                )
+            state = (
+                request.first_arrival,
+                attempts + 1,
+                request.timed_out,
+                request.flow.src_ip if request.flow is not None else None,
+            )
+            self.scheduler.schedule(backoff, (self._fire_retry, state))
+        elif request.first_arrival >= self._measure_from:
+            self._dropped += 1
+            self._record_full(
+                request.dip,
+                None,
+                False,
+                now,
+                attempts,
+                request.timed_out,
+                True,
+            )
+        if not busy:
+            if request.timed_out or request.attempts != 1:
+                request.timed_out = False
+                request.attempts = 1
+            self._free_requests.append(request)
+
+    def _fire_retry(self, state: tuple) -> None:
+        """Launch the next attempt of a logical request after its backoff."""
+        first_arrival, attempts, timed_out, src_ip = state
+        now = self.scheduler._now
+        if self._needs_flow:
+            # A fresh src port: flow-hashing policies re-roll their pick, so
+            # the retry can actually land somewhere else.
+            flow = FlowKey(
+                src_ip=src_ip,
+                src_port=int(self._retry_rng.integers(1024, 65536)),
+                dst_ip=self._vip_address,
+                dst_port=self._vip_port,
+            )
+        else:
+            flow = None
+        if self._dns is not None:
+            self._dns.advance_time(now)
+        dip_id = self._select(flow)
+        request_id = self._next_request_id
+        self._next_request_id = request_id + 1
+        pool = self._free_requests
+        if pool:
+            request = pool.pop()
+            request.request_id = request_id
+            request.flow = flow
+            request.arrival_time = now
+            request.dip = dip_id
+        else:
+            request = Request(request_id, flow, now, dip_id)
+        request.attempts = attempts
+        request.first_arrival = first_arrival
+        request.timed_out = timed_out
+        request.abandoned = False
+        if self._track_conns:
+            if self._mux:
+                self._open(flow, dip_id)
+            else:
+                self._open(dip_id)
+        finish = self._stations[dip_id].submit(request)
+        if finish is None or finish - now >= self._request_timeout_s:
+            wheel = self._timeout_wheel
+            if not wheel:
+                self._wheel_deadline = now + self._request_timeout_s
+            wheel.append(request)
+            wheel.append(request.token)
+
     # -- driving the simulation -------------------------------------------------------
 
     def run(
@@ -340,10 +718,21 @@ class RequestCluster:
                 self._observation_interval, self._observe_utilization
             )
 
+        # Probe cycles (self-rescheduling, one per DIP on its seeded phase).
+        if self._health is not None:
+            base_seed = self._seed if self._seed is not None else 0
+            for index, dip_id in enumerate(self.dips):
+                phase = self._health.probe_phase_s(base_seed, index)
+                if phase < total_duration:
+                    self.scheduler.schedule_at(phase, (self._probe, dip_id))
+
         # Run past the end so in-flight requests complete.
-        self.scheduler.run_stream(
-            total_duration + 30.0, first_arrival, self._fire_arrival
+        fire = (
+            self._fire_arrival_retry
+            if self._retry is not None
+            else self._fire_arrival
         )
+        self.scheduler.run_stream(total_duration + 30.0, first_arrival, fire)
 
         measured_duration = duration_s
         for dip_id, station in self._stations.items():

@@ -149,13 +149,21 @@ class DipStation:
 
     # -- request lifecycle -----------------------------------------------------
 
-    def submit(self, request: Request, on_complete: CompletionCallback | None = None) -> None:
+    def submit(
+        self, request: Request, on_complete: CompletionCallback | None = None
+    ) -> float | None:
         """Accept a request routed to this DIP.
 
         ``on_complete`` defaults to the station's completion sink (set once
         by the cluster), so the hot path passes no per-request callable.
         The busy/idle accounting is inlined here and in the finish handlers:
         these two methods run once per simulated request each.
+
+        Returns the scheduled completion time when service starts
+        immediately, ``-1.0`` when the outcome was decided synchronously
+        (dead DIP, queue overflow — ``on_complete`` already ran), and
+        ``None`` when the request was queued.  The retry layer uses this
+        to skip timeout-wheel entries that can never expire.
         """
         if on_complete is None:
             on_complete = self._sink
@@ -170,7 +178,7 @@ class DipStation:
             request.outcome = RequestOutcome.FAILED_DIP
             request.completion_time = scheduler._now
             on_complete(request)
-            return
+            return -1.0
         now = scheduler._now
         busy = self._busy_workers
         elapsed = now - self._last_change
@@ -194,24 +202,45 @@ class DipStation:
             if token != self._svc_token:
                 self._svc_mean = self._mean_service_time_s()
                 self._svc_token = token
-            delay = buf.pop() * self._svc_mean
+            finish = now + buf.pop() * self._svc_mean
             seq = scheduler._next_seq
             scheduler._next_seq = seq + 1
             queue = scheduler._queue
             if on_complete is self._sink:
-                _heappush(queue, (now + delay, seq, (self._finish_to_sink, request)))
+                _heappush(queue, (finish, seq, (self._finish_to_sink, request)))
             else:
                 _heappush(
-                    queue, (now + delay, seq, (self._finish_to, (request, on_complete)))
+                    queue, (finish, seq, (self._finish_to, (request, on_complete)))
                 )
             pending = len(queue) - scheduler._cancelled
             if pending > scheduler._peak:
                 scheduler._peak = pending
+            return finish
         elif len(self._waiting) < self._queue_capacity:
             self._waiting.append((request, on_complete))
+            return None
         else:
             stats.drops += 1
             request.outcome = RequestOutcome.DROPPED
+            request.completion_time = now
+            on_complete(request)
+            return -1.0
+
+    def fail_pending(self) -> None:
+        """Bounce every queued (not yet in service) request off the station.
+
+        Called when the DIP's server dies abruptly under probe-based
+        health: work the dead server had accepted but not started is lost
+        and completes immediately as ``FAILED_DIP`` (the retry layer may
+        re-route it).  Requests already *in service* are allowed to finish
+        — the failure model targets routing, not preemption.
+        """
+        now = self._scheduler.now
+        stats = self.stats
+        while self._waiting:
+            request, on_complete = self._waiting.popleft()
+            stats.drops += 1
+            request.outcome = RequestOutcome.FAILED_DIP
             request.completion_time = now
             on_complete(request)
 

@@ -36,6 +36,19 @@ class Request:
     start_service_time: float | None = None
     completion_time: float | None = None
     outcome: RequestOutcome | None = None
+    # -- resilience fields (only touched on the retry path) --
+    #: routing attempts for the logical request this attempt belongs to.
+    attempts: int = 1
+    #: arrival time of the logical request's first attempt.
+    first_arrival: float = 0.0
+    #: any attempt of the logical request exceeded the request timeout.
+    timed_out: bool = False
+    #: the retry layer stopped waiting for this attempt (late completions
+    #: of abandoned attempts are discarded, not recorded).
+    abandoned: bool = False
+    #: generation token: bumped when the attempt finishes, so stale
+    #: timeout-wheel entries recognise a recycled Request object.
+    token: int = 0
 
     @property
     def latency_ms(self) -> float | None:

@@ -72,6 +72,11 @@ class MetricsCollector:
         "_p_code",
         "_p_done",
         "_p_ts",
+        "_att",
+        "_tmo",
+        "_gup",
+        "_p_over",
+        "_extended",
         "_utilization",
     )
 
@@ -89,6 +94,19 @@ class MetricsCollector:
         self._p_code: list[int] = []
         self._p_done: list[bool] = []
         self._p_ts: list[float] = []
+        # Resilience columns (attempts / timed_out / gave_up), allocated
+        # lazily on the first record_request_full so the plain path never
+        # pays for them.
+        self._att: np.ndarray | None = None
+        self._tmo: np.ndarray | None = None
+        self._gup: np.ndarray | None = None
+        #: sparse staging for the resilience columns: (staged index,
+        #: attempts, timed_out, gave_up) only for rows that differ from the
+        #: no-retry defaults.  Flush fills the defaults vectorized and
+        #: scatters these on top, so the overwhelmingly common default row
+        #: (one attempt, clean finish) stages exactly like a plain record.
+        self._p_over: list[tuple] = []
+        self._extended = False
         self._utilization: dict[DipId, float] = {}
 
     # -- ingestion -------------------------------------------------------------
@@ -101,11 +119,36 @@ class MetricsCollector:
         n = self._n
         while capacity < need:
             capacity *= 2
-        for name in ("_lat", "_code", "_done", "_ts"):
+        names = ["_lat", "_code", "_done", "_ts"]
+        if self._extended:
+            names += ["_att", "_tmo", "_gup"]
+        for name in names:
             old = getattr(self, name)
             new = np.empty(capacity, dtype=old.dtype)
             new[:n] = old[:n]
             setattr(self, name, new)
+
+    def _enable_extended(self) -> None:
+        """Allocate the resilience columns, padding records already taken.
+
+        Records ingested before (committed or staged) get the no-retry
+        defaults: one attempt, never timed out, never gave up.
+        """
+        capacity = self._lat.shape[0]
+        self._att = np.ones(capacity, dtype=np.int32)
+        self._tmo = np.zeros(capacity, dtype=bool)
+        self._gup = np.zeros(capacity, dtype=bool)
+        self._extended = True
+
+    def enable_resilience_columns(self) -> None:
+        """Force-allocate the attempts/timed_out/gave_up columns.
+
+        The retry path calls this up front so a run with zero
+        failures/retries still reports the resilience columns (all
+        defaults), even though every record went down the plain path.
+        """
+        if not self._extended:
+            self._enable_extended()
 
     def _flush(self) -> None:
         """Bulk-convert the staged records into the numpy columns."""
@@ -119,6 +162,20 @@ class MetricsCollector:
         self._code[n:need] = self._p_code
         self._done[n:need] = self._p_done
         self._ts[n:need] = self._p_ts
+        if self._extended:
+            # Defaults vectorized, then the rare non-default rows scattered
+            # on top (see _p_over).
+            self._att[n:need] = 1
+            self._tmo[n:need] = False
+            self._gup[n:need] = False
+            if self._p_over:
+                att, tmo, gup = self._att, self._tmo, self._gup
+                for index, attempts, timed_out, gave_up in self._p_over:
+                    row = n + index
+                    att[row] = attempts
+                    tmo[row] = timed_out
+                    gup[row] = gave_up
+                self._p_over.clear()
         self._n = need
         self._p_lat.clear()
         self._p_code.clear()
@@ -142,6 +199,41 @@ class MetricsCollector:
         self._p_code.append(code)
         self._p_done.append(completed)
         self._p_ts.append(timestamp)
+        if len(staged) >= _CHUNK:
+            self._flush()
+
+    def record_request_full(
+        self,
+        dip: DipId,
+        latency_ms: float | None,
+        completed: bool,
+        timestamp: float,
+        attempts: int,
+        timed_out: bool,
+        gave_up: bool,
+    ) -> None:
+        """One *logical* request with its resilience columns.
+
+        The retry path records one row per logical request (not per
+        attempt): ``latency_ms`` spans first arrival to final completion,
+        ``attempts`` counts routing attempts, ``timed_out`` marks any
+        attempt exceeding the request timeout and ``gave_up`` marks
+        requests the retry policy abandoned.
+        """
+        if not self._extended:
+            self._enable_extended()
+        code = self._dip_code.get(dip)
+        if code is None:
+            code = len(self._dip_ids)
+            self._dip_code[dip] = code
+            self._dip_ids.append(dip)
+        staged = self._p_lat
+        staged.append(latency_ms if latency_ms is not None else _NAN)
+        self._p_code.append(code)
+        self._p_done.append(completed)
+        self._p_ts.append(timestamp)
+        if attempts != 1 or timed_out or gave_up:
+            self._p_over.append((len(staged) - 1, attempts, timed_out, gave_up))
         if len(staged) >= _CHUNK:
             self._flush()
 
@@ -186,6 +278,10 @@ class MetricsCollector:
         self._code[n:need] = code
         self._done[n:need] = completed
         self._ts[n:need] = timestamp
+        if self._extended:
+            self._att[n:need] = 1
+            self._tmo[n:need] = False
+            self._gup[n:need] = False
         self._n = need
 
     # -- access ---------------------------------------------------------------
@@ -265,6 +361,32 @@ class MetricsCollector:
     def utilization(self) -> dict[DipId, float]:
         return dict(self._utilization)
 
+    def retry_summary(self) -> dict[str, float] | None:
+        """Aggregate resilience metrics, or ``None`` off the retry path.
+
+        ``attempts_mean`` averages routing attempts per logical request;
+        the fractions count requests that were retried at least once,
+        timed out at least once, or were abandoned by the retry policy.
+        """
+        if not self._extended:
+            return None
+        self._flush()
+        n = self._n
+        if n == 0:
+            return {
+                "attempts_mean": float("nan"),
+                "retried_fraction": 0.0,
+                "timed_out_fraction": 0.0,
+                "gave_up_fraction": 0.0,
+            }
+        att = self._att[:n]
+        return {
+            "attempts_mean": float(att.mean()),
+            "retried_fraction": float((att > 1).sum() / n),
+            "timed_out_fraction": float(self._tmo[:n].sum() / n),
+            "gave_up_fraction": float(self._gup[:n].sum() / n),
+        }
+
     def dip_summary(self, dip: DipId) -> DipSummary:
         latencies = self.latencies_ms(dips=[dip])  # flushes staging
         code = self._dip_code.get(dip)
@@ -323,6 +445,11 @@ class MetricsCollector:
         lat = self._lat[:n][in_range][order]
         done = self._done[:n][in_range][order]
         code = self._code[:n][in_range][order]
+        extended = self._extended
+        if extended:
+            att = self._att[:n][in_range][order]
+            tmo = self._tmo[:n][in_range][order]
+            gup = self._gup[:n][in_range][order]
         bounds = np.searchsorted(index, np.arange(num_windows + 1))
         rows: list[dict] = []
         for w in range(num_windows):
@@ -346,17 +473,24 @@ class MetricsCollector:
                     for c, dip in enumerate(self._dip_ids)
                     if counts[c]
                 }
+            metrics = {
+                "requests": float(total),
+                "mean_latency_ms": mean,
+                "p50_latency_ms": p50,
+                "p99_latency_ms": p99,
+                "drop_fraction": drops / total if total else 0.0,
+            }
+            if extended and total:
+                metrics["retried_fraction"] = float(
+                    (att[window] > 1).sum() / total
+                )
+                metrics["timed_out_fraction"] = float(tmo[window].sum() / total)
+                metrics["gave_up_fraction"] = float(gup[window].sum() / total)
             rows.append(
                 {
                     "start_s": start_s + w * window_s,
                     "end_s": min(start_s + (w + 1) * window_s, end_s),
-                    "metrics": {
-                        "requests": float(total),
-                        "mean_latency_ms": mean,
-                        "p50_latency_ms": p50,
-                        "p99_latency_ms": p99,
-                        "drop_fraction": drops / total if total else 0.0,
-                    },
+                    "metrics": metrics,
                     "dip_share": share,
                 }
             )

@@ -132,7 +132,7 @@ class TestTimelineSpec:
             )
 
     def test_scenario_runner_rejects_timelines(self):
-        with pytest.raises(ConfigurationError, match="cannot carry a timeline"):
+        with pytest.raises(ConfigurationError, match="cannot carry timeline"):
             api.ExperimentSpec(
                 name="x",
                 runner="scenario",
