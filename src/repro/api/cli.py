@@ -14,6 +14,14 @@ Six verbs over the declarative API, all round-tripping through files:
   timelines, serial fallback with the reason surfaced otherwise);
 * ``sweep NAME|FILE --axis path=v1,v2 [...] [-j/--workers N] [-o dir]`` —
   the expansion runs through one warm worker pool;
+* ``serve NAME|FILE [--host H] [--port P] [--time-scale X]
+  [--accelerated]`` — run the spec as a live daemon: the control loop
+  executes one window per ``window_s / time_scale`` wall seconds
+  (``--accelerated`` runs windows back to back), REST endpoints expose
+  per-VIP windowed stats and the applied/pending timeline, ``POST
+  /events`` injects live mutations, ``WS /stream`` pushes each window,
+  and ``GET /session`` exports a spec whose batch re-run reproduces the
+  session bit-for-bit per seed (see :mod:`repro.service`);
 * ``compare a.json b.json [--windows] [--window-metric M]`` — align saved
   result artifacts; ``--windows`` adds the window-by-window trajectory
   table.
@@ -159,10 +167,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             note = "serial run"
         print(f"note: {note}", file=sys.stderr)
-    print(_metrics_table(result))
+    if args.format == "json":
+        # Machine-readable mode: the artifact alone on stdout (watch and
+        # note lines already go to stderr), so `repro run --format json |
+        # jq` composes cleanly.
+        print(result.to_json())
+    else:
+        print(_metrics_table(result))
     if args.output:
         path = result.save(args.output)
-        print(f"\nresult written to {path}")
+        destination = sys.stderr if args.format == "json" else sys.stdout
+        print(f"result written to {path}", file=destination)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import LiveSession, serve
+
+    spec = _resolve_spec(args)
+    session = LiveSession(spec)  # validates serve-ability (runner, health)
+    serve(
+        session,
+        host=args.host,
+        port=args.port,
+        time_scale=args.time_scale,
+        accelerated=args.accelerated,
+    )
     return 0
 
 
@@ -294,7 +324,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="epoch length in seconds for epoch-synchronized shards (same as "
         "--set sync_interval_s=S; smaller = less staleness, more barriers)",
     )
+    run.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="stdout format: 'table' (human metrics table) or 'json' (the "
+        "full RunResult artifact; progress/note lines go to stderr)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a spec as a live daemon (REST + WebSocket control plane)",
+    )
+    _add_spec_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port; 0 picks an ephemeral port (printed on stdout)",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="simulated seconds per wall second (one window every "
+        "window_s / X wall seconds; default 1.0 = real time)",
+    )
+    serve.add_argument(
+        "--accelerated",
+        action="store_true",
+        help="drop wall-clock pacing and run windows back to back (CI and "
+        "smoke tests)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     sweep = commands.add_parser("sweep", help="expand and run a parameter sweep")
     _add_spec_arguments(sweep)

@@ -98,6 +98,38 @@ class RunWindow:
         )
 
 
+def timeline_metrics(windows: tuple[RunWindow, ...]) -> dict[str, float]:
+    """Headline latency metrics of a timed phase, comparable across substrates.
+
+    ``mean_latency_ms`` is the run average over the whole timed phase
+    (rate·time-weighted across windows, so it matches the request engine's
+    completed-request average in meaning), ``final_latency_ms`` the last
+    window's value — end state and trajectory average stay distinct.
+
+    Shared by the batch runners and the live service's session export: both
+    fold the same window rows through the same arithmetic in the same
+    order, so a replayed session reproduces these numbers bit-for-bit.
+    """
+    weighted = 0.0
+    weight = 0.0
+    for window in windows:
+        mean = window.metrics.get("mean_latency_ms", float("nan"))
+        if mean != mean:
+            continue
+        rate = window.metrics.get("total_rate_rps", 1.0)
+        share = rate * (window.end_s - window.start_s)
+        weighted += mean * share
+        weight += share
+    return {
+        "mean_latency_ms": weighted / weight if weight else float("nan"),
+        "final_latency_ms": (
+            windows[-1].metrics.get("mean_latency_ms", float("nan"))
+            if windows
+            else float("nan")
+        ),
+    }
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Outcome of executing one :class:`ExperimentSpec`."""

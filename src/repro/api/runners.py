@@ -33,7 +33,7 @@ from dataclasses import replace
 from datetime import datetime, timezone
 from typing import Any, Iterable, Mapping, Protocol
 
-from repro.api.result import Provenance, RunResult, RunWindow
+from repro.api.result import Provenance, RunResult, RunWindow, timeline_metrics
 from repro.api.spec import (
     ChaosSpec,
     ExperimentSpec,
@@ -161,30 +161,41 @@ def now_iso() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
-def _timeline_latency_metrics(windows: tuple[RunWindow, ...]) -> dict[str, float]:
-    """Headline latency metrics of a timed phase, comparable across substrates.
+def prepare_fluid(
+    spec: ExperimentSpec,
+) -> tuple[FluidCluster, "KnapsackLBController | None", dict[str, float], Any]:
+    """Build and converge the fluid substrate a spec describes.
 
-    ``mean_latency_ms`` is the run average over the whole timed phase
-    (rate·time-weighted across windows, so it matches the request engine's
-    completed-request average in meaning), ``final_latency_ms`` the last
-    window's value — end state and trajectory average stay distinct.
+    Returns ``(cluster, controller, setup_metrics, detail)`` — everything
+    that happens *before* the timed phase, shared by :class:`FluidRunner`
+    and the live ``repro serve`` daemon so a replayed session starts from
+    the identical converged state.
     """
-    weighted = 0.0
-    weight = 0.0
-    for window in windows:
-        mean = window.metrics.get("mean_latency_ms", float("nan"))
-        if mean != mean:
-            continue
-        rate = window.metrics.get("total_rate_rps", 1.0)
-        share = rate * (window.end_s - window.start_s)
-        weighted += mean * share
-        weight += share
-    return {
-        "mean_latency_ms": weighted / weight if weight else float("nan"),
-        "final_latency_ms": windows[-1].metrics.get(
-            "mean_latency_ms", float("nan")
-        ),
-    }
+    cluster = build_cluster(spec)
+    if not spec.timeline.empty:
+        check_timeline_supported(spec.timeline, "fluid", dips=cluster.dips)
+    metrics: dict[str, float] = {}
+    detail = None
+    controller: KnapsackLBController | None = None
+    if spec.controller.enabled:
+        controller = KnapsackLBController(
+            f"vip-{spec.name}", cluster, config=spec.controller.config
+        )
+        assignment = controller.converge(
+            settle_steps=spec.controller.settle_steps
+        )
+        for _ in range(spec.controller.control_steps):
+            controller.control_step()
+        metrics["objective_ms"] = assignment.objective_ms
+        detail = assignment
+        # How much the computed weights beat a blind equal split.
+        klb_latency = cluster.state().overall_mean_latency_ms()
+        cluster.set_weights({d: 1.0 / len(cluster.dips) for d in cluster.dips})
+        equal_latency = cluster.state().overall_mean_latency_ms()
+        cluster.set_weights(dict(assignment.weights))
+        metrics["equal_split_latency_ms"] = equal_latency
+        metrics["latency_gain"] = equal_latency / klb_latency
+    return cluster, controller, metrics, detail
 
 
 class FluidRunner:
@@ -197,32 +208,7 @@ class FluidRunner:
     ) -> RunResult:
         started_at, started = now_iso(), time.perf_counter()
         spec = expand_spec_chaos(spec)
-        cluster = build_cluster(spec)
-        if not spec.timeline.empty:
-            check_timeline_supported(
-                spec.timeline, self.kind, dips=cluster.dips
-            )
-        metrics: dict[str, float] = {}
-        detail = None
-        controller: KnapsackLBController | None = None
-        if spec.controller.enabled:
-            controller = KnapsackLBController(
-                f"vip-{spec.name}", cluster, config=spec.controller.config
-            )
-            assignment = controller.converge(
-                settle_steps=spec.controller.settle_steps
-            )
-            for _ in range(spec.controller.control_steps):
-                controller.control_step()
-            metrics["objective_ms"] = assignment.objective_ms
-            detail = assignment
-            # How much the computed weights beat a blind equal split.
-            klb_latency = cluster.state().overall_mean_latency_ms()
-            cluster.set_weights({d: 1.0 / len(cluster.dips) for d in cluster.dips})
-            equal_latency = cluster.state().overall_mean_latency_ms()
-            cluster.set_weights(dict(assignment.weights))
-            metrics["equal_split_latency_ms"] = equal_latency
-            metrics["latency_gain"] = equal_latency / klb_latency
+        cluster, controller, metrics, detail = prepare_fluid(spec)
         windows: tuple[RunWindow, ...] = ()
         if not spec.timeline.empty:
             # The timed phase starts from the converged steady state; events
@@ -241,7 +227,7 @@ class FluidRunner:
             # Trajectory-derived aggregates (a still-failed DIP's rate-0 /
             # latency-inf pair cannot poison them, and they mean the same
             # thing on every substrate).
-            metrics.update(_timeline_latency_metrics(windows))
+            metrics.update(timeline_metrics(windows))
         else:
             metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
         metrics["max_utilization"] = max(state.utilization.values())
@@ -394,6 +380,66 @@ class RequestRunner:
         )
 
 
+def prepare_fleet(
+    spec: ExperimentSpec,
+) -> tuple[Any, "FleetController | None", dict[str, float], Any]:
+    """Build and converge the multi-VIP fleet a spec describes.
+
+    Returns ``(fleet, plane, setup_metrics, detail)``; shared by
+    :class:`FleetRunner` and the live daemon.  VIPs named by a timeline
+    ``vip_onboard`` event — or listed in ``fleet.deferred_vips`` — stay out
+    of the initial convergence (their traffic still flows at the builder's
+    capacity-proportional weights — the staggered-onboarding shape).
+    """
+    # The *same* pool spec the other runners execute, windowed across
+    # the VIPs — so a testbed or three_dip spec stays that pool here.
+    fleet = fleet_from_pool(
+        pool_from_spec(spec.pool, spec.seed),
+        num_vips=spec.fleet.num_vips,
+        pool_size=spec.fleet.pool_size,
+        load_fraction=spec.workload.load_fraction,
+        policy_name=spec.policy.name,
+    )
+    if not spec.timeline.empty:
+        check_timeline_supported(
+            spec.timeline,
+            "fleet",
+            dips=fleet.dips,
+            vips=fleet.vips,
+            controller_enabled=spec.controller.enabled,
+        )
+    deferred = {
+        event.vip
+        for event in spec.timeline.events
+        if event.kind == "vip_onboard"
+    }
+    unknown = [v for v in spec.fleet.deferred_vips if v not in fleet.vips]
+    if unknown:
+        known = ", ".join(sorted(fleet.vips))
+        raise ConfigurationError(
+            f"fleet.deferred_vips names unknown VIP {unknown[0]!r}; "
+            f"fleet VIPs: {known}"
+        )
+    deferred.update(spec.fleet.deferred_vips)
+    metrics: dict[str, float] = {}
+    detail: Any = None
+    plane: FleetController | None = None
+    if spec.controller.enabled:
+        plane = FleetController(fleet, config=spec.controller.config)
+        for vip_id in fleet.vips:
+            if vip_id not in deferred:
+                plane.onboard_vip(vip_id)
+        assignments = plane.converge_all(
+            settle_steps=spec.controller.settle_steps
+        )
+        for _ in range(spec.controller.control_steps):
+            plane.control_step()
+        metrics["vips_with_assignment"] = float(len(assignments))
+        metrics["measurement_rounds"] = float(len(plane.round_log))
+        detail = {"assignments": assignments, "plane": plane}
+    return fleet, plane, metrics, detail
+
+
 class FleetRunner:
     """Multi-VIP shared-fleet execution under the FleetController."""
 
@@ -404,47 +450,7 @@ class FleetRunner:
     ) -> RunResult:
         started_at, started = now_iso(), time.perf_counter()
         spec = expand_spec_chaos(spec)
-        # The *same* pool spec the other runners execute, windowed across
-        # the VIPs — so a testbed or three_dip spec stays that pool here.
-        fleet = fleet_from_pool(
-            pool_from_spec(spec.pool, spec.seed),
-            num_vips=spec.fleet.num_vips,
-            pool_size=spec.fleet.pool_size,
-            load_fraction=spec.workload.load_fraction,
-            policy_name=spec.policy.name,
-        )
-        if not spec.timeline.empty:
-            check_timeline_supported(
-                spec.timeline,
-                self.kind,
-                dips=fleet.dips,
-                vips=fleet.vips,
-                controller_enabled=spec.controller.enabled,
-            )
-        # VIPs a timeline onboards later stay out of the initial convergence
-        # (their traffic still flows at the builder's capacity-proportional
-        # weights — the staggered-onboarding shape).
-        deferred = {
-            event.vip
-            for event in spec.timeline.events
-            if event.kind == "vip_onboard"
-        }
-        metrics: dict[str, float] = {}
-        detail: Any = None
-        plane: FleetController | None = None
-        if spec.controller.enabled:
-            plane = FleetController(fleet, config=spec.controller.config)
-            for vip_id in fleet.vips:
-                if vip_id not in deferred:
-                    plane.onboard_vip(vip_id)
-            assignments = plane.converge_all(
-                settle_steps=spec.controller.settle_steps
-            )
-            for _ in range(spec.controller.control_steps):
-                plane.control_step()
-            metrics["vips_with_assignment"] = float(len(assignments))
-            metrics["measurement_rounds"] = float(len(plane.round_log))
-            detail = {"assignments": assignments, "plane": plane}
+        fleet, plane, metrics, detail = prepare_fleet(spec)
         windows: tuple[RunWindow, ...] = ()
         if not spec.timeline.empty:
             windows = run_fleet_timeline(
@@ -458,7 +464,7 @@ class FleetRunner:
             metrics["timeline_events"] = float(len(spec.timeline.events))
         state = fleet.state()
         if windows:
-            metrics.update(_timeline_latency_metrics(windows))
+            metrics.update(timeline_metrics(windows))
         else:
             metrics["mean_latency_ms"] = state.overall_mean_latency_ms()
         metrics["max_utilization"] = max(state.utilization.values())

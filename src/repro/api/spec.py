@@ -149,6 +149,19 @@ class EventSpec:
                 "(only dip_fail and vip_offboard drain)"
             )
 
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, path: str = "timeline.events"
+    ) -> "EventSpec":
+        """Build one event from a plain mapping, naming any bad field.
+
+        The single JSON-ingestion path for events: spec files, the
+        ``repro validate`` CLI and the live daemon's ``POST /events`` body
+        all go through here, so a malformed event produces the *same*
+        dotted-path error text everywhere.
+        """
+        return dataclass_from_dict(cls, data, path=path)
+
     def label(self) -> str:
         """Compact human-readable form (``t=30s dip_fail DIP-3``)."""
         parts = [f"t={self.time_s:g}s", self.kind]
@@ -423,7 +436,7 @@ class TimelineSpec:
         events = tuple(
             event
             if isinstance(event, EventSpec)
-            else dataclass_from_dict(EventSpec, event, path="timeline.events")
+            else EventSpec.from_dict(event)
             for event in self.events
         )
         object.__setattr__(self, "events", events)
@@ -618,12 +631,23 @@ class FleetSpec:
     num_vips: int = 4
     #: DIPs per VIP window; ``None`` derives it from the sharing ratio.
     pool_size: int | None = None
+    #: VIPs that start *outside* the control plane (traffic flows at the
+    #: builder's capacity-proportional weights) until a ``vip_onboard``
+    #: event — declared in the timeline or injected live through the
+    #: ``repro serve`` daemon — brings them under KnapsackLB control.
+    deferred_vips: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_vips < 1:
             raise ConfigurationError("fleet.num_vips must be >= 1")
         if self.pool_size is not None and self.pool_size < 1:
             raise ConfigurationError("fleet.pool_size must be >= 1 or null")
+        object.__setattr__(self, "deferred_vips", tuple(self.deferred_vips))
+        for vip in self.deferred_vips:
+            if not vip or not isinstance(vip, str):
+                raise ConfigurationError(
+                    "fleet.deferred_vips must be a list of VIP names"
+                )
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,10 @@ time-series.
 
 from __future__ import annotations
 
+import logging
 import math
 import sys
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, TextIO
 
 from repro.api.result import RunWindow
@@ -50,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.trace import MetricsCollector
 
 _EPS = 1e-9
+
+_LOG = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -87,22 +91,44 @@ class BaseObserver:
 
 
 class ObserverSet(BaseObserver):
-    """Fan one stream of notifications out to several observers."""
+    """Fan one stream of notifications out to several observers.
+
+    Observers are *isolated*: a hook that raises is logged (with its
+    traceback, on this module's logger) and the offending observer is
+    dropped from the set, so a crashing telemetry consumer can never abort
+    the run — or the live daemon's control loop — it is watching.
+    """
 
     def __init__(self, observers: Iterable[Observer] = ()) -> None:
         self.observers: tuple[Observer, ...] = tuple(observers)
 
-    def on_event(self, time_s: float, event: EventSpec) -> None:
+    def _dispatch(self, hook: str, *args: object) -> None:
+        dropped: list[Observer] = []
         for observer in self.observers:
-            observer.on_event(time_s, event)
+            try:
+                getattr(observer, hook)(*args)
+            except Exception:
+                _LOG.exception(
+                    "observer %r raised in %s; dropping it from the set",
+                    observer,
+                    hook,
+                )
+                dropped.append(observer)
+        if dropped:
+            self.observers = tuple(
+                observer
+                for observer in self.observers
+                if all(observer is not gone for gone in dropped)
+            )
+
+    def on_event(self, time_s: float, event: EventSpec) -> None:
+        self._dispatch("on_event", time_s, event)
 
     def on_round(self, time_s: float, metrics: Mapping[str, float]) -> None:
-        for observer in self.observers:
-            observer.on_round(time_s, metrics)
+        self._dispatch("on_round", time_s, metrics)
 
     def on_window(self, window: RunWindow) -> None:
-        for observer in self.observers:
-            observer.on_window(window)
+        self._dispatch("on_window", window)
 
 
 class WindowedMetricsObserver(BaseObserver):
@@ -112,11 +138,23 @@ class WindowedMetricsObserver(BaseObserver):
     :attr:`RunResult.windows` time-series, so results carry the trajectory
     (per-window latency, share, drops, applied events), not just end-of-run
     aggregates.
+
+    ``maxlen`` turns both collections into ring buffers that keep only the
+    newest entries — the shape a long-running daemon needs, where the run
+    has no natural end and an unbounded list would leak.
     """
 
-    def __init__(self) -> None:
-        self.windows: list[RunWindow] = []
-        self.applied_events: list[tuple[float, EventSpec]] = []
+    def __init__(self, maxlen: int | None = None) -> None:
+        self.windows: "deque[RunWindow] | list[RunWindow]"
+        self.applied_events: (
+            "deque[tuple[float, EventSpec]] | list[tuple[float, EventSpec]]"
+        )
+        if maxlen is None:
+            self.windows = []
+            self.applied_events = []
+        else:
+            self.windows = deque(maxlen=maxlen)
+            self.applied_events = deque(maxlen=maxlen)
 
     def on_event(self, time_s: float, event: EventSpec) -> None:
         self.applied_events.append((time_s, event))
@@ -206,61 +244,128 @@ def check_timeline_supported(
 _Action = tuple[float, "EventSpec | None", "Callable[[], None] | None"]
 
 
-def _run_windows(
-    timeline: TimelineSpec,
-    observer: Observer,
-    *,
-    advance: Callable[[float], None],
-    tick: Callable[[], dict[str, float]],
-    snapshot: Callable[[], tuple[dict[str, float], dict[str, float]]],
-    apply_event: Callable[[EventSpec], None],
-    actions: "list[_Action] | None" = None,
-) -> tuple[RunWindow, ...]:
-    """Drive an analytic substrate through the timed phase, window by window.
+class TimelineStepper:
+    """Resumable window-by-window execution of a timed phase.
 
-    Events apply *between* fixed-point rounds at their exact declared times:
-    each window is split into sub-segments at event boundaries, so an event
-    at t=12.5s with 5s windows fires after exactly 12.5 simulated seconds on
-    the fluid substrates — the same instant the request engine fires it.
-    One controller tick runs per window (after the window's time has fully
-    elapsed), then the window row snapshots the substrate.
+    This is the windowing engine both execution modes share: the batch
+    runners construct one and drive it to completion (:meth:`run` — the
+    old ``_run_windows`` loop), while the live ``repro serve`` daemon calls
+    :meth:`step` once per wall-clock-scaled tick and :meth:`inject`\\ s
+    operator mutations between windows.  Because both modes run *this*
+    class over the same action schedule, a live session replayed in batch
+    from its exported spec reproduces the live windows bit-for-bit.
+
+    Events apply *between* fixed-point rounds at their exact declared
+    times: each window is split into sub-segments at event boundaries, so
+    an event at t=12.5s with 5s windows fires after exactly 12.5 simulated
+    seconds on the fluid substrates — the same instant the request engine
+    fires it.  One controller tick runs per window (after the window's
+    time has fully elapsed), then the window row snapshots the substrate.
 
     ``actions`` (health mode) replaces the event list with a pre-computed
     action schedule that interleaves declared events with probe-detection
     flips and drain completions at *their* exact times.
     """
-    if actions is None:
-        actions = [
-            (event.time_s, event, None)
-            for event in timeline.ordered_events()
-        ]
-    horizon = timeline.duration_s()
-    window_s = timeline.window_s
-    pointer = 0
-    start = 0.0
-    windows: list[RunWindow] = []
-    while start < horizon - _EPS:
-        end = min(start + window_s, horizon)
+
+    def __init__(
+        self,
+        timeline: TimelineSpec,
+        observer: Observer,
+        *,
+        advance: Callable[[float], None],
+        tick: Callable[[], dict[str, float]],
+        snapshot: Callable[[], tuple[dict[str, float], dict[str, float]]],
+        apply_event: Callable[[EventSpec], None],
+        actions: "list[_Action] | None" = None,
+    ) -> None:
+        if actions is None:
+            actions = [
+                (event.time_s, event, None)
+                for event in timeline.ordered_events()
+            ]
+        self._actions: "list[_Action]" = list(actions)
+        self._pointer = 0
+        self._observer = observer
+        self._advance = advance
+        self._tick = tick
+        self._snapshot = snapshot
+        self._apply_event = apply_event
+        self.window_s = timeline.window_s
+        self.horizon_s = timeline.duration_s()
+        #: start of the next window (== simulated time already executed).
+        self.clock = 0.0
+        self.windows: list[RunWindow] = []
+
+    @property
+    def done(self) -> bool:
+        """The configured horizon has been fully executed."""
+        return self.clock >= self.horizon_s - _EPS
+
+    def extend_horizon(self, horizon_s: float) -> None:
+        """Grow the timed phase (the daemon's open-ended control loop)."""
+        self.horizon_s = max(self.horizon_s, horizon_s)
+
+    def pending_events(self) -> tuple[tuple[float, EventSpec], ...]:
+        """Declared-or-injected events that have not been applied yet."""
+        return tuple(
+            (time_s, event)
+            for time_s, event, _ in self._actions[self._pointer :]
+            if event is not None
+        )
+
+    def inject(self, event: EventSpec, *, time_s: float | None = None) -> float:
+        """Splice a live mutation into the schedule at a future instant.
+
+        ``time_s`` defaults to the event's own declared time; either way it
+        must not precede :attr:`clock` (the start of the next window) —
+        already-executed simulated time cannot be mutated.  Insertion keeps
+        the schedule sorted and lands *after* any equal-time entry, matching
+        the stable tie-break a batch replay applies to events appended to
+        the spec's tuple.  Returns the effective application time.
+        """
+        when = event.time_s if time_s is None else time_s
+        if when < self.clock - _EPS:
+            raise ConfigurationError(
+                f"cannot inject event [{event.label()}] at t={when:g}s: the "
+                f"run has already executed through t={self.clock:g}s"
+            )
+        index = len(self._actions)
+        while index > self._pointer and self._actions[index - 1][0] > when:
+            index -= 1
+        self._actions.insert(index, (when, event, None))
+        return when
+
+    def step(self) -> "RunWindow | None":
+        """Execute exactly one window; ``None`` once the horizon is done."""
+        if self.done:
+            return None
+        start = self.clock
+        end = min(start + self.window_s, self.horizon_s)
         applied: list[str] = []
         cursor = start
         while cursor < end - _EPS:
-            while pointer < len(actions) and actions[pointer][0] <= cursor + _EPS:
-                _, event, thunk = actions[pointer]
-                pointer += 1
+            while (
+                self._pointer < len(self._actions)
+                and self._actions[self._pointer][0] <= cursor + _EPS
+            ):
+                _, event, thunk = self._actions[self._pointer]
+                self._pointer += 1
                 if thunk is not None:
                     thunk()
                 if event is not None:
                     if thunk is None:
-                        apply_event(event)
-                    observer.on_event(cursor, event)
+                        self._apply_event(event)
+                    self._observer.on_event(cursor, event)
                     applied.append(event.label())
             boundary = (
-                min(end, actions[pointer][0]) if pointer < len(actions) else end
+                min(end, self._actions[self._pointer][0])
+                if self._pointer < len(self._actions)
+                else end
             )
-            advance(boundary - cursor)
+            self._advance(boundary - cursor)
             cursor = boundary
-        metrics, share = snapshot()
-        metrics.update(tick())
+        metrics, share = self._snapshot()
+        metrics.update(self._tick())
         window = RunWindow(
             start_s=start,
             end_s=end,
@@ -268,11 +373,17 @@ def _run_windows(
             dip_share=share,
             events=tuple(applied),
         )
-        observer.on_window(window)
-        observer.on_round(end, metrics)
-        windows.append(window)
-        start = end
-    return tuple(windows)
+        self._observer.on_window(window)
+        self._observer.on_round(end, metrics)
+        self.windows.append(window)
+        self.clock = end
+        return window
+
+    def run(self) -> tuple[RunWindow, ...]:
+        """Drive the remaining windows to the horizon (the batch path)."""
+        while self.step() is not None:
+            pass
+        return tuple(self.windows)
 
 
 # ---------------------------------------------------------------------------
@@ -523,7 +634,7 @@ class _BlackholeMeter:
 # ---------------------------------------------------------------------------
 
 
-def run_fluid_timeline(
+def fluid_timeline_stepper(
     cluster: "FluidCluster",
     timeline: TimelineSpec,
     observer: Observer,
@@ -531,8 +642,8 @@ def run_fluid_timeline(
     controller: "KnapsackLBController | None" = None,
     health: "HealthCheckSpec | None" = None,
     seed: int = 0,
-) -> tuple[RunWindow, ...]:
-    """Execute the timed phase on a (converged) fluid cluster.
+) -> TimelineStepper:
+    """A resumable stepper over the timed phase of a (converged) fluid cluster.
 
     With ``health`` enabled, DIP failures are not applied to the LB at
     their declared times: the DIP keeps its traffic share (blackholed —
@@ -625,7 +736,7 @@ def run_fluid_timeline(
             fail=fail,
             recover=recover,
         )
-    return _run_windows(
+    return TimelineStepper(
         timeline,
         observer,
         advance=advance,
@@ -636,12 +747,32 @@ def run_fluid_timeline(
     )
 
 
+def run_fluid_timeline(
+    cluster: "FluidCluster",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    controller: "KnapsackLBController | None" = None,
+    health: "HealthCheckSpec | None" = None,
+    seed: int = 0,
+) -> tuple[RunWindow, ...]:
+    """Execute the timed phase on a (converged) fluid cluster, to completion."""
+    return fluid_timeline_stepper(
+        cluster,
+        timeline,
+        observer,
+        controller=controller,
+        health=health,
+        seed=seed,
+    ).run()
+
+
 # ---------------------------------------------------------------------------
 # fleet substrate
 # ---------------------------------------------------------------------------
 
 
-def run_fleet_timeline(
+def fleet_timeline_stepper(
     fleet: "Fleet",
     timeline: TimelineSpec,
     observer: Observer,
@@ -649,8 +780,8 @@ def run_fleet_timeline(
     plane: "FleetController | None" = None,
     health: "HealthCheckSpec | None" = None,
     seed: int = 0,
-) -> tuple[RunWindow, ...]:
-    """Execute the timed phase on a (converged) multi-VIP fleet.
+) -> TimelineStepper:
+    """A resumable stepper over the timed phase of a (converged) fleet.
 
     ``vip_onboard`` runs the full staggered-onboarding path: the VIP joins
     the control plane, its interleaved measurement rounds run with
@@ -780,7 +911,7 @@ def run_fleet_timeline(
             meter.account(dt)
         fleet.advance(dt)
 
-    return _run_windows(
+    return TimelineStepper(
         timeline,
         observer,
         advance=advance,
@@ -789,6 +920,26 @@ def run_fleet_timeline(
         apply_event=apply_event,
         actions=actions,
     )
+
+
+def run_fleet_timeline(
+    fleet: "Fleet",
+    timeline: TimelineSpec,
+    observer: Observer,
+    *,
+    plane: "FleetController | None" = None,
+    health: "HealthCheckSpec | None" = None,
+    seed: int = 0,
+) -> tuple[RunWindow, ...]:
+    """Execute the timed phase on a (converged) multi-VIP fleet, to completion."""
+    return fleet_timeline_stepper(
+        fleet,
+        timeline,
+        observer,
+        plane=plane,
+        health=health,
+        seed=seed,
+    ).run()
 
 
 # ---------------------------------------------------------------------------

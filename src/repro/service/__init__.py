@@ -1,0 +1,32 @@
+"""Live control-plane service mode: ``python -m repro serve``.
+
+The service package turns a batch :class:`~repro.api.spec.ExperimentSpec`
+into a long-running daemon: the same converged substrate the batch runners
+execute, driven window by window on an asyncio control loop, observable
+over REST and WebSocket, and mutable at run time — with every live session
+exportable back into a spec whose batch re-run reproduces it bit-for-bit
+per seed (see :mod:`repro.service.session`).
+
+Stdlib-only by design: the HTTP/1.1 and WebSocket framing is hand-rolled
+in :mod:`repro.service.http`, so the daemon adds zero dependencies.
+"""
+
+from repro.service.session import LiveSession, SessionConflict
+from repro.service.server import ServiceServer, serve
+from repro.service.stepper import (
+    SERVE_RUNNERS,
+    LiveSubstrate,
+    build_live_substrate,
+    mixture_percentile,
+)
+
+__all__ = [
+    "SERVE_RUNNERS",
+    "LiveSession",
+    "LiveSubstrate",
+    "ServiceServer",
+    "SessionConflict",
+    "build_live_substrate",
+    "mixture_percentile",
+    "serve",
+]

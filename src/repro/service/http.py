@@ -1,0 +1,237 @@
+"""Minimal HTTP/1.1 and WebSocket (RFC 6455) framing over asyncio streams.
+
+The ``repro serve`` daemon is stdlib-only, so instead of pulling in an HTTP
+framework this module implements exactly the slice of the protocols the
+control plane needs:
+
+* request parsing — request line, headers, ``Content-Length`` bodies (no
+  chunked uploads: control-plane mutations are small JSON documents);
+* response writing — status line + headers + body, ``Connection: close``
+  per response (one request per connection keeps the daemon trivial to
+  reason about; the control plane is low-QPS by construction);
+* the WebSocket server handshake (``Sec-WebSocket-Accept``) and framing:
+  unmasked server→client text frames, client frame decoding (which the RFC
+  requires to be masked), close/ping/pong control frames.
+
+Everything here is transport only — no routing, no application logic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Largest accepted request head (request line + headers) and body.
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Status phrases for the codes the service actually emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+#: RFC 6455 handshake GUID.
+_WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes.
+WS_OP_TEXT = 0x1
+WS_OP_CLOSE = 0x8
+WS_OP_PING = 0x9
+WS_OP_PONG = 0xA
+
+
+class HttpProtocolError(Exception):
+    """The peer sent something that is not valid HTTP for this server."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, lowercase headers, body."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON; raises :class:`HttpProtocolError`."""
+        try:
+            return json.loads(self.body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpProtocolError(f"request body is not valid JSON: {error}")
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise HttpProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError("request head too large") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpProtocolError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise HttpProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpProtocolError(
+                f"malformed Content-Length: {length!r}"
+            ) from None
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise HttpProtocolError("request body too large")
+        body = await reader.readexactly(size)
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path) or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """Serialize one complete ``Connection: close`` HTTP/1.1 response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """A JSON document as a complete response (sorted keys, trailing \\n)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return response(status, body)
+
+
+# ---------------------------------------------------------------------------
+# WebSocket framing
+# ---------------------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1(key.encode("latin-1") + _WS_GUID).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def ws_handshake_response(key: str) -> bytes:
+    """The 101 Switching Protocols response completing the WS handshake."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def _ws_frame(opcode: int, payload: bytes) -> bytes:
+    """One unmasked (server→client) frame with FIN set."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < 1 << 16:
+        head += bytes([126]) + struct.pack(">H", length)
+    else:
+        head += bytes([127]) + struct.pack(">Q", length)
+    return head + payload
+
+
+def ws_text_frame(text: str) -> bytes:
+    return _ws_frame(WS_OP_TEXT, text.encode("utf-8"))
+
+
+def ws_close_frame(code: int = 1000) -> bytes:
+    return _ws_frame(WS_OP_CLOSE, struct.pack(">H", code))
+
+
+def ws_pong_frame(payload: bytes = b"") -> bytes:
+    return _ws_frame(WS_OP_PONG, payload)
+
+
+async def ws_read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes] | None:
+    """Read one client frame, unmasking it; ``None`` on EOF.
+
+    Fragmented messages are not reassembled — control-plane clients send
+    only short control frames (close/ping) and the server never expects
+    application data from them.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", await reader.readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", await reader.readexactly(8))[0]
+    if length > MAX_BODY_BYTES:
+        raise HttpProtocolError("websocket frame too large")
+    mask = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = bytes(
+            byte ^ mask[i % 4] for i, byte in enumerate(payload)
+        )
+    return opcode, payload

@@ -1,0 +1,320 @@
+"""The asyncio daemon: REST + WebSocket front-end over a :class:`LiveSession`.
+
+One process, one event loop, one session.  The control loop executes one
+substrate window per wall-clock-scaled tick (``window_s / time_scale``
+seconds of wall time per window; ``--accelerated`` drops the pacing and
+runs windows back to back) and pushes each completed
+:class:`~repro.api.result.RunWindow` to every ``/stream`` WebSocket
+subscriber.  HTTP handlers run on the same loop, so mutations interleave
+with ticks deterministically — a ``POST /events`` lands either wholly
+before or wholly after a window, never inside one.
+
+Routes:
+
+* ``GET /healthz`` — liveness + session identity and clock;
+* ``GET /vips`` — live VIPs and whether each is KnapsackLB-controlled;
+* ``GET /vip/{name}/stats`` — the per-window stats ring (rate, share,
+  mean/p50/p99 latency, per-DIP share) for one VIP;
+* ``GET /timeline`` — applied and pending events against the session clock;
+* ``GET /session`` — the frozen replay artifact (spec + windows + metrics
+  + mutation journal); 409 while un-exportable (no windows yet / mid-drain);
+* ``POST /events`` — one EventSpec JSON document; 422 with the validator's
+  dotted-path message on bad bodies, 400 on non-JSON;
+* ``POST /chaos`` — arm a live chaos drill (seeded schedule, see
+  :meth:`LiveSession.submit_chaos`);
+* ``GET /stream`` — WebSocket; each completed window is pushed as one JSON
+  text frame ``{"type": "window", ...RunWindow...}``.
+
+SIGTERM/SIGINT close every stream with a proper close frame and stop the
+loop; the process exits 0 — the shape a supervisor expects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.service.http import (
+    WS_OP_CLOSE,
+    WS_OP_PING,
+    HttpProtocolError,
+    HttpRequest,
+    json_response,
+    read_request,
+    ws_close_frame,
+    ws_handshake_response,
+    ws_pong_frame,
+    ws_read_frame,
+    ws_text_frame,
+)
+from repro.service.session import LiveSession, SessionConflict
+
+
+class ServiceServer:
+    """Serve one :class:`LiveSession` over HTTP/WS until signalled."""
+
+    def __init__(
+        self,
+        session: LiveSession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        time_scale: float = 1.0,
+        accelerated: bool = False,
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError("serve time_scale must be positive")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.time_scale = time_scale
+        self.accelerated = accelerated
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = asyncio.Event()
+        self._streams: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and resolve the effective port (``--port 0``)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        print(
+            f"serving {self.session.spec.name!r} "
+            f"({self.session.spec.runner}) on http://{self.host}:{self.port}",
+            flush=True,
+        )
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+    async def run(self) -> None:
+        """Start, install signal handlers, drive the control loop, shut down."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, self.request_stop)
+        try:
+            await self._control_loop()
+        finally:
+            await self._shutdown()
+
+    async def _control_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        period = self.session.stepper.window_s / self.time_scale
+        next_tick = loop.time() + (0.0 if self.accelerated else period)
+        while not self._stopping.is_set():
+            if not self.accelerated:
+                delay = next_tick - loop.time()
+                if delay > 0:
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            self._stopping.wait(), timeout=delay
+                        )
+                    if self._stopping.is_set():
+                        break
+                next_tick += period
+            window = self.session.tick()
+            self._broadcast(
+                {"type": "window", **window.to_dict()}
+            )
+            if self.accelerated:
+                # Yield so HTTP handlers interleave between windows.
+                await asyncio.sleep(0)
+
+    async def _shutdown(self) -> None:
+        for writer in list(self._streams):
+            with contextlib.suppress(Exception):
+                writer.write(ws_close_frame())
+                await writer.drain()
+                writer.close()
+        self._streams.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- streaming -------------------------------------------------------------
+
+    def _broadcast(self, payload: dict[str, Any]) -> None:
+        if not self._streams:
+            return
+        frame = ws_text_frame(json.dumps(payload, sort_keys=True))
+        dead = []
+        for writer in self._streams:
+            try:
+                writer.write(frame)
+            except Exception:
+                dead.append(writer)
+        for writer in dead:
+            self._streams.discard(writer)
+
+    async def _serve_stream(
+        self,
+        request: HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = request.header("sec-websocket-key")
+        if not key:
+            writer.write(
+                json_response(
+                    426, {"error": "GET /stream requires a WebSocket upgrade"}
+                )
+            )
+            return
+        writer.write(ws_handshake_response(key))
+        await writer.drain()
+        self._streams.add(writer)
+        try:
+            while True:
+                frame = await ws_read_frame(reader)
+                if frame is None or frame[0] == WS_OP_CLOSE:
+                    break
+                if frame[0] == WS_OP_PING:
+                    writer.write(ws_pong_frame(frame[1]))
+                    await writer.drain()
+        finally:
+            self._streams.discard(writer)
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpProtocolError as error:
+                writer.write(json_response(400, {"error": str(error)}))
+                return
+            if request is None:
+                return
+            if request.path == "/stream" and request.method == "GET":
+                if request.wants_websocket():
+                    await self._serve_stream(request, reader, writer)
+                else:
+                    writer.write(
+                        json_response(
+                            426,
+                            {
+                                "error": "GET /stream requires a WebSocket "
+                                "upgrade (Connection: Upgrade)"
+                            },
+                        )
+                    )
+                return
+            writer.write(self._dispatch(request))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+
+    def _dispatch(self, request: HttpRequest) -> bytes:
+        try:
+            return self._route(request)
+        except HttpProtocolError as error:
+            return json_response(400, {"error": str(error)})
+        except ConfigurationError as error:
+            # The same validator text ``repro validate`` prints, as 422.
+            return json_response(422, {"error": str(error)})
+        except SessionConflict as error:
+            return json_response(409, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            return json_response(
+                500, {"error": f"{type(error).__name__}: {error}"}
+            )
+
+    def _route(self, request: HttpRequest) -> bytes:
+        session = self.session
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(200, session.healthz())
+        if path == "/vips":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(200, session.vips())
+        if path.startswith("/vip/") and path.endswith("/stats"):
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            vip = path[len("/vip/") : -len("/stats")]
+            try:
+                return json_response(200, session.vip_stats(vip))
+            except KeyError:
+                known = ", ".join(session.substrate.vip_ids())
+                return json_response(
+                    404,
+                    {"error": f"unknown VIP {vip!r}; live VIPs: {known}"},
+                )
+        if path == "/timeline":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(200, session.timeline_view())
+        if path == "/session":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(200, session.export())
+        if path == "/events":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return json_response(200, session.submit_event(request.json()))
+        if path == "/chaos":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return json_response(200, session.submit_chaos(request.json()))
+        return json_response(
+            404,
+            {
+                "error": f"no route for {method} {request.path}",
+                "routes": [
+                    "GET /healthz",
+                    "GET /vips",
+                    "GET /vip/{name}/stats",
+                    "GET /timeline",
+                    "GET /session",
+                    "POST /events",
+                    "POST /chaos",
+                    "WS  /stream",
+                ],
+            },
+        )
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> bytes:
+        return json_response(
+            405,
+            {"error": f"method not allowed; use {allowed}"},
+        )
+
+
+def serve(
+    session: LiveSession,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    time_scale: float = 1.0,
+    accelerated: bool = False,
+) -> None:
+    """Blocking entry point: run the daemon until SIGTERM/SIGINT."""
+    server = ServiceServer(
+        session,
+        host=host,
+        port=port,
+        time_scale=time_scale,
+        accelerated=accelerated,
+    )
+    asyncio.run(server.run())

@@ -1,0 +1,239 @@
+"""End-to-end smoke of the live service daemon (the CI serve check).
+
+Boots ``python -m repro serve`` as a real subprocess on an ephemeral port,
+drives it over real sockets — REST polls, a live ``POST /events``
+mutation, a WebSocket subscription — then exports the session and
+re-runs the exported spec in batch, asserting the replay reproduces the
+live session's windows and metrics bit-for-bit.  Finishes with a graceful
+SIGTERM shutdown (exit code 0).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api.result import RunWindow
+from repro.api.runners import execute
+from repro.api.spec import ExperimentSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+SPEC = {
+    "name": "serve-e2e",
+    "runner": "fluid",
+    "pool": {"kind": "uniform", "num_dips": 4},
+    "timeline": {"window_s": 0.5},
+    "seed": 13,
+}
+
+
+def _get(port: int, path: str):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10
+        ) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(port: int, path: str, body: dict):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _read_ws_frame(sock: socket.socket, buffer: bytes) -> tuple[dict, bytes]:
+    """One server text frame from the stream; returns (payload, leftover)."""
+    while True:
+        if len(buffer) >= 2:
+            length = buffer[1] & 0x7F
+            offset = 2 + (2 if length == 126 else 8 if length == 127 else 0)
+            if len(buffer) >= offset:
+                if length == 126:
+                    length = struct.unpack(">H", buffer[2:4])[0]
+                elif length == 127:
+                    length = struct.unpack(">Q", buffer[2:10])[0]
+                if len(buffer) >= offset + length:
+                    payload = buffer[offset : offset + length]
+                    return json.loads(payload), buffer[offset + length :]
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("websocket closed before a frame arrived")
+        buffer += chunk
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    spec_path = tmp_path / "serve-e2e.json"
+    spec_path.write_text(json.dumps(SPEC))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(spec_path),
+            "--port", "0", "--time-scale", "20",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "serving" in banner, (
+            f"daemon failed to boot: {banner!r} / {process.stderr.read()}"
+        )
+        port = int(banner.strip().rsplit(":", 1)[1])
+        deadline = time.monotonic() + 15
+        while True:
+            try:
+                status, health = _get(port, "/healthz")
+                assert status == 200 and health["status"] == "ok"
+                break
+            except (OSError, urllib.error.URLError):
+                if time.monotonic() > deadline:
+                    raise AssertionError("daemon never became healthy")
+                time.sleep(0.05)
+        yield process, port
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _wait_for_windows(port: int, count: int, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        _, health = _get(port, "/healthz")
+        if health["windows"] >= count:
+            return health
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"daemon stuck at {health['windows']} windows"
+            )
+        time.sleep(0.05)
+
+
+def test_serve_smoke_end_to_end(daemon):
+    process, port = daemon
+
+    # -- liveness + identity
+    status, health = _get(port, "/healthz")
+    assert status == 200
+    assert health["name"] == "serve-e2e"
+    assert health["runner"] == "fluid"
+
+    # -- subscribe to the stream before mutating
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    key = base64.b64encode(b"serve-e2e-nonce!").decode()
+    sock.sendall(
+        (
+            "GET /stream HTTP/1.1\r\nHost: t\r\nUpgrade: websocket\r\n"
+            f"Connection: Upgrade\r\nSec-WebSocket-Key: {key}\r\n\r\n"
+        ).encode()
+    )
+    head = b""
+    while b"\r\n\r\n" not in head:
+        head += sock.recv(4096)
+    head_text, _, leftover = head.partition(b"\r\n\r\n")
+    assert b"101 Switching Protocols" in head_text
+    expected = base64.b64encode(
+        hashlib.sha1((key + WS_GUID).encode()).digest()
+    ).decode()
+    assert expected.encode() in head_text
+
+    # -- live mutation once at least one window has run
+    _wait_for_windows(port, 1)
+    status, scheduled = _post(
+        port, "/events", {"kind": "dip_fail", "dip": "DIP-2"}
+    )
+    assert status == 200, scheduled
+    fail_label = scheduled["label"]
+
+    # -- malformed bodies get the validator's text as 422
+    status, error = _post(port, "/events", {"kind": "dip_fail"})
+    assert status == 422
+    assert error["error"] == (
+        "timeline.events: event 'dip_fail' needs the dip field"
+    )
+
+    # -- the mutation lands in the applied timeline
+    deadline = time.monotonic() + 30
+    while True:
+        _, view = _get(port, "/timeline")
+        if any(row["label"] == fail_label for row in view["applied"]):
+            break
+        assert time.monotonic() < deadline, view
+        time.sleep(0.05)
+
+    # -- and in the WebSocket stream: some window names the event
+    labels: list[str] = []
+    while fail_label not in labels:
+        frame, leftover = _read_ws_frame(sock, leftover)
+        assert frame["type"] == "window"
+        labels.extend(frame["events"])
+    sock.close()
+
+    # -- per-VIP windowed stats with percentiles
+    status, stats = _get(port, "/vip/vip/stats")
+    assert status == 200
+    row = stats["windows"][-1]
+    assert row["rate_rps"] > 0
+    assert row["p50_latency_ms"] < row["p99_latency_ms"]
+    status, _ = _get(port, "/vip/no-such/stats")
+    assert status == 404
+
+    # -- export the session and replay it in batch, bit-for-bit
+    recover_time = None
+    status, scheduled = _post(
+        port, "/events", {"kind": "dip_recover", "dip": "DIP-2"}
+    )
+    assert status == 200
+    recover_time = scheduled["scheduled_time_s"]
+    _wait_for_windows(port, int(recover_time / SPEC["timeline"]["window_s"]) + 2)
+    status, session = _get(port, "/session")
+    assert status == 200
+    exported = ExperimentSpec.from_dict(session["spec"])
+    assert len(exported.timeline.events) == 2  # fail + recover, as applied
+    assert [entry["kind"] for entry in session["journal"]] == [
+        "event",
+        "event",
+    ]
+    live_windows = tuple(
+        RunWindow.from_dict(row) for row in session["windows"]
+    )
+    replayed = execute(exported)
+    assert replayed.windows == live_windows
+    for key_name, value in session["metrics"].items():
+        got = replayed.metrics[key_name]
+        assert got == value or (got != got and value != value), (
+            key_name, value, got,
+        )
+
+    # -- graceful shutdown: SIGTERM → exit 0
+    process.send_signal(signal.SIGTERM)
+    assert process.wait(timeout=15) == 0

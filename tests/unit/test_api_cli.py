@@ -73,6 +73,38 @@ class TestRun:
         )
         assert RunResult.load(out_file).runner == "request"
 
+    def test_format_json_emits_the_artifact_on_stdout(self, capsys):
+        code = main(
+            [
+                "run", "fluid_uniform_pool",
+                "--set", "controller.enabled=false",
+                "--format", "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # stdout is exactly one RunResult document — pipeline-composable
+        result = RunResult.from_dict(json.loads(captured.out))
+        assert result.runner == "fluid"
+        assert result.metrics["mean_latency_ms"] > 0
+
+    def test_format_json_keeps_notes_off_stdout(self, capsys, tmp_path):
+        out_file = tmp_path / "res.json"
+        code = main(
+            [
+                "run", "fluid_uniform_pool",
+                "--set", "controller.enabled=false",
+                "--format", "json",
+                "--watch",
+                "-o", str(out_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        json.loads(captured.out)  # still pure JSON despite watch + -o
+        assert "result written" in captured.err
+        assert out_file.exists()
+
     def test_scenario_set_overrides_params(self, capsys, tmp_path):
         out_file = tmp_path / "scen.json"
         run_cli(

@@ -18,6 +18,7 @@ Covers the tentpole guarantees of the timeline redesign:
 from __future__ import annotations
 
 import json
+import logging
 import math
 
 import pytest
@@ -26,6 +27,7 @@ from repro import api
 from repro.api.spec import EventSpec, TimelineSpec
 from repro.api.timeline import (
     BaseObserver,
+    ObserverSet,
     WindowedMetricsObserver,
     check_timeline_supported,
 )
@@ -424,6 +426,55 @@ class TestObservers:
             (20.0, "arrival_scale"),
             (30.0, "dip_recover"),
         ]
+
+    def test_raising_observer_is_isolated_and_dropped(self, caplog):
+        """A crashing telemetry consumer must never abort the run."""
+
+        class Broken(BaseObserver):
+            def on_window(self, window):
+                raise RuntimeError("telemetry consumer crashed")
+
+        recorder = WindowedMetricsObserver()
+        observers = ObserverSet([Broken(), recorder])
+        with caplog.at_level(logging.ERROR, logger="repro.api.timeline"):
+            result = api.execute(
+                timeline_spec(controller=api.ControllerSpec(enabled=False)),
+                observers=observers.observers,
+            )
+        # run completed; healthy observer saw every window
+        assert len(result.windows) == 9
+        assert list(recorder.windows) == list(result.windows)
+
+    def test_observer_set_drops_only_the_raiser(self, caplog):
+        class Broken(BaseObserver):
+            def on_round(self, time_s, metrics):
+                raise ValueError("boom")
+
+        healthy = WindowedMetricsObserver()
+        fanout = ObserverSet([Broken(), healthy])
+        with caplog.at_level(logging.ERROR, logger="repro.api.timeline"):
+            fanout.on_round(1.0, {"x": 1.0})
+        assert any("dropping it" in rec.message for rec in caplog.records)
+        assert fanout.observers == (healthy,)
+        # subsequent notifications reach the survivor without re-raising
+        window = api.RunWindow(start_s=0.0, end_s=5.0, metrics={})
+        fanout.on_window(window)
+        assert list(healthy.windows) == [window]
+
+    def test_windowed_observer_maxlen_keeps_only_newest(self):
+        ring = WindowedMetricsObserver(maxlen=3)
+        for index in range(6):
+            ring.on_window(
+                api.RunWindow(
+                    start_s=float(index), end_s=index + 1.0, metrics={}
+                )
+            )
+            ring.on_event(
+                float(index),
+                EventSpec(time_s=index + 1.0, kind="arrival_scale", value=2.0),
+            )
+        assert [w.start_s for w in ring.windows] == [3.0, 4.0, 5.0]
+        assert [t for t, _ in ring.applied_events] == [3.0, 4.0, 5.0]
 
 
 class TestScenarioTimelines:
