@@ -75,15 +75,25 @@ class RunWindow:
     metrics: dict[str, float]
     dip_share: dict[str, float] = field(default_factory=dict)
     events: tuple[str, ...] = ()
+    #: per-DIP columns for the window (latency, utilization, in-system
+    #: population where the substrate provides them) — the rows learned
+    #: policies observe without recomputing them from aggregates.  Old
+    #: artifacts without this field load as empty rows.
+    dip_metrics: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "start_s": self.start_s,
             "end_s": self.end_s,
             "metrics": dict(self.metrics),
             "dip_share": dict(self.dip_share),
             "events": list(self.events),
         }
+        if self.dip_metrics:
+            data["dip_metrics"] = {
+                dip: dict(row) for dip, row in self.dip_metrics.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunWindow":
@@ -95,6 +105,10 @@ class RunWindow:
                 k: float(v) for k, v in data.get("dip_share", {}).items()
             },
             events=tuple(str(e) for e in data.get("events", ())),
+            dip_metrics={
+                dip: {k: float(v) for k, v in row.items()}
+                for dip, row in data.get("dip_metrics", {}).items()
+            },
         )
 
 

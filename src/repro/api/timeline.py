@@ -274,9 +274,15 @@ class TimelineStepper:
         *,
         advance: Callable[[float], None],
         tick: Callable[[], dict[str, float]],
-        snapshot: Callable[[], tuple[dict[str, float], dict[str, float]]],
+        snapshot: Callable[
+            [],
+            "tuple[dict[str, float], dict[str, float]]"
+            " | tuple[dict[str, float], dict[str, float], dict[str, dict[str, float]]]",
+        ],
         apply_event: Callable[[EventSpec], None],
         actions: "list[_Action] | None" = None,
+        set_weights: "Callable[[str | None, Mapping[str, float]], None] | None" = None,
+        weight_scope: "Mapping[str, tuple[str, ...]] | None" = None,
     ) -> None:
         if actions is None:
             actions = [
@@ -290,6 +296,13 @@ class TimelineStepper:
         self._tick = tick
         self._snapshot = snapshot
         self._apply_event = apply_event
+        self._set_weights = set_weights
+        self._weight_scope = dict(weight_scope or {})
+        #: queued weight overrides: ``(vip-or-None, weights, label)``.
+        self._pending_weights: "list[tuple[str | None, dict[str, float], str]]" = []
+        #: applied overrides ``(time_s, vip-or-None, weights)`` — the
+        #: provenance record a journal or checkpoint can persist.
+        self.weight_overrides: "list[tuple[float, str | None, dict[str, float]]]" = []
         self.window_s = timeline.window_s
         self.horizon_s = timeline.duration_s()
         #: start of the next window (== simulated time already executed).
@@ -335,6 +348,76 @@ class TimelineStepper:
         self._actions.insert(index, (when, event, None))
         return when
 
+    def set_weights(
+        self, vip: "str | None", weights: "Mapping[str, float]"
+    ) -> str:
+        """Queue a weight override; it applies at the next window boundary.
+
+        Validation happens here — at submission, the way ``POST /events``
+        validates live mutations — so a bad body fails fast with the spec
+        layer's error style instead of blowing up mid-window: the substrate
+        must have been built with a weight hook, ``vip`` must name a VIP of
+        the scope (or be ``None`` on a single-VIP substrate), every key
+        must name one of that VIP's DIPs, and the weights must be finite,
+        non-negative and not all zero.  Returns the label recorded in the
+        next window's ``events`` (the batch-artifact provenance trail;
+        applied overrides also accumulate in :attr:`weight_overrides`).
+        """
+        if self._set_weights is None:
+            raise ConfigurationError(
+                "this substrate does not accept weight overrides (no "
+                "set_weights hook; enable it via the fluid/fleet steppers)"
+            )
+        if not isinstance(weights, Mapping) or not weights:
+            raise ConfigurationError(
+                "weights must be a non-empty {dip: weight} mapping"
+            )
+        if vip is None:
+            if len(self._weight_scope) != 1:
+                known = ", ".join(sorted(self._weight_scope))
+                raise ConfigurationError(
+                    f"set_weights needs an explicit vip on a multi-VIP "
+                    f"substrate; VIPs: {known}"
+                )
+            scope_vip = next(iter(self._weight_scope))
+        else:
+            vip = str(vip)
+            if vip not in self._weight_scope:
+                known = ", ".join(sorted(self._weight_scope))
+                raise ConfigurationError(
+                    f"set_weights names unknown VIP {vip!r}; VIPs: {known}"
+                )
+            scope_vip = vip
+        dip_set = set(self._weight_scope[scope_vip])
+        cleaned: dict[str, float] = {}
+        for dip, value in weights.items():
+            name = str(dip)
+            if name not in dip_set:
+                known = ", ".join(sorted(dip_set))
+                raise ConfigurationError(
+                    f"set_weights names unknown DIP {name!r} for VIP "
+                    f"{scope_vip!r}; DIPs: {known}"
+                )
+            try:
+                weight = float(value)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"weight for DIP {name!r} must be a number"
+                ) from None
+            if not math.isfinite(weight) or weight < 0:
+                raise ConfigurationError(
+                    f"weight for DIP {name!r} must be finite and >= 0"
+                )
+            cleaned[name] = weight
+        if sum(cleaned.values()) <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        label = (
+            f"t={self.clock:g}s set_weights {scope_vip} "
+            f"({len(cleaned)} dips)"
+        )
+        self._pending_weights.append((vip, cleaned, label))
+        return label
+
     def step(self) -> "RunWindow | None":
         """Execute exactly one window; ``None`` once the horizon is done."""
         if self.done:
@@ -342,6 +425,15 @@ class TimelineStepper:
         start = self.clock
         end = min(start + self.window_s, self.horizon_s)
         applied: list[str] = []
+        # Queued weight overrides land exactly at the window boundary,
+        # before any advancing — the same instant a controller tick's
+        # programming from the previous window takes effect.
+        if self._pending_weights:
+            pending, self._pending_weights = self._pending_weights, []
+            for vip, weights, label in pending:
+                self._set_weights(vip, weights)
+                self.weight_overrides.append((start, vip, dict(weights)))
+                applied.append(label)
         cursor = start
         while cursor < end - _EPS:
             while (
@@ -364,7 +456,9 @@ class TimelineStepper:
             )
             self._advance(boundary - cursor)
             cursor = boundary
-        metrics, share = self._snapshot()
+        snapped = self._snapshot()
+        metrics, share = snapped[0], snapped[1]
+        dip_metrics = snapped[2] if len(snapped) > 2 else {}
         metrics.update(self._tick())
         window = RunWindow(
             start_s=start,
@@ -372,6 +466,7 @@ class TimelineStepper:
             metrics=metrics,
             dip_share=share,
             events=tuple(applied),
+            dip_metrics=dip_metrics,
         )
         self._observer.on_window(window)
         self._observer.on_round(end, metrics)
@@ -572,6 +667,39 @@ def _share(rates: Mapping[str, float]) -> dict[str, float]:
     return {dip: rate / total for dip, rate in rates.items() if rate > 0}
 
 
+def _dip_rows(state: object) -> dict[str, dict[str, float]]:
+    """Per-DIP window columns from an analytic substrate snapshot.
+
+    Works over :class:`~repro.sim.fluid.FluidClusterState` and
+    :class:`~repro.sim.fleet.FleetState` (only the rate dict's name
+    differs); ``in_system`` is the Little's-law population ``rate ×
+    latency``, which matches the request engine's per-window Σlatency /
+    duration estimate in meaning.  Failed DIPs report infinite latency —
+    their rows omit the latency column and carry zero population so a fold
+    over the columns stays finite.
+    """
+    rates: Mapping[str, float] = getattr(
+        state, "rates_rps", None
+    ) or getattr(state, "total_rates_rps")
+    utilization: Mapping[str, float] = state.utilization
+    latency: Mapping[str, float] = state.mean_latency_ms
+    rows: dict[str, dict[str, float]] = {}
+    for dip, rate in rates.items():
+        lat = latency[dip]
+        row = {
+            "rate_rps": rate,
+            "utilization": utilization[dip],
+            "in_system": 0.0,
+        }
+        # Failed DIPs report infinite latency; the key is *omitted* (rather
+        # than NaN) so window rows stay JSON-round-trippable by equality.
+        if math.isfinite(lat):
+            row["mean_latency_ms"] = lat
+            row["in_system"] = rate * lat / 1000.0
+        rows[dip] = row
+    return rows
+
+
 def _live_mean_latency_ms(
     rates: Mapping[str, float],
     latency: Mapping[str, float],
@@ -705,7 +833,9 @@ def fluid_timeline_stepper(
         lambda: cluster.total_rate_rps,
     )
 
-    def snapshot() -> tuple[dict[str, float], dict[str, float]]:
+    def snapshot() -> tuple[
+        dict[str, float], dict[str, float], dict[str, dict[str, float]]
+    ]:
         state = cluster.state()
         metrics = {
             "mean_latency_ms": _live_mean_latency_ms(
@@ -716,7 +846,7 @@ def fluid_timeline_stepper(
         }
         if health is not None:
             metrics["drop_fraction"] = meter.window_fraction()
-        return metrics, _share(state.rates_rps)
+        return metrics, _share(state.rates_rps), _dip_rows(state)
 
     def advance(dt: float) -> None:
         if dt <= 0:
@@ -744,6 +874,8 @@ def fluid_timeline_stepper(
         snapshot=snapshot,
         apply_event=apply_event,
         actions=actions,
+        set_weights=lambda _vip, weights: cluster.set_weights(weights),
+        weight_scope={"vip": tuple(cluster.dips)},
     )
 
 
@@ -872,7 +1004,9 @@ def fleet_timeline_stepper(
         lambda: sum(vip.total_rate_rps for vip in fleet.vips.values()),
     )
 
-    def snapshot() -> tuple[dict[str, float], dict[str, float]]:
+    def snapshot() -> tuple[
+        dict[str, float], dict[str, float], dict[str, dict[str, float]]
+    ]:
         state = fleet.state()
         metrics = {
             "mean_latency_ms": _live_mean_latency_ms(
@@ -884,7 +1018,7 @@ def fleet_timeline_stepper(
         }
         if health is not None:
             metrics["drop_fraction"] = meter.window_fraction()
-        return metrics, _share(state.total_rates_rps)
+        return metrics, _share(state.total_rates_rps), _dip_rows(state)
 
     if health is not None:
         actions = _health_timeline_actions(
@@ -919,6 +1053,10 @@ def fleet_timeline_stepper(
         snapshot=snapshot,
         apply_event=apply_event,
         actions=actions,
+        set_weights=lambda vip, weights: fleet.set_weights(vip, weights),
+        weight_scope={
+            vip_id: tuple(vip.dips) for vip_id, vip in fleet.vips.items()
+        },
     )
 
 
@@ -1076,6 +1214,10 @@ def windows_from_collector(
             metrics=dict(row["metrics"]),
             dip_share=dict(row["dip_share"]),
             events=labels,
+            dip_metrics={
+                dip: dict(columns)
+                for dip, columns in row.get("dip_metrics", {}).items()
+            },
         )
         observer.on_window(window)
         windows.append(window)

@@ -1,0 +1,91 @@
+"""Learning a load balancer on top of the timed substrates.
+
+The ``repro.learn`` package turns the fluid and request substrates into
+an episodic gym-style environment (:mod:`repro.learn.env`), provides
+pure-numpy agents over the weight-vector action space
+(:mod:`repro.learn.agents`), a seed-deterministic training loop with
+resumable JSON checkpoints (:mod:`repro.learn.train`), and head-to-head
+evaluation against the paper's ILP controller and static baselines
+(:mod:`repro.learn.eval`).  ``python -m repro learn train/eval/compare``
+is the CLI surface.
+"""
+
+from repro.learn.agents import (
+    Agent,
+    AgentDescription,
+    AgentSpec,
+    EpsilonGreedyBandit,
+    RandomAgent,
+    ReinforceAgent,
+    UniformAgent,
+    WeightArms,
+    agent_registry,
+    make_agent,
+)
+from repro.learn.env import (
+    ENV_SCENARIOS,
+    EnvSpec,
+    LoadBalanceEnv,
+    env_scenario_registry,
+    episode_spec,
+    observation_from_window,
+    window_reward,
+)
+from repro.learn.eval import (
+    DEFAULT_CONTENDERS,
+    LearnerComparison,
+    compare_learners,
+    episode_reward,
+    evaluate_checkpoint,
+)
+from repro.learn.train import (
+    CHECKPOINT_SCHEMA,
+    EpisodeResult,
+    LearnSpec,
+    TrainResult,
+    episode_seed,
+    evaluate,
+    get_learn_spec,
+    learn_spec_registry,
+    load_checkpoint,
+    run_episode,
+    save_checkpoint,
+    train,
+)
+
+__all__ = [
+    "Agent",
+    "AgentDescription",
+    "AgentSpec",
+    "CHECKPOINT_SCHEMA",
+    "DEFAULT_CONTENDERS",
+    "ENV_SCENARIOS",
+    "EnvSpec",
+    "EpisodeResult",
+    "EpsilonGreedyBandit",
+    "LearnSpec",
+    "LearnerComparison",
+    "LoadBalanceEnv",
+    "RandomAgent",
+    "ReinforceAgent",
+    "TrainResult",
+    "UniformAgent",
+    "WeightArms",
+    "agent_registry",
+    "compare_learners",
+    "env_scenario_registry",
+    "episode_reward",
+    "episode_seed",
+    "episode_spec",
+    "evaluate",
+    "evaluate_checkpoint",
+    "get_learn_spec",
+    "learn_spec_registry",
+    "load_checkpoint",
+    "make_agent",
+    "observation_from_window",
+    "run_episode",
+    "save_checkpoint",
+    "train",
+    "window_reward",
+]

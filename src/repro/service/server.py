@@ -22,6 +22,11 @@ Routes:
   dotted-path message on bad bodies, 400 on non-JSON;
 * ``POST /chaos`` — arm a live chaos drill (seeded schedule, see
   :meth:`LiveSession.submit_chaos`);
+* ``POST /weights`` — queue a live weight override that lands at the next
+  window boundary (``{"weights": {...}, "vip": ...}``; validated like
+  ``POST /events``, journaled; the session stops being exportable —
+  overrides have no timeline-event form, see
+  :meth:`LiveSession.submit_weights`);
 * ``GET /stream`` — WebSocket; each completed window is pushed as one JSON
   text frame ``{"type": "window", ...RunWindow...}``.
 
@@ -276,6 +281,10 @@ class ServiceServer:
             if method != "POST":
                 return self._method_not_allowed("POST")
             return json_response(200, session.submit_chaos(request.json()))
+        if path == "/weights":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return json_response(200, session.submit_weights(request.json()))
         return json_response(
             404,
             {
@@ -288,6 +297,7 @@ class ServiceServer:
                     "GET /session",
                     "POST /events",
                     "POST /chaos",
+                    "POST /weights",
                     "WS  /stream",
                 ],
             },

@@ -89,6 +89,10 @@ class LiveSession:
         self._vip_history: "deque[dict[str, Any]]" = deque(maxlen=stats_windows)
         #: operator mutations in arrival order (journal; exported verbatim).
         self.journal: list[dict[str, Any]] = []
+        #: live weight overrides applied so far; a non-zero count blocks
+        #: spec export (overrides are not expressible as timeline events,
+        #: so an exported spec could not replay them — see submit_weights).
+        self._weight_overrides = 0
 
     # -- the control loop ------------------------------------------------------
 
@@ -201,6 +205,51 @@ class LiveSession:
         }
         self.journal.append(entry)
         return {"scheduled_time_s": when, "label": event.label()}
+
+    def submit_weights(self, data: Mapping[str, Any]) -> dict[str, Any]:
+        """Queue a live weight override from a JSON body.
+
+        Body: ``{"weights": {"DIP-0": 2.0, ...}, "vip": "vip-3"}`` (``vip``
+        optional on a single-VIP substrate).  Validation runs *now* — the
+        same checks :meth:`TimelineStepper.set_weights` applies (known
+        VIP/DIPs, finite non-negative weights, positive sum) — and the
+        override lands at the next window boundary, exactly where a
+        controller tick's programming would.  The mutation is journaled;
+        because a weight override has no :class:`EventSpec` form, a session
+        that applied one can no longer export a bit-identical replay spec
+        (``GET /session`` answers 409 from then on).
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                "weights body must be a JSON object with a 'weights' field "
+                "(and optional 'vip')"
+            )
+        unknown = sorted(set(data) - {"weights", "vip"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown field {unknown[0]!r} for a weights body; valid "
+                "fields: vip, weights"
+            )
+        vip = data.get("vip")
+        weights = data.get("weights")
+        label = self.stepper.set_weights(
+            None if vip is None else str(vip), weights
+        )
+        self._weight_overrides += 1
+        # Overrides apply at the start of the next executed window, which
+        # is the session clock itself (unlike EventSpec mutations they have
+        # no ``time_s > 0`` constraint).
+        self.journal.append(
+            {
+                "received_clock_s": self.stepper.clock,
+                "time_s": self.stepper.clock,
+                "kind": "weights",
+                "vip": vip,
+                "weights": {str(k): float(v) for k, v in weights.items()},
+                "label": label,
+            }
+        )
+        return {"scheduled_time_s": self.stepper.clock, "label": label}
 
     def submit_chaos(self, data: Mapping[str, Any]) -> dict[str, Any]:
         """Arm a live chaos drill: expand a seeded schedule and inject it.
@@ -328,6 +377,13 @@ class LiveSession:
             raise SessionConflict(
                 "cannot export yet: no window has completed (the exported "
                 "horizon would be empty)"
+            )
+        if self._weight_overrides:
+            raise SessionConflict(
+                f"cannot export: {self._weight_overrides} live weight "
+                "override(s) were applied, and weight overrides have no "
+                "timeline-event form — a batch re-run of the exported spec "
+                "could not replay them bit-identically"
             )
         clock = self.stepper.clock
         applied = tuple(event for _, event in self._recorder.applied_events)

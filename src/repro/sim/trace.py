@@ -423,9 +423,11 @@ class MetricsCollector:
         windows (timestamps are completion times, so a window reflects the
         requests that *finished* in it); each row carries the window bounds,
         headline metrics (request count, latency mean/p50/p99 of completed
-        requests, drop fraction) and the per-DIP request share.  Rows for
-        empty windows are emitted too — a total outage should show as a
-        flat-zero window, not a missing one.
+        requests, drop fraction), the per-DIP request share, and per-DIP
+        columns (``dip_metrics``: mean latency, drop fraction, and the
+        Little's-law in-system estimate Σlatency/window for each DIP that
+        saw traffic).  Rows for empty windows are emitted too — a total
+        outage should show as a flat-zero window, not a missing one.
         """
         if window_s <= 0:
             raise ConfigurationError("window_s must be positive")
@@ -466,13 +468,50 @@ class MetricsCollector:
                 mean = p50 = p99 = _NAN
             drops = total - int(window_done.sum())
             share: dict[DipId, float] = {}
+            dip_metrics: dict[DipId, dict[str, float]] = {}
             if total:
-                counts = np.bincount(code[window], minlength=len(self._dip_ids))
+                window_code = code[window]
+                counts = np.bincount(window_code, minlength=len(self._dip_ids))
                 share = {
                     dip: counts[c] / total
                     for c, dip in enumerate(self._dip_ids)
                     if counts[c]
                 }
+                # Per-DIP columns via one more bincount pass: completed
+                # counts, latency sums (mean + the Little's-law in-system
+                # estimate Σlatency / window duration follow directly).
+                window_lat = lat[window]
+                done_counts = np.bincount(
+                    window_code[window_done], minlength=len(self._dip_ids)
+                )
+                lat_sums = np.bincount(
+                    window_code[window_done],
+                    weights=window_lat[window_done],
+                    minlength=len(self._dip_ids),
+                )
+                span_s = min(start_s + (w + 1) * window_s, end_s) - (
+                    start_s + w * window_s
+                )
+                for c, dip in enumerate(self._dip_ids):
+                    if not counts[c]:
+                        continue
+                    dip_done = int(done_counts[c])
+                    row = {
+                        "requests": float(counts[c]),
+                        "in_system": (
+                            float(lat_sums[c]) / 1000.0 / span_s
+                            if span_s > 0
+                            else 0.0
+                        ),
+                        "drop_fraction": float(
+                            (counts[c] - dip_done) / counts[c]
+                        ),
+                    }
+                    # All-dropped windows omit the latency column (instead
+                    # of NaN) so rows stay JSON-round-trippable by equality.
+                    if dip_done:
+                        row["mean_latency_ms"] = float(lat_sums[c] / dip_done)
+                    dip_metrics[dip] = row
             metrics = {
                 "requests": float(total),
                 "mean_latency_ms": mean,
@@ -492,6 +531,7 @@ class MetricsCollector:
                     "end_s": min(start_s + (w + 1) * window_s, end_s),
                     "metrics": metrics,
                     "dip_share": share,
+                    "dip_metrics": dip_metrics,
                 }
             )
         return rows

@@ -1,0 +1,209 @@
+"""Agents: arm library, learning updates, and state round-trips.
+
+The checkpoint contract is the sharp edge: ``state_dict`` must carry the
+complete mutable state — including the RNG — so a restored agent produces
+the identical draw sequence the original would have.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learn import (
+    AgentSpec,
+    EpsilonGreedyBandit,
+    RandomAgent,
+    ReinforceAgent,
+    UniformAgent,
+    WeightArms,
+    agent_registry,
+    make_agent,
+)
+
+N_DIPS = 4
+OBS_SIZE = 3 * N_DIPS + 1
+
+
+def observation() -> np.ndarray:
+    return np.linspace(0.0, 1.0, OBS_SIZE)
+
+
+class TestWeightArms:
+    def test_arm_zero_is_the_uniform_split(self):
+        arms = WeightArms(N_DIPS, seed=5)
+        assert np.allclose(arms.weights(0), 1.0 / N_DIPS)
+
+    def test_auto_arm_count_scales_with_pool(self):
+        assert WeightArms(N_DIPS, seed=0).num_arms == 2 * N_DIPS + 1
+        assert WeightArms(N_DIPS, num_arms=6, seed=0).num_arms == 6
+
+    def test_arms_are_normalized_and_seed_deterministic(self):
+        a = WeightArms(N_DIPS, seed=9)
+        b = WeightArms(N_DIPS, seed=9)
+        c = WeightArms(N_DIPS, seed=10)
+        assert np.array_equal(a.vectors, b.vectors)
+        assert not np.array_equal(a.vectors, c.vectors)
+        assert np.allclose(a.vectors.sum(axis=1), 1.0)
+        assert np.all(a.vectors > 0)
+
+
+class TestBandit:
+    def test_q_update_is_the_incremental_mean(self):
+        agent = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=0)
+        agent.begin_episode()
+        agent._last_arm = 2
+        agent.observe(-10.0)
+        agent._last_arm = 2
+        agent.observe(-20.0)
+        assert agent.counts[2] == 2
+        assert agent.q[2] == pytest.approx(-15.0)
+
+    def test_epsilon_decays_per_episode(self):
+        spec = AgentSpec(name="bandit", epsilon=0.4, epsilon_decay=0.5)
+        agent = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=0, spec=spec)
+        assert agent.epsilon == pytest.approx(0.4)
+        agent.begin_episode()
+        agent.end_episode()
+        assert agent.epsilon == pytest.approx(0.4 / 1.5)
+
+    def test_eval_mode_is_greedy_and_draws_nothing(self):
+        agent = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=0)
+        agent.q[3] = 1.0  # strictly best under zero-init
+        before = json.dumps(agent.rng.bit_generator.state)
+        agent.begin_episode(training=False)
+        weights = agent.act(observation())
+        assert np.array_equal(weights, agent.arms.weights(3))
+        assert json.dumps(agent.rng.bit_generator.state) == before
+
+    def test_state_round_trip_preserves_the_draw_sequence(self):
+        agent = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=1)
+        agent.begin_episode()
+        for _ in range(5):
+            agent.act(observation())
+            agent.observe(-3.0)
+        state = json.loads(json.dumps(agent.state_dict()))  # JSON-safe
+        clone = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=1)
+        clone.load_state_dict(state)
+        clone.begin_episode()
+        agent.begin_episode()
+        for _ in range(5):
+            assert np.array_equal(agent.act(observation()),
+                                  clone.act(observation()))
+
+    def test_mismatched_arm_count_rejected_on_load(self):
+        agent = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=0)
+        other = EpsilonGreedyBandit(
+            N_DIPS, OBS_SIZE, seed=0, spec=AgentSpec(name="bandit", num_arms=3)
+        )
+        with pytest.raises(ConfigurationError, match="arm count"):
+            other.load_state_dict(agent.state_dict())
+
+    def test_wrong_kind_rejected_on_load(self):
+        bandit = EpsilonGreedyBandit(N_DIPS, OBS_SIZE, seed=0)
+        uniform = UniformAgent(N_DIPS, OBS_SIZE)
+        with pytest.raises(ConfigurationError, match="'uniform'"):
+            bandit.load_state_dict(uniform.state_dict())
+
+
+class TestReinforce:
+    def test_gradient_step_moves_probability_toward_rewarded_arm(self):
+        agent = ReinforceAgent(N_DIPS, OBS_SIZE, seed=2)
+        obs = observation()
+        _, probs_before = agent._policy(obs)
+        agent.begin_episode()
+        agent.act(obs)
+        arm = agent._arms_taken[0]
+        agent.observe(100.0)  # positive advantage for the taken arm
+        agent.end_episode()
+        _, probs_after = agent._policy(obs)
+        assert probs_after[arm] > probs_before[arm]
+
+    def test_eval_mode_is_argmax_and_draws_nothing(self):
+        agent = ReinforceAgent(N_DIPS, OBS_SIZE, seed=2)
+        before = json.dumps(agent.rng.bit_generator.state)
+        agent.begin_episode(training=False)
+        agent.act(observation())
+        agent.observe(-1.0)
+        agent.end_episode()
+        assert json.dumps(agent.rng.bit_generator.state) == before
+        assert agent.episode == 0  # eval episodes do not advance training
+
+    def test_state_round_trip_preserves_theta_and_draws(self):
+        agent = ReinforceAgent(N_DIPS, OBS_SIZE, seed=3)
+        agent.begin_episode()
+        for _ in range(4):
+            agent.act(observation())
+            agent.observe(-2.0)
+        agent.end_episode()
+        state = json.loads(json.dumps(agent.state_dict()))
+        clone = ReinforceAgent(N_DIPS, OBS_SIZE, seed=3)
+        clone.load_state_dict(state)
+        assert np.array_equal(agent.theta, clone.theta)
+        assert agent.baseline == clone.baseline
+        agent.begin_episode()
+        clone.begin_episode()
+        for _ in range(4):
+            assert np.array_equal(agent.act(observation()),
+                                  clone.act(observation()))
+
+
+class TestBaselines:
+    def test_uniform_agent_always_splits_equally(self):
+        agent = UniformAgent(N_DIPS, OBS_SIZE)
+        assert np.allclose(agent.act(observation()), 1.0 / N_DIPS)
+
+    def test_random_agent_is_seeded_and_round_trips_its_rng(self):
+        a = RandomAgent(N_DIPS, OBS_SIZE, seed=4)
+        b = RandomAgent(N_DIPS, OBS_SIZE, seed=4)
+        assert np.array_equal(a.act(observation()), b.act(observation()))
+        state = json.loads(json.dumps(a.state_dict()))
+        c = RandomAgent(N_DIPS, OBS_SIZE, seed=4)
+        c.load_state_dict(state)
+        assert np.array_equal(a.act(observation()), c.act(observation()))
+
+    def test_random_draws_sum_to_one(self):
+        agent = RandomAgent(N_DIPS, OBS_SIZE, seed=0)
+        weights = agent.act(observation())
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+
+class TestRegistry:
+    def test_registry_names_and_trainability(self):
+        registry = agent_registry()
+        assert set(registry) == {"bandit", "reinforce", "random", "uniform"}
+        assert registry["bandit"].trainable
+        assert registry["reinforce"].trainable
+        assert not registry["random"].trainable
+        assert not registry["uniform"].trainable
+
+    @pytest.mark.parametrize("name", ["bandit", "reinforce", "random", "uniform"])
+    def test_make_agent_builds_every_kind(self, name):
+        agent = make_agent(
+            AgentSpec(name=name),
+            num_dips=N_DIPS,
+            observation_size=OBS_SIZE,
+            seed=0,
+        )
+        assert agent.kind == name
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"name": "dqn"}, "unknown agent"),
+            ({"epsilon": 1.5}, "epsilon must be"),
+            ({"epsilon_decay": -0.1}, "epsilon_decay"),
+            ({"learning_rate": 0.0}, "learning_rate"),
+            ({"num_arms": 1}, "num_arms"),
+            ({"spread": 1.0}, "spread"),
+            ({"reward_scale": 0.0}, "reward_scale"),
+            ({"baseline_rate": 0.0}, "baseline_rate"),
+        ],
+    )
+    def test_agent_spec_field_rules(self, kwargs, message):
+        with pytest.raises(ConfigurationError, match=message):
+            AgentSpec(**kwargs)

@@ -1,0 +1,174 @@
+"""The ``learn`` verb group and the list/validate learner extensions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.result import RunResult
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, f"exit {code}; stderr: {captured.err}"
+    return captured.out
+
+
+SMALL_ENV = (
+    "--set", "env.num_dips=4",
+    "--set", "env.load_fraction=0.5",
+)
+
+
+class TestListExtensions:
+    def test_list_shows_agents_shapes_and_named_specs(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "Learning agents" in out
+        assert "bandit" in out and "reinforce" in out
+        assert "Learning episode shapes" in out
+        assert "dip_outage_recovery" in out
+        assert "Named learn specs" in out
+        assert "bandit_outage" in out
+
+    def test_list_still_shows_policies_and_specs(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "Registered specs" in out
+        assert "LB policies" in out
+        assert "wrr" in out
+
+
+class TestValidateLearnSpecs:
+    def test_named_learn_spec_validates(self, capsys):
+        out = run_cli(capsys, "validate", "bandit_outage")
+        assert "learn spec 'bandit_outage' is valid" in out
+        assert "agent=bandit" in out
+
+    def test_learn_spec_file_validates(self, capsys, tmp_path):
+        path = tmp_path / "learn.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "from-file",
+                    "env": {"scenario": "diurnal_surge"},
+                    "agent": {"name": "reinforce"},
+                    "episodes": 5,
+                }
+            )
+        )
+        out = run_cli(capsys, "validate", str(path))
+        assert "learn spec 'from-file' is valid" in out
+        assert "diurnal_surge" in out
+
+    def test_unknown_learn_field_exits_with_dotted_path(self, capsys):
+        code = main(
+            ["validate", "bandit_outage", "--set", "agent.epsilonn=0.5"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "learn.agent.epsilonn" in captured.err
+
+    def test_experiment_specs_still_validate(self, capsys):
+        out = run_cli(capsys, "validate", "fluid_uniform_pool")
+        assert "spec 'fluid_uniform_pool' is valid" in out
+
+
+class TestLearnTrain:
+    def test_train_prints_history_and_writes_artifacts(
+        self, capsys, tmp_path
+    ):
+        ck = tmp_path / "ck.json"
+        out_file = tmp_path / "train.json"
+        out = run_cli(
+            capsys, "learn", "train", "bandit_outage",
+            *SMALL_ENV,
+            "--set", "episodes=2",
+            "--set", "eval_every=0",
+            "--checkpoint", str(ck),
+            "-o", str(out_file),
+        )
+        assert "bandit_outage" in out
+        assert "return" in out
+        checkpoint = json.loads(ck.read_text())
+        assert checkpoint["next_episode"] == 2
+        result = json.loads(out_file.read_text())
+        assert len(result["history"]) == 2
+
+    def test_train_resume_reaches_the_new_budget(self, capsys, tmp_path):
+        ck = tmp_path / "ck.json"
+        run_cli(
+            capsys, "learn", "train", "bandit_outage",
+            *SMALL_ENV, "--set", "episodes=1", "--set", "eval_every=0",
+            "--checkpoint", str(ck),
+        )
+        run_cli(
+            capsys, "learn", "train", "bandit_outage",
+            *SMALL_ENV, "--set", "episodes=2", "--set", "eval_every=0",
+            "--checkpoint", str(ck), "--resume",
+        )
+        assert json.loads(ck.read_text())["next_episode"] == 2
+
+
+class TestLearnEval:
+    def test_eval_reports_greedy_returns(self, capsys, tmp_path):
+        ck = tmp_path / "ck.json"
+        run_cli(
+            capsys, "learn", "train", "bandit_outage",
+            *SMALL_ENV, "--set", "episodes=1", "--set", "eval_every=0",
+            "--checkpoint", str(ck),
+        )
+        out_file = tmp_path / "eval.json"
+        out = run_cli(
+            capsys, "learn", "eval",
+            "--checkpoint", str(ck),
+            "--episodes", "2",
+            "-o", str(out_file),
+        )
+        assert "mean_return" in out
+        report = json.loads(out_file.read_text())
+        assert report["agent"] == "bandit"
+        assert len(report["episodes"]) == 2
+
+    def test_missing_checkpoint_is_a_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["learn", "eval", "--checkpoint", str(tmp_path / "nope.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "does not exist" in captured.err
+
+
+class TestLearnCompare:
+    def test_compare_renders_contenders_and_writes_artifacts(
+        self, capsys, tmp_path
+    ):
+        out_dir = tmp_path / "cmp"
+        out = run_cli(
+            capsys, "learn", "compare",
+            "--scenario", "dip_outage_recovery",
+            "--set", "num_dips=4",
+            "--set", "load_fraction=0.5",
+            "--agents", "uniform,random,bandit",
+            "--train-episodes", "2",
+            "--eval-episodes", "1",
+            "-o", str(out_dir),
+        )
+        assert "episode_reward" in out
+        assert "uniform" in out and "random" in out and "bandit" in out
+        saved = RunResult.load(out_dir / "uniform.json")
+        assert "episode_reward" in saved.metrics
+        assert (out_dir / "comparison.json").exists()
+
+    def test_unknown_contender_is_a_clean_error(self, capsys):
+        code = main(["learn", "compare", "--agents", "dqn"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown contender" in captured.err
+
+    def test_bad_checkpoint_mapping_is_a_clean_error(self, capsys):
+        code = main(["learn", "compare", "--checkpoint", "bandit"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "agent=path" in captured.err

@@ -412,3 +412,48 @@ class TestExportReplay:
         spec = ExperimentSpec.from_dict(json.loads(blob))
         assert spec.timeline.horizon_s == 2.0
         assert len(spec.timeline.events) == 1
+
+
+class TestLiveWeightOverrides:
+    """``POST /weights``: boundary application, journaling, export guard."""
+
+    def test_override_lands_at_the_next_window_boundary(self):
+        session = LiveSession(fluid_spec())
+        session.tick()
+        out = session.submit_weights({"weights": {"DIP-LC": 10.0, "DIP-HC-1": 1.0, "DIP-HC-2": 1.0}})
+        assert out["scheduled_time_s"] == session.stepper.clock == 1.0
+        assert "set_weights" in out["label"]
+        window = session.tick()
+        assert out["label"] in window.events
+        assert window.dip_share["DIP-LC"] > 0.5
+
+    def test_override_is_journaled_with_the_session_clock(self):
+        session = LiveSession(fluid_spec())
+        session.tick()
+        session.submit_weights({"weights": {"DIP-LC": 2.0}})
+        entry = session.journal[-1]
+        assert entry["kind"] == "weights"
+        assert entry["time_s"] == 1.0
+        assert entry["weights"] == {"DIP-LC": 2.0}
+
+    def test_bad_bodies_use_the_validation_error_text(self):
+        session = LiveSession(fluid_spec())
+        with pytest.raises(ConfigurationError, match="unknown DIP"):
+            session.submit_weights({"weights": {"DIP-404": 1.0}})
+        with pytest.raises(ConfigurationError, match="valid fields"):
+            session.submit_weights({"weights": {"DIP-LC": 1.0}, "vips": "x"})
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            session.submit_weights({"weights": {}})
+
+    def test_export_conflicts_after_an_applied_override(self):
+        session = LiveSession(fluid_spec())
+        session.tick()
+        session.submit_weights({"weights": {"DIP-LC": 2.0}})
+        session.tick()
+        with pytest.raises(SessionConflict, match="weight override"):
+            session.export()
+
+    def test_export_still_works_without_overrides(self):
+        session = LiveSession(fluid_spec())
+        session.tick()
+        assert session.export()["spec"]["name"] == "svc-fluid"

@@ -529,3 +529,77 @@ def test_window_rows_bucket_and_share():
     assert rows[1]["dip_share"] == {"A": 0.5, "B": 0.5}
     assert rows[2]["metrics"]["requests"] == 0.0
     assert math.isnan(rows[2]["metrics"]["mean_latency_ms"])
+
+
+class TestStepperWeightOverrides:
+    """`TimelineStepper.set_weights`: validation, boundary application,
+    and the provenance trail (the hook the learn env and the live
+    service's ``POST /weights`` both drive)."""
+
+    def stepper(self):
+        from repro.api.runners import build_cluster
+        from repro.api.timeline import fluid_timeline_stepper
+
+        spec = timeline_spec()
+        cluster = build_cluster(spec)
+        return cluster, fluid_timeline_stepper(
+            cluster, spec.timeline, BaseObserver(), seed=spec.seed
+        )
+
+    def test_override_applies_at_the_next_window_boundary(self):
+        cluster, stepper = self.stepper()
+        stepper.step()  # clock -> 5.0
+        target = next(iter(cluster.dips))
+        label = stepper.set_weights(
+            None, {d: 1.0 for d in cluster.dips} | {target: 50.0}
+        )
+        assert "set_weights" in label
+        window = stepper.step()
+        assert label in window.events
+        assert window.dip_share[target] > 0.5
+        assert stepper.weight_overrides[0][0] == 5.0  # applied at the boundary
+
+    def test_queued_overrides_do_not_apply_early(self):
+        cluster, stepper = self.stepper()
+        stepper.set_weights(None, {next(iter(cluster.dips)): 2.0})
+        assert stepper.weight_overrides == []  # queued, not yet applied
+        stepper.step()
+        assert len(stepper.weight_overrides) == 1
+
+    def test_explicit_vip_must_match_the_scope(self):
+        cluster, stepper = self.stepper()
+        first = next(iter(cluster.dips))
+        assert "set_weights" in stepper.set_weights("vip", {first: 1.0})
+        with pytest.raises(ConfigurationError, match="unknown VIP"):
+            stepper.set_weights("vip-9", {first: 1.0})
+
+    @pytest.mark.parametrize(
+        "weights, message",
+        [
+            ({}, "non-empty"),
+            ({"DIP-404": 1.0}, "unknown DIP"),
+            ({"DIP-1": -1.0}, "finite and >= 0"),
+            ({"DIP-1": float("nan")}, "finite and >= 0"),
+            ({"DIP-1": 0.0, "DIP-2": 0.0}, "positive value"),
+            ({"DIP-1": "heavy"}, "must be a number"),
+        ],
+    )
+    def test_bad_override_bodies_rejected_at_submission(self, weights, message):
+        _, stepper = self.stepper()
+        with pytest.raises(ConfigurationError, match=message):
+            stepper.set_weights(None, weights)
+
+    def test_request_batch_runner_has_no_weight_hook(self):
+        from repro.api.timeline import TimelineStepper
+
+        spec = timeline_spec()
+        stepper = TimelineStepper(
+            spec.timeline,
+            BaseObserver(),
+            advance=lambda dt: None,
+            tick=lambda: None,
+            snapshot=lambda: ({}, {}, {}),
+            apply_event=lambda event: None,
+        )
+        with pytest.raises(ConfigurationError, match="weight overrides"):
+            stepper.set_weights(None, {"DIP-1": 1.0})
