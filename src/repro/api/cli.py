@@ -163,6 +163,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
             title="Named learn specs (learn train NAME)",
         )
     )
+    from repro.workloads import ARRIVAL_KINDS, SERVICE_KINDS
+
+    arrival_rows = [
+        [name, summary] for name, summary in sorted(ARRIVAL_KINDS.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["arrival kind", "summary"],
+            arrival_rows,
+            title="Workload arrival kinds (workload.arrival.kind)",
+        )
+    )
+    service_rows = [
+        [name, summary] for name, summary in sorted(SERVICE_KINDS.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["service kind", "summary"],
+            service_rows,
+            title="Service-time kinds (workload.service.kind)",
+        )
+    )
     return 0
 
 

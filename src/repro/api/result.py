@@ -57,6 +57,11 @@ class Provenance:
     degraded_to: str | None = None
     #: runs of a sweep that ultimately failed (their rows carry ``error``).
     failed_runs: int = 0
+    #: the divergence guard's warning when the workload breaks the
+    #: analytic twin's M/M/c assumptions (see
+    #: :func:`repro.workloads.divergence.assess_divergence`); ``None``
+    #: when the analytic model is trustworthy or was not consulted.
+    model_divergence: str | None = None
 
 
 @dataclass(frozen=True)
@@ -187,6 +192,7 @@ class RunResult:
                 "retries": self.provenance.retries,
                 "degraded_to": self.provenance.degraded_to,
                 "failed_runs": self.provenance.failed_runs,
+                "model_divergence": self.provenance.model_divergence,
             },
         }
         if self.error is not None:
@@ -257,6 +263,11 @@ class RunResult:
                     else None
                 ),
                 failed_runs=int(prov.get("failed_runs", 0)),
+                model_divergence=(
+                    str(prov["model_divergence"])
+                    if prov.get("model_divergence") is not None
+                    else None
+                ),
             ),
         )
 

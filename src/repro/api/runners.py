@@ -55,7 +55,12 @@ from repro.core.types import DipId
 from repro.exceptions import ConfigurationError
 from repro.lb import MuxPool, make_policy, policy_seed_kwargs
 from repro.sim import FluidCluster, RequestCluster
-from repro.workloads import build_pool, fleet_from_pool
+from repro.workloads import (
+    assess_divergence,
+    build_pool,
+    fleet_from_pool,
+    scv_correction,
+)
 
 
 class Runner(Protocol):
@@ -122,11 +127,29 @@ def build_cluster(spec: ExperimentSpec) -> FluidCluster:
     """
     dips = pool_from_spec(spec.pool, spec.seed)
     total_capacity = sum(d.capacity_rps for d in dips.values())
+    rate = spec.workload.load_fraction * total_capacity
+    _stamp_scv_correction(dips, spec, rate)
     return FluidCluster(
         dips=dips,
-        total_rate_rps=spec.workload.load_fraction * total_capacity,
+        total_rate_rps=rate,
         policy_name=spec.policy.name,
     )
+
+
+def _stamp_scv_correction(
+    dips: Mapping[DipId, Any], spec: ExperimentSpec, rate_rps: float
+) -> None:
+    """Stamp the workload's Allen-Cunneen factor onto every analytic DIP.
+
+    1.0 (Poisson arrivals, exponential service) leaves the pool untouched —
+    the fluid substrate stays bit-identical to the M/M/c baseline.  The
+    factor uses the pool-wide rate; per-DIP splits inherit the aggregate
+    burstiness, which is the standard single-class approximation.
+    """
+    corr = scv_correction(spec.workload, rate_rps)
+    if corr != 1.0:
+        for dip in dips.values():
+            dip.scv_correction = corr
 
 
 def _finish(
@@ -138,6 +161,7 @@ def _finish(
     started_clock: float,
     windows: tuple[RunWindow, ...] = (),
     detail: Any = None,
+    model_divergence: str | None = None,
 ) -> RunResult:
     return RunResult(
         spec=spec,
@@ -152,6 +176,7 @@ def _finish(
         provenance=Provenance(
             started_at=started_at,
             wall_clock_s=time.perf_counter() - started_clock,
+            model_divergence=model_divergence,
         ),
         detail=detail,
     )
@@ -240,6 +265,9 @@ class FluidRunner:
             started_clock=started,
             windows=windows,
             detail=detail,
+            model_divergence=assess_divergence(
+                spec.workload, cluster.total_rate_rps
+            ),
         )
 
 
@@ -299,6 +327,8 @@ class RequestRunner:
             seed=spec.seed,
             health=spec.health,
             retry=spec.retry,
+            arrival=spec.workload.arrival,
+            service=spec.workload.service,
         )
         if weights is not None:
             cluster.set_weights(weights)
@@ -369,6 +399,15 @@ class RequestRunner:
             }
             for dip, row in run.metrics.summaries().items()
         }
+        # The request engine generates the workload faithfully; only a run
+        # that *replayed analytically-derived weights* (controller enabled)
+        # leaned on the fluid twin, so only then is the divergence warning
+        # meaningful here.
+        divergence = (
+            assess_divergence(spec.workload, rate)
+            if spec.controller.enabled
+            else None
+        )
         return _finish(
             spec,
             metrics=metrics,
@@ -377,6 +416,7 @@ class RequestRunner:
             started_clock=started,
             windows=windows,
             detail=run,
+            model_divergence=divergence,
         )
 
 
@@ -399,6 +439,12 @@ def prepare_fleet(
         pool_size=spec.fleet.pool_size,
         load_fraction=spec.workload.load_fraction,
         policy_name=spec.policy.name,
+    )
+    _stamp_scv_correction(
+        fleet.dips,
+        spec,
+        spec.workload.load_fraction
+        * sum(d.capacity_rps for d in fleet.dips.values()),
     )
     if not spec.timeline.empty:
         check_timeline_supported(
@@ -470,6 +516,9 @@ class FleetRunner:
         metrics["max_utilization"] = max(state.utilization.values())
         metrics["num_vips"] = float(len(fleet.vips))
         metrics["shared_dips"] = float(len(fleet.shared_dip_ids()))
+        total_rate = spec.workload.load_fraction * sum(
+            d.capacity_rps for d in fleet.dips.values()
+        )
         return _finish(
             spec,
             metrics=metrics,
@@ -478,6 +527,7 @@ class FleetRunner:
             started_clock=started,
             windows=windows,
             detail=detail,
+            model_divergence=assess_divergence(spec.workload, total_rate),
         )
 
 

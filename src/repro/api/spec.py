@@ -30,7 +30,7 @@ from repro.core.config import (
 )
 from repro.exceptions import ConfigurationError
 from repro.lb import policy_registry
-from repro.workloads import POOL_KINDS
+from repro.workloads import ARRIVAL_KINDS, POOL_KINDS, SERVICE_KINDS
 
 #: Substrates a spec can execute on; "scenario" delegates to the registry in
 #: :mod:`repro.experiments.scenarios`.
@@ -552,6 +552,196 @@ class PoolSpec:
 
 
 @dataclass(frozen=True)
+class ArrivalSpec:
+    """The arrival-process shape (see :mod:`repro.workloads.arrivals`).
+
+    Fields apply per ``kind``; setting one for a kind that does not use
+    it is rejected eagerly, so typos surface as dotted-path errors at
+    validate time rather than silently configuring nothing.  The
+    ``mmpp`` and ``flash_crowd`` kinds default-fill their parameters, so
+    ``--set workload.arrival.kind=mmpp`` alone yields a sensibly bursty
+    workload.
+    """
+
+    kind: str = "poisson"
+    #: mmpp: relative per-state intensities (normalized so the stationary
+    #: mean matches the workload rate).
+    state_rates: tuple[float, ...] = ()
+    #: mmpp: exit rate of each state (mean sojourn ``1/rate`` seconds).
+    switch_rates: tuple[float, ...] = ()
+    #: flash_crowd: Poisson rate of burst onsets.
+    burst_rate_per_s: float = 0.0
+    #: flash_crowd: peak intensity boost per burst (x the base rate).
+    burst_height: float = 0.0
+    #: flash_crowd: exponential decay constant of each burst (seconds).
+    burst_decay_s: float = 0.0
+    #: trace: CSV/JSONL file whose ``trace_column`` holds timestamps.
+    trace_path: str | None = None
+    trace_column: str = "timestamp"
+    #: trace: replay the trace's own mean rate instead of scaling to the
+    #: spec's ``load_fraction`` rate.
+    preserve_rate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            known = ", ".join(sorted(ARRIVAL_KINDS))
+            raise ConfigurationError(
+                f"workload.arrival.kind must be one of: {known}; "
+                f"got {self.kind!r}"
+            )
+        object.__setattr__(
+            self, "state_rates", tuple(float(r) for r in self.state_rates)
+        )
+        object.__setattr__(
+            self, "switch_rates", tuple(float(r) for r in self.switch_rates)
+        )
+        if self.kind == "mmpp":
+            if not self.state_rates:
+                object.__setattr__(self, "state_rates", (0.4, 3.4))
+            if not self.switch_rates:
+                object.__setattr__(
+                    self, "switch_rates", tuple(0.5 for _ in self.state_rates)
+                )
+            if len(self.state_rates) < 2:
+                raise ConfigurationError(
+                    "workload.arrival.state_rates needs at least two states "
+                    "for kind 'mmpp'"
+                )
+            if len(self.switch_rates) != len(self.state_rates):
+                raise ConfigurationError(
+                    "workload.arrival.switch_rates must match state_rates "
+                    f"({len(self.switch_rates)} vs {len(self.state_rates)})"
+                )
+            if any(r < 0 for r in self.state_rates) or max(
+                self.state_rates
+            ) <= 0:
+                raise ConfigurationError(
+                    "workload.arrival.state_rates must be >= 0 with a "
+                    "positive maximum"
+                )
+            if any(r <= 0 for r in self.switch_rates):
+                raise ConfigurationError(
+                    "workload.arrival.switch_rates must be positive"
+                )
+        elif self.state_rates or self.switch_rates:
+            raise ConfigurationError(
+                "workload.arrival.state_rates/switch_rates only apply to "
+                f"kind 'mmpp'; kind is {self.kind!r}"
+            )
+        if self.kind == "flash_crowd":
+            if self.burst_rate_per_s == 0:
+                object.__setattr__(self, "burst_rate_per_s", 0.2)
+            if self.burst_height == 0:
+                object.__setattr__(self, "burst_height", 5.0)
+            if self.burst_decay_s == 0:
+                object.__setattr__(self, "burst_decay_s", 2.0)
+            if self.burst_rate_per_s <= 0:
+                raise ConfigurationError(
+                    "workload.arrival.burst_rate_per_s must be positive"
+                )
+            if self.burst_height <= 0:
+                raise ConfigurationError(
+                    "workload.arrival.burst_height must be positive"
+                )
+            if self.burst_decay_s <= 0:
+                raise ConfigurationError(
+                    "workload.arrival.burst_decay_s must be positive"
+                )
+        elif self.burst_rate_per_s or self.burst_height or self.burst_decay_s:
+            raise ConfigurationError(
+                "workload.arrival.burst_* fields only apply to kind "
+                f"'flash_crowd'; kind is {self.kind!r}"
+            )
+        if self.kind == "trace":
+            if not self.trace_path:
+                raise ConfigurationError(
+                    "workload.arrival.trace_path is required for kind 'trace'"
+                )
+        else:
+            if self.trace_path is not None:
+                raise ConfigurationError(
+                    "workload.arrival.trace_path only applies to kind "
+                    f"'trace'; kind is {self.kind!r}"
+                )
+            if self.trace_column != "timestamp":
+                raise ConfigurationError(
+                    "workload.arrival.trace_column only applies to kind "
+                    f"'trace'; kind is {self.kind!r}"
+                )
+            if self.preserve_rate:
+                raise ConfigurationError(
+                    "workload.arrival.preserve_rate only applies to kind "
+                    f"'trace'; kind is {self.kind!r}"
+                )
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """The service-time shape drawn by every DIP station.
+
+    All kinds are unit-mean (scaled by each DIP's mean service time at
+    consumption), so ``load_fraction`` keeps its meaning; the kinds
+    differ in their squared coefficient of variation — the ``Cs^2`` the
+    divergence guard and the fluid substrate's Allen-Cunneen correction
+    are built from.
+    """
+
+    kind: str = "exponential"
+    #: lognormal: squared coefficient of variation of service times.
+    scv: float = 1.0
+    #: pareto: tail index alpha (> 1 for a finite mean; <= 2 has
+    #: infinite variance — the analytic twin is hopeless there).
+    tail_index: float = 2.5
+    #: elephant: fraction of flows that are elephants.
+    elephant_fraction: float = 0.05
+    #: elephant: elephant service time as a multiple of a mouse's.
+    elephant_factor: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_KINDS:
+            known = ", ".join(sorted(SERVICE_KINDS))
+            raise ConfigurationError(
+                f"workload.service.kind must be one of: {known}; "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "lognormal":
+            if self.scv <= 0:
+                raise ConfigurationError(
+                    "workload.service.scv must be positive"
+                )
+        elif self.scv != 1.0:
+            raise ConfigurationError(
+                "workload.service.scv only applies to kind 'lognormal'; "
+                f"kind is {self.kind!r}"
+            )
+        if self.kind == "pareto":
+            if self.tail_index <= 1.0:
+                raise ConfigurationError(
+                    "workload.service.tail_index must be > 1 (a unit-mean "
+                    "Pareto needs a finite mean)"
+                )
+        elif self.tail_index != 2.5:
+            raise ConfigurationError(
+                "workload.service.tail_index only applies to kind 'pareto'; "
+                f"kind is {self.kind!r}"
+            )
+        if self.kind == "elephant":
+            if not 0 < self.elephant_fraction < 1:
+                raise ConfigurationError(
+                    "workload.service.elephant_fraction must be in (0, 1)"
+                )
+            if self.elephant_factor < 1:
+                raise ConfigurationError(
+                    "workload.service.elephant_factor must be >= 1"
+                )
+        elif self.elephant_fraction != 0.05 or self.elephant_factor != 20.0:
+            raise ConfigurationError(
+                "workload.service.elephant_* fields only apply to kind "
+                f"'elephant'; kind is {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """The offered traffic, sized relative to the pool's total capacity."""
 
@@ -560,6 +750,13 @@ class WorkloadSpec:
     num_requests: int = 20_000
     #: simulated warm-up before measurement starts (request engine only).
     warmup_s: float = 1.0
+    #: arrival-process shape (Poisson baseline by default).
+    arrival: ArrivalSpec = ArrivalSpec()
+    #: service-time shape (exponential baseline by default).
+    service: ServiceSpec = ServiceSpec()
+    #: how far Ca^2/Cs^2 may stray from the M/M/c value of 1 before runs
+    #: carry a ``provenance.model_divergence`` warning.
+    divergence_tolerance: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0 < self.load_fraction < 1.5:
@@ -570,6 +767,10 @@ class WorkloadSpec:
             raise ConfigurationError("workload.num_requests must be >= 1")
         if self.warmup_s < 0:
             raise ConfigurationError("workload.warmup_s must be >= 0")
+        if self.divergence_tolerance < 0:
+            raise ConfigurationError(
+                "workload.divergence_tolerance must be >= 0"
+            )
 
 
 @dataclass(frozen=True)
@@ -712,6 +913,19 @@ class ExperimentSpec:
             raise ConfigurationError(
                 "retry.enabled needs runner 'request': retries act on "
                 "individual requests, which only the request engine models"
+            )
+        if (
+            self.workload.arrival.kind == "trace"
+            and self.workload.arrival.preserve_rate
+            and any(
+                event.kind == "arrival_scale" for event in self.timeline.events
+            )
+        ):
+            raise ConfigurationError(
+                "timeline 'arrival_scale' events cannot rescale a trace "
+                "workload with workload.arrival.preserve_rate = true: the "
+                "replay clock is pinned to the trace; set "
+                "workload.arrival.preserve_rate = false to allow scaling"
             )
         if (
             self.timeline.chaos.enabled

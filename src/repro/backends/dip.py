@@ -62,6 +62,11 @@ class DipServer:
     failed: bool = False
     #: current offered application request rate (requests/second).
     offered_rate_rps: float = 0.0
+    #: Allen-Cunneen M/G/c waiting-time factor ``(Ca^2 + Cs^2) / 2`` of
+    #: the workload this DIP serves (see repro.workloads.divergence);
+    #: 1.0 is the exact M/M/c baseline.  Runners stamp this from the
+    #: workload spec so analytic latencies track non-Poisson traffic.
+    scv_correction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.jitter_fraction < 0:
@@ -118,7 +123,9 @@ class DipServer:
     @property
     def mean_latency_ms(self) -> float:
         """Mean application latency at the current offered rate."""
-        return self.latency_model.mean_latency_ms(self.offered_rate_rps)
+        return self.latency_model.mean_latency_ms(
+            self.offered_rate_rps, scv_correction=self.scv_correction
+        )
 
     @property
     def drop_probability(self) -> float:
@@ -144,7 +151,9 @@ class DipServer:
         if self.failed:
             raise DipFailureError(f"DIP {self.dip_id} is down")
         rate = self.offered_rate_rps if rate_rps is None else rate_rps
-        mean = self.latency_model.mean_latency_ms(rate)
+        mean = self.latency_model.mean_latency_ms(
+            rate, scv_correction=self.scv_correction
+        )
         if self.jitter_fraction == 0:
             return mean
         sample = self._rng.normal(mean, mean * self.jitter_fraction)

@@ -97,8 +97,18 @@ class LatencyModel:
             raise ConfigurationError("rate_rps must be >= 0")
         return rate_rps / self.capacity_rps
 
-    def mean_latency_ms(self, rate_rps: float) -> float:
-        """Mean application-level response latency at offered ``rate_rps``."""
+    def mean_latency_ms(
+        self, rate_rps: float, *, scv_correction: float = 1.0
+    ) -> float:
+        """Mean application-level response latency at offered ``rate_rps``.
+
+        ``scv_correction`` is the Allen-Cunneen M/G/c factor
+        ``(Ca^2 + Cs^2) / 2`` (see :mod:`repro.workloads.divergence`): it
+        scales the *waiting* component only — idle service time does not
+        depend on variability — turning the M/M/c mean into the standard
+        M/G/c approximation.  The default of 1.0 is the exact M/M/c value
+        and is bit-identical to the uncorrected model.
+        """
         if rate_rps < 0:
             raise ConfigurationError("rate_rps must be >= 0")
         if rate_rps == 0:
@@ -113,7 +123,7 @@ class LatencyModel:
             pq = erlang_c(self.servers, offered)
             # Mean wait in queue (seconds) for M/M/c, converted to ms.
             wait_s = pq / (self.servers * mu - rate_rps)
-            wait_ms = wait_s * 1000.0
+            wait_ms = wait_s * 1000.0 * scv_correction
             # Bound by the finite queue: cannot wait longer than draining a
             # full queue.
             max_wait_ms = self.max_queue / self.capacity_rps * 1000.0

@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterator, Mapping
 from repro.api.result import RunWindow
 from repro.api.runners import execute
 from repro.api.spec import (
+    ArrivalSpec,
     ChaosSpec,
     ControllerSpec,
     EventSpec,
@@ -37,13 +38,16 @@ from repro.api.spec import (
     FleetSpec,
     HealthCheckSpec,
     PoolSpec,
+    RetryPolicy,
+    ServiceSpec,
     TimelineSpec,
     WorkloadSpec,
 )
+from repro.analysis.reporting import format_table
 from repro.backends import custom_vm_type
 from repro.core import FleetController, KnapsackLBController
 from repro.exceptions import ConfigurationError
-from repro.lb import make_policy
+from repro.lb import make_policy, policy_registry, policy_seed_kwargs
 from repro.sim import FluidCluster, RequestCluster
 from repro.sim.fleet import Fleet
 from repro.workloads import (
@@ -924,6 +928,221 @@ def run_diurnal_surge(
         },
         windows=result.windows,
         detail={"result": result},
+    )
+
+
+# ---------------------------------------------------------------------------
+# robustness scenarios (bursty / heavy-tailed workloads)
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    "robustness_envelope",
+    "Grid every LB policy against bursty arrivals and heavy-tailed service",
+    num_dips=8,
+    num_requests=6000,
+    load_fraction=0.6,
+    tail_index=2.2,
+    seed=47,
+)
+def run_robustness_envelope(
+    *,
+    num_dips: int,
+    num_requests: int,
+    load_fraction: float,
+    tail_index: float,
+    seed: int,
+) -> ScenarioResult:
+    """Sweep the robustness envelope of every registered policy.
+
+    Each policy runs the identical deployment through the request engine
+    under a grid of workload shapes — arrivals in {Poisson, MMPP bursts,
+    flash crowds} × service in {exponential, Pareto(``tail_index``)} —
+    and each cell's tail latency and drop fraction are compared against
+    that policy's own Poisson/exponential baseline cell.  The headline
+    per-policy number is the *worst* p99 degradation across the grid: how
+    much a policy's tail inflates when the workload stops being the
+    memoryless one every analytic model assumes.
+
+    The grid runs on M/M/c-consistent uniform pools (as in
+    ``request_vs_fluid_crosscheck``) so differences are attributable to
+    the workload shape and the policy, not SKU quirks.
+    """
+    arrivals = {
+        "poisson": ArrivalSpec(),
+        "mmpp": ArrivalSpec(kind="mmpp"),
+        "flash_crowd": ArrivalSpec(kind="flash_crowd"),
+    }
+    services = {
+        "exponential": ServiceSpec(),
+        "pareto": ServiceSpec(kind="pareto", tail_index=tail_index),
+    }
+    vm = custom_vm_type("robust-8c", vcpus=8, capacity_rps=3200.0)
+    rows: list[dict[str, Any]] = []
+    worst: dict[str, float] = {}
+    worst_drop = 0.0
+    for policy_name in sorted(policy_registry()):
+        baseline_p99 = None
+        for arrival_name, arrival in arrivals.items():
+            for service_name, service in services.items():
+                dips = build_uniform_pool(num_dips, vm_type=vm, seed=seed)
+                total_capacity = sum(d.capacity_rps for d in dips.values())
+                policy = make_policy(
+                    policy_name,
+                    list(dips),
+                    **policy_seed_kwargs(policy_name, seed=seed),
+                )
+                cluster = RequestCluster(
+                    dips,
+                    policy,
+                    rate_rps=load_fraction * total_capacity,
+                    seed=seed,
+                    arrival=arrival,
+                    service=service,
+                )
+                run = cluster.run(num_requests=num_requests, warmup_s=1.0)
+                p99 = run.metrics.percentile_latency_ms(99)
+                if baseline_p99 is None:
+                    # First cell is poisson/exponential by dict order.
+                    baseline_p99 = p99
+                degradation = p99 / max(baseline_p99, 1e-9)
+                worst[policy_name] = max(
+                    worst.get(policy_name, 0.0), degradation
+                )
+                worst_drop = max(worst_drop, run.drop_fraction)
+                rows.append(
+                    {
+                        "policy": policy_name,
+                        "arrival": arrival_name,
+                        "service": service_name,
+                        "p99_ms": p99,
+                        "mean_ms": run.metrics.mean_latency_ms(),
+                        "drop_fraction": run.drop_fraction,
+                        "p99_degradation": degradation,
+                    }
+                )
+    table = format_table(
+        ("policy", "arrival", "service", "p99 ms", "drop", "p99 vs M/M/c"),
+        [
+            (
+                r["policy"],
+                r["arrival"],
+                r["service"],
+                f"{r['p99_ms']:.2f}",
+                f"{r['drop_fraction']:.4f}",
+                f"{r['p99_degradation']:.2f}x",
+            )
+            for r in rows
+        ],
+        title="robustness envelope (per-policy p99 vs own Poisson baseline)",
+    )
+    metrics: dict[str, float] = {
+        "grid_cells": float(len(rows)),
+        "policies": float(len(worst)),
+        "worst_p99_degradation": max(worst.values()),
+        "worst_drop_fraction": worst_drop,
+    }
+    for policy_name, degradation in worst.items():
+        metrics[f"worst_p99_degradation_{policy_name}"] = degradation
+    return ScenarioResult(
+        name="robustness_envelope",
+        params={
+            "num_dips": num_dips,
+            "num_requests": num_requests,
+            "load_fraction": load_fraction,
+            "tail_index": tail_index,
+            "seed": seed,
+        },
+        metrics=metrics,
+        detail={"rows": rows, "table": table},
+    )
+
+
+@scenario(
+    "chaos_under_burst",
+    "Seeded chaos failures while the workload is bursty and heavy-tailed",
+    num_dips=8,
+    load_fraction=0.55,
+    horizon_s=60.0,
+    tail_index=2.2,
+    chaos_seed=7,
+    seed=37,
+)
+def run_chaos_under_burst(
+    *,
+    num_dips: int,
+    load_fraction: float,
+    horizon_s: float,
+    tail_index: float,
+    chaos_seed: int,
+    seed: int,
+) -> ScenarioResult:
+    """Compose the failure machinery with the robustness workloads.
+
+    The same chaos schedule (seeded random ``dip_fail``/``dip_recover``
+    events), probe-based health checks and the retry/backoff layer run
+    twice through the request engine: once under MMPP arrivals with
+    Pareto(``tail_index``) service, and once under the calm
+    Poisson/exponential twin.  Both runs draw the identical failure
+    schedule — chaos expansion depends only on the pool, seed and horizon
+    — so every reported ratio isolates the *workload's* contribution to
+    outage pain: bursts arriving while capacity is down deepen the p99
+    and drop penalties well beyond what either stressor causes alone.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon_s must be positive")
+    health = HealthCheckSpec(enabled=True)
+    retry = RetryPolicy(enabled=True)
+    timeline = TimelineSpec(
+        window_s=5.0,
+        horizon_s=horizon_s,
+        chaos=ChaosSpec(seed=chaos_seed),
+    )
+    workloads = {
+        "bursty": WorkloadSpec(
+            load_fraction=load_fraction,
+            arrival=ArrivalSpec(kind="mmpp"),
+            service=ServiceSpec(kind="pareto", tail_index=tail_index),
+        ),
+        "calm": WorkloadSpec(load_fraction=load_fraction),
+    }
+    results = {}
+    for label, workload in workloads.items():
+        spec = ExperimentSpec(
+            name=f"chaos_under_burst/{label}",
+            runner="request",
+            pool=PoolSpec(kind="uniform", num_dips=num_dips),
+            workload=workload,
+            timeline=timeline,
+            health=health,
+            retry=retry,
+            seed=seed,
+        )
+        results[label] = _execute(spec)
+    bursty, calm = results["bursty"].metrics, results["calm"].metrics
+    return ScenarioResult(
+        name="chaos_under_burst",
+        params={
+            "num_dips": num_dips,
+            "load_fraction": load_fraction,
+            "horizon_s": horizon_s,
+            "tail_index": tail_index,
+            "chaos_seed": chaos_seed,
+            "seed": seed,
+        },
+        metrics={
+            "bursty_p99_latency_ms": bursty["p99_latency_ms"],
+            "calm_p99_latency_ms": calm["p99_latency_ms"],
+            "p99_ratio": bursty["p99_latency_ms"]
+            / max(calm["p99_latency_ms"], 1e-9),
+            "bursty_drop_fraction": bursty["drop_fraction"],
+            "calm_drop_fraction": calm["drop_fraction"],
+            "bursty_retried_fraction": bursty.get("retried_fraction", 0.0),
+            "calm_retried_fraction": calm.get("retried_fraction", 0.0),
+            "chaos_events": bursty.get("timeline_events", 0.0),
+        },
+        windows=results["bursty"].windows,
+        detail={"results": results},
     )
 
 

@@ -35,6 +35,8 @@ a three-way verdict (``ShardPlan.mode``):
   condition                     why it cannot shard at all
   ============================  ================================================
   runner != "request"           fluid/fleet are analytic and already vectorized
+  non-Poisson arrivals          stream decomposition/replication assumes Poisson
+  non-exponential service       shard kernels draw exponential service times
   fleet-only timeline events    vip_onboard/offboard need the fleet substrate
   policy has no epoch router    an unregistered/novel policy cannot be replayed
   fewer than 2 DIPs             nothing to split
@@ -159,6 +161,19 @@ def spec_fallback_reason(spec: ExperimentSpec) -> str | None:
         return (
             f"runner {spec.runner!r} is not request-level (the fluid and "
             "fleet substrates are analytic and already vectorized)"
+        )
+    if spec.workload.arrival.kind != "poisson":
+        return (
+            f"workload.arrival.kind {spec.workload.arrival.kind!r} is not "
+            "Poisson; both the exact per-DIP stream decomposition and the "
+            "epoch executor's replicated arrival streams assume Poisson "
+            "arrivals, so bursty/trace runs stay serial"
+        )
+    if spec.workload.service.kind != "exponential":
+        return (
+            f"workload.service.kind {spec.workload.service.kind!r} is not "
+            "exponential; the shard kernels regenerate exponential service "
+            "streams, so heavy-tailed runs stay serial"
         )
     for event in spec.timeline.events:
         if event.kind in ("vip_onboard", "vip_offboard") or (

@@ -9,11 +9,15 @@ measure end-to-end latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.lb.base import FlowKey
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.workloads.arrivals import ArrivalProcess
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,7 @@ class WorkloadGenerator:
         *,
         clients: ClientPool | None = None,
         seed: int | None = None,
+        arrivals: "ArrivalProcess | None" = None,
     ) -> None:
         if rate_rps <= 0:
             raise ConfigurationError("rate_rps must be positive")
@@ -61,14 +66,25 @@ class WorkloadGenerator:
         self._rng = np.random.default_rng(seed)
         self._next_port = 1024
         self._request_counter = 0
+        #: non-Poisson gap source (see :mod:`repro.workloads.arrivals`);
+        #: ``None`` keeps the legacy inline exponential draw, bit-identical
+        #: with every artifact recorded before arrival kinds existed.
+        self._arrivals = arrivals
+        if arrivals is not None:
+            # a preserve_rate trace reports its own mean rate.
+            self.rate_rps = float(arrivals.rate_rps)
 
     def set_rate(self, rate_rps: float) -> None:
         if rate_rps <= 0:
             raise ConfigurationError("rate_rps must be positive")
+        if self._arrivals is not None:
+            self._arrivals.set_rate(rate_rps)
         self.rate_rps = float(rate_rps)
 
     def next_interarrival_s(self) -> float:
         """Time until the next request arrival."""
+        if self._arrivals is not None:
+            return float(self._arrivals.produce(1)[0])
         return float(self._rng.exponential(1.0 / self.rate_rps))
 
     def next_batch(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -81,7 +97,10 @@ class WorkloadGenerator:
         """
         if n < 1:
             raise ConfigurationError("batch size must be >= 1")
-        gaps = self._rng.exponential(1.0 / self.rate_rps, size=n)
+        if self._arrivals is not None:
+            gaps = self._arrivals.produce(n)
+        else:
+            gaps = self._rng.exponential(1.0 / self.rate_rps, size=n)
         client_indices = self._rng.integers(self.clients.num_clients, size=n)
         ports = (
             self._next_port + 1 - _PORT_MIN + np.arange(n, dtype=np.int64)
@@ -91,10 +110,17 @@ class WorkloadGenerator:
         return gaps, client_indices, ports
 
     def next_interarrival_batch(self, n: int) -> np.ndarray:
-        """Draw only ``n`` interarrival times (policies that ignore flows)."""
+        """Draw only ``n`` interarrival times (policies that ignore flows).
+
+        The lean path works for every arrival kind: non-Poisson gap
+        sources live on their own RNG lanes, so skipping the client/port
+        draws never perturbs the gap stream.
+        """
         if n < 1:
             raise ConfigurationError("batch size must be >= 1")
         self._request_counter += n
+        if self._arrivals is not None:
+            return self._arrivals.produce(n)
         return self._rng.exponential(1.0 / self.rate_rps, size=n)
 
     def client_ips(self) -> list[str]:

@@ -34,7 +34,12 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 if TYPE_CHECKING:  # sim is below api in the layer map: type-only import
-    from repro.api.spec import HealthCheckSpec, RetryPolicy
+    from repro.api.spec import (
+        ArrivalSpec,
+        HealthCheckSpec,
+        RetryPolicy,
+        ServiceSpec,
+    )
 
 from repro.backends.dip import DipServer
 from repro.core.types import DipId
@@ -89,15 +94,28 @@ class RequestCluster:
         clients: ClientPool | None = None,
         health: "HealthCheckSpec | None" = None,
         retry: "RetryPolicy | None" = None,
+        arrival: "ArrivalSpec | None" = None,
+        service: "ServiceSpec | None" = None,
     ) -> None:
         if not dips:
             raise ConfigurationError("cluster needs at least one DIP")
         self.dips = dict(dips)
         self.policy = policy
         self.scheduler = EventScheduler()
-        self.workload = WorkloadGenerator(rate_rps, clients=clients, seed=seed)
-        #: the construction-time rate `scale_arrivals` factors are relative to.
-        self._base_rate_rps = float(rate_rps)
+        # Non-Poisson arrival kinds stream through an ArrivalProcess on
+        # dedicated RNG lanes; the Poisson default keeps the legacy inline
+        # draw, bit-identical with pre-existing artifacts.
+        arrivals = None
+        if arrival is not None and arrival.kind != "poisson":
+            from repro.workloads.arrivals import make_arrival_process
+
+            arrivals = make_arrival_process(arrival, rate_rps, seed=seed)
+        self.workload = WorkloadGenerator(
+            rate_rps, clients=clients, seed=seed, arrivals=arrivals
+        )
+        #: the construction-time rate `scale_arrivals` factors are relative
+        #: to (a preserve_rate trace pins it to the trace's own rate).
+        self._base_rate_rps = float(self.workload.rate_rps)
         self.metrics = MetricsCollector()
         self._seed = seed
         # Resilience layers (both off by default — the oracle-failure /
@@ -116,6 +134,7 @@ class RequestCluster:
                 queue_capacity=queue_capacity,
                 seed=None if seed is None else seed + index + 1,
                 completion_sink=sink,
+                service=service,
             )
             for index, (dip_id, server) in enumerate(self.dips.items())
         }

@@ -66,6 +66,8 @@ class PoolArrays:
     max_queue: np.ndarray
     drop_utilization: np.ndarray
     failed: np.ndarray
+    #: per-DIP Allen-Cunneen M/G/c waiting-time factor (1.0 = exact M/M/c).
+    scv_correction: np.ndarray | float = 1.0
 
     @property
     def size(self) -> int:
@@ -84,6 +86,9 @@ def pool_arrays(dips: Mapping[DipId, DipServer]) -> PoolArrays:
         max_queue=np.array([m.max_queue for m in models]),
         drop_utilization=np.array([m.drop_utilization for m in models]),
         failed=np.array([dips[d].failed for d in ids], dtype=bool),
+        scv_correction=np.array(
+            [getattr(dips[d], "scv_correction", 1.0) for d in ids]
+        ),
     )
 
 
@@ -135,8 +140,14 @@ def vector_mean_latency_ms(pool: PoolArrays, rates_rps: np.ndarray) -> np.ndarra
 
     pq = vector_erlang_c(pool.servers, offered)
     headroom = pool.servers * mu - rates
+    # The Allen-Cunneen factor scales the waiting component only; at the
+    # default of 1.0 the multiply is exact and bit-identical to M/M/c.
     wait_ms = np.where(
-        headroom > 0, pq / np.where(headroom > 0, headroom, 1.0) * 1000.0, np.inf
+        headroom > 0,
+        pq / np.where(headroom > 0, headroom, 1.0)
+        * 1000.0
+        * pool.scv_correction,
+        np.inf,
     )
     below = rates < pool.capacity_rps * 0.999
     latency = pool.idle_latency_ms + np.where(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Deque
+from typing import TYPE_CHECKING, Callable, Deque
 
 import collections
 
@@ -31,6 +31,9 @@ from repro.backends.dip import DipServer
 from repro.exceptions import ConfigurationError
 from repro.sim.engine import EventScheduler
 from repro.sim.request import Request, RequestOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.api.spec import ServiceSpec
 
 _heappush = heapq.heappush
 
@@ -69,6 +72,7 @@ class DipStation:
         "_svc_buf",
         "_svc_mean",
         "_svc_token",
+        "_svc_draw",
         "_sink",
         "stats",
     )
@@ -81,6 +85,7 @@ class DipStation:
         queue_capacity: int = 256,
         seed: int | None = None,
         completion_sink: CompletionCallback | None = None,
+        service: "ServiceSpec | None" = None,
     ) -> None:
         if queue_capacity < 0:
             raise ConfigurationError("queue_capacity must be >= 0")
@@ -88,6 +93,16 @@ class DipStation:
         self._scheduler = scheduler
         self._queue_capacity = queue_capacity
         self._rng = np.random.default_rng(seed)
+        # Unit-mean batched service sampler.  The default is the
+        # generator's own bound standard_exponential — the bit-identical
+        # legacy path; non-exponential kinds swap in a sampler from
+        # repro.workloads.arrivals on the same generator.
+        if service is None or service.kind == "exponential":
+            self._svc_draw = self._rng.standard_exponential
+        else:
+            from repro.workloads.arrivals import unit_service_sampler
+
+            self._svc_draw = unit_service_sampler(service, self._rng)
         #: waiting requests with their completion callbacks (FIFO).
         self._waiting: Deque[tuple[Request, CompletionCallback]] = collections.deque()
         self._busy_workers = 0
@@ -196,7 +211,7 @@ class DipStation:
             request.start_service_time = now
             buf = self._svc_buf
             if not buf:
-                buf = self._rng.standard_exponential(SERVICE_BATCH)[::-1].tolist()
+                buf = self._svc_draw(SERVICE_BATCH)[::-1].tolist()
                 self._svc_buf = buf
             token = len(self.dip.antagonist.history)
             if token != self._svc_token:
@@ -251,7 +266,7 @@ class DipStation:
         request.start_service_time = scheduler._now
         buf = self._svc_buf
         if not buf:
-            buf = self._rng.standard_exponential(SERVICE_BATCH)[::-1].tolist()
+            buf = self._svc_draw(SERVICE_BATCH)[::-1].tolist()
             self._svc_buf = buf
         token = len(self.dip.antagonist.history)
         if token != self._svc_token:
